@@ -1,0 +1,129 @@
+"""E6/E7 — join-to-subquery in the IMS gateway (§6.1; Example 10).
+
+Claims:
+
+* **E6** — for a key-qualified child probe, the join strategy issues
+  exactly 2x the GNP calls of the nested (EXISTS) strategy: the second
+  GNP per parent always returns 'GE'.
+* **E7** — for a *non-key* qualification (the paper's OEM-PNO remark)
+  the join strategy must scan every remaining twin, so the saving grows
+  with the number of parts per supplier.
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.core import Optimizer
+from repro.ims import GatewayStats, ImsGateway
+from repro.workloads import SupplierScale, build_ims_database, generate
+
+JOIN_SQL = (
+    "SELECT ALL S.* FROM SUPPLIER S, PARTS P "
+    "WHERE S.SNO = P.SNO AND P.PNO = :PARTNO"
+)
+PARAMS = {"PARTNO": 3}
+
+
+def run(gateway, sql, params=PARAMS):
+    stats = GatewayStats()
+    result = gateway.execute(sql, params=params, stats=stats)
+    return result, stats
+
+
+def test_e6_gnp_calls_halved(benchmark, bench_ims, bench_data):
+    gateway = ImsGateway(bench_ims)
+    optimizer = Optimizer.for_navigational(gateway.catalog())
+    rewritten = optimizer.optimize(JOIN_SQL)
+    assert [s.rule for s in rewritten.steps] == ["join-to-subquery"]
+
+    join_result, join_stats = run(gateway, JOIN_SQL)
+    exists_result, exists_stats = run(gateway, rewritten.sql)
+    assert join_result.same_rows(exists_result)
+
+    suppliers = bench_data.scale.suppliers
+    report = ExperimentReport(
+        experiment="E6: IMS join vs nested probe (Example 10)",
+        claim="nested form halves DL/I calls against PARTS",
+        columns=["strategy", "GNP PARTS", "GU+GN SUPPLIER", "rows"],
+    )
+    report.add_row(
+        "join (lines 21-29)",
+        join_stats.dli.calls_to("PARTS", "GNP"),
+        join_stats.dli.calls_to("SUPPLIER"),
+        len(join_result),
+    )
+    report.add_row(
+        "nested (lines 30-35)",
+        exists_stats.dli.calls_to("PARTS", "GNP"),
+        exists_stats.dli.calls_to("SUPPLIER"),
+        len(exists_result),
+    )
+    report.show()
+
+    assert join_stats.dli.calls_to("PARTS", "GNP") == 2 * suppliers
+    assert exists_stats.dli.calls_to("PARTS", "GNP") == suppliers
+
+    result = benchmark(lambda: gateway.execute(rewritten.sql, params=PARAMS))
+    assert len(result) == len(exists_result)
+
+
+def test_e7_nonkey_qualification_saves_segment_scans(benchmark, bench_ims, bench_data):
+    """COLOR is not the twin sequence field (the paper makes the point
+    with OEM-PNO): a qualified GNP cannot halt on key order, so the join
+    strategy scans every remaining twin per parent while the nested
+    strategy stops at the first match.  DISTINCT keeps the two query
+    forms equivalent (a supplier may own several red parts)."""
+    gateway = ImsGateway(bench_ims)
+    join_sql = (
+        "SELECT DISTINCT S.* FROM SUPPLIER S, PARTS P "
+        "WHERE S.SNO = P.SNO AND P.COLOR = :COLOR"
+    )
+    exists_sql = (
+        "SELECT DISTINCT S.* FROM SUPPLIER S WHERE EXISTS "
+        "(SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.COLOR = :COLOR)"
+    )
+    params = {"COLOR": "RED"}
+    join_result, join_stats = run(gateway, join_sql, params)
+    exists_result, exists_stats = run(gateway, exists_sql, params)
+    assert join_result.same_rows(exists_result)
+
+    report = ExperimentReport(
+        experiment="E7: non-key join qualification (OEM-PNO remark)",
+        claim="nested form halts the twin scan at the first match",
+        columns=["strategy", "PARTS segments examined", "GNP PARTS"],
+    )
+    report.add_row(
+        "join",
+        join_stats.dli.segments_examined["PARTS"],
+        join_stats.dli.calls_to("PARTS", "GNP"),
+    )
+    report.add_row(
+        "nested",
+        exists_stats.dli.segments_examined["PARTS"],
+        exists_stats.dli.calls_to("PARTS", "GNP"),
+    )
+    report.show()
+
+    assert (
+        exists_stats.dli.segments_examined["PARTS"]
+        < join_stats.dli.segments_examined["PARTS"]
+    )
+
+    result = benchmark(lambda: gateway.execute(exists_sql, params=params))
+    assert len(result) == len(exists_result)
+
+
+def test_e6_join_strategy(benchmark, bench_ims):
+    gateway = ImsGateway(bench_ims)
+    result = benchmark(lambda: gateway.execute(JOIN_SQL, params=PARAMS))
+    assert len(result) > 0
+
+
+def test_e6_nested_strategy(benchmark, bench_ims):
+    gateway = ImsGateway(bench_ims)
+    nested_sql = (
+        "SELECT ALL S.* FROM SUPPLIER S WHERE EXISTS "
+        "(SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PARTNO)"
+    )
+    result = benchmark(lambda: gateway.execute(nested_sql, params=PARAMS))
+    assert len(result) > 0

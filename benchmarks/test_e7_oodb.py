@@ -1,0 +1,104 @@
+"""E8 — navigational strategies in an object store (§6.2; Example 11).
+
+Claim: with child->parent OID pointers, the forward (child-first) join
+dereferences every matching child's parent only to discard most of them;
+the rewritten (parent-range-first) EXISTS probe touches only the
+selective range.  The winner depends on selectivity — we sweep the range
+width to expose the crossover.
+"""
+
+from repro.bench import ExperimentReport
+from repro.oodb import ObjectStats, forward_join, selective_exists
+
+
+PARTNO = 3
+
+
+def run_forward(store, lo, hi):
+    store.stats = ObjectStats()
+    result = forward_join(
+        store,
+        "PARTS",
+        "PNO",
+        PARTNO,
+        "SUPPLIER",
+        lambda s: lo <= s.get("SNO") <= hi,
+    )
+    return result, store.stats
+
+
+def run_rewritten(store, lo, hi):
+    store.stats = ObjectStats()
+    result = selective_exists(
+        store, "SUPPLIER", "SNO", lo, hi, "PARTS", "PNO", PARTNO, "SUPPLIER"
+    )
+    return result, store.stats
+
+
+def test_e8_selectivity_sweep(benchmark, bench_store, bench_data):
+    suppliers = bench_data.scale.suppliers
+    report = ExperimentReport(
+        experiment="E8: OO forward join vs selective EXISTS (Example 11)",
+        claim="the rewritten navigation wins for selective parent ranges",
+        columns=[
+            "range_width", "fetches_forward", "fetches_rewritten",
+            "winner",
+        ],
+    )
+    for width in (2, 10, 50, suppliers):
+        lo, hi = 1, width
+        forward, forward_stats = run_forward(bench_store, lo, hi)
+        rewritten, rewritten_stats = run_rewritten(bench_store, lo, hi)
+        assert sorted(o.get("SNO") for o in forward) == sorted(
+            o.get("SNO") for o in rewritten
+        )
+        f_total = forward_stats.total_fetches()
+        r_total = rewritten_stats.total_fetches()
+        report.add_row(
+            width,
+            f_total,
+            r_total,
+            "rewritten" if r_total < f_total else "forward",
+        )
+        if width <= 10:
+            # a selective range must favour the rewritten navigation
+            assert r_total < f_total
+    report.note(
+        "forward cost is flat (every PARTS match dereferences its "
+        "parent); rewritten cost grows with the range width"
+    )
+    report.show()
+
+    def probe():
+        bench_store.stats = ObjectStats()
+        return run_rewritten(bench_store, 1, 10)[0]
+
+    assert len(benchmark(probe)) > 0
+
+
+def test_e8_forward_navigation(benchmark, bench_store):
+    def run():
+        bench_store.stats = ObjectStats()
+        return forward_join(
+            bench_store,
+            "PARTS",
+            "PNO",
+            PARTNO,
+            "SUPPLIER",
+            lambda s: 10 <= s.get("SNO") <= 20,
+        )
+
+    result = benchmark(run)
+    assert len(result) == 11
+
+
+def test_e8_rewritten_navigation(benchmark, bench_store):
+    def run():
+        bench_store.stats = ObjectStats()
+        return selective_exists(
+            bench_store, "SUPPLIER", "SNO", 10, 20,
+            "PARTS", "PNO", PARTNO, "SUPPLIER",
+        )
+
+    result = benchmark(run)
+    assert len(result) == 11

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` on modern pip requires building an editable wheel;
+when `wheel` is unavailable offline, `python setup.py develop` provides
+the legacy editable install path.
+"""
+
+from setuptools import setup
+
+setup()

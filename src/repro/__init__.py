@@ -1,0 +1,81 @@
+"""repro — a reproduction of Paulley & Larson, "Exploiting Uniqueness in
+Query Optimization" (ICDE 1994).
+
+The library provides:
+
+* a SQL2-subset front end (:mod:`repro.sql`),
+* a schema catalog with keys and CHECK constraints (:mod:`repro.catalog`),
+* a multiset execution engine with three-valued logic (:mod:`repro.engine`),
+* functional-dependency derivation (:mod:`repro.fd`),
+* the paper's uniqueness analysis and rewrite rules (:mod:`repro.core`),
+* IMS/DL-I and object-store simulators for the paper's §6
+  (:mod:`repro.ims`, :mod:`repro.oodb`), and
+* workload generators for the paper's supplier schema
+  (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import Catalog, Database, execute, optimize, test_uniqueness
+
+    db = Database.from_script(DDL_AND_INSERTS)
+    verdict = test_uniqueness("SELECT DISTINCT ...", db.catalog)
+    rewritten = optimize("SELECT DISTINCT ...", db.catalog)
+    rows = execute(rewritten.query, db)
+"""
+
+from .catalog import Catalog, CatalogBuilder, TableSchema
+from .core import (
+    ExactOptions,
+    OptimizeResult,
+    Optimizer,
+    UniquenessOptions,
+    UniquenessResult,
+    check_theorem1,
+    is_duplicate_free,
+    optimize,
+    test_uniqueness,
+)
+from .engine import (
+    Database,
+    Executor,
+    Planner,
+    PlannerOptions,
+    Result,
+    Stats,
+    execute,
+    execute_planned,
+)
+from .errors import ReproError
+from .sql import parse, parse_query, parse_script, to_sql
+from .types import NULL
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "CatalogBuilder",
+    "Database",
+    "ExactOptions",
+    "Executor",
+    "NULL",
+    "OptimizeResult",
+    "Optimizer",
+    "Planner",
+    "PlannerOptions",
+    "ReproError",
+    "Result",
+    "Stats",
+    "TableSchema",
+    "UniquenessOptions",
+    "UniquenessResult",
+    "check_theorem1",
+    "execute",
+    "execute_planned",
+    "is_duplicate_free",
+    "optimize",
+    "parse",
+    "parse_query",
+    "parse_script",
+    "test_uniqueness",
+    "to_sql",
+]

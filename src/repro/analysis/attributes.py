@@ -1,0 +1,27 @@
+"""Qualified attribute identities used throughout the analysis layer."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Attribute(NamedTuple):
+    """A fully-qualified column: ``(relation, column)``.
+
+    ``relation`` is the *effective* FROM-clause name (the alias when one
+    is declared), so two scans of the same base table stay distinct.
+    """
+
+    relation: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.column}"
+
+
+AttributeSet = frozenset[Attribute]
+
+
+def attribute_set(attributes) -> AttributeSet:
+    """Freeze an iterable of attributes into an :data:`AttributeSet`."""
+    return frozenset(attributes)

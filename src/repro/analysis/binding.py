@@ -1,0 +1,121 @@
+"""Static name resolution (binding) of queries against a catalog.
+
+The uniqueness analysis works with fully-qualified attributes
+``(relation, column)``, but SQL lets queries reference columns without a
+qualifier.  :func:`qualify` rewrites a predicate so every
+:class:`ColumnRef` carries the effective table name it resolves to;
+:func:`projection_attributes` does the same for select lists.
+
+Column references that do not resolve against the query's own FROM
+clause are assumed to be *correlated* (they belong to an enclosing
+block) and are left untouched when ``allow_correlated`` is set.
+"""
+
+from __future__ import annotations
+
+from ..catalog.schema import Catalog
+from ..errors import AmbiguousColumnError, UnknownColumnError, UnknownTableError
+from ..sql.ast import SelectQuery, Star
+from ..sql.expressions import ColumnRef, Exists, Expr, InSubquery
+from .attributes import Attribute
+
+
+def table_columns(query: SelectQuery, catalog: Catalog) -> dict[str, list[str]]:
+    """Map each FROM-clause effective name to its column list."""
+    mapping: dict[str, list[str]] = {}
+    for table_ref in query.tables:
+        schema = catalog.table(table_ref.name)
+        mapping[table_ref.effective_name] = schema.column_names
+    return mapping
+
+
+def resolve_column(
+    ref: ColumnRef,
+    columns: dict[str, list[str]],
+    allow_correlated: bool = False,
+) -> ColumnRef | None:
+    """Resolve *ref* to a fully-qualified reference.
+
+    Returns None for unresolvable references when *allow_correlated* is
+    set (the reference belongs to an outer block); raises otherwise.
+    """
+    if ref.qualifier is not None:
+        if ref.qualifier in columns:
+            if ref.column not in columns[ref.qualifier]:
+                raise UnknownColumnError(ref.qualifier, ref.column)
+            return ref
+        if allow_correlated:
+            return None
+        raise UnknownTableError(ref.qualifier)
+    owners = [alias for alias, cols in columns.items() if ref.column in cols]
+    if len(owners) == 1:
+        return ColumnRef(owners[0], ref.column)
+    if len(owners) > 1:
+        raise AmbiguousColumnError(ref.column, owners)
+    if allow_correlated:
+        return None
+    raise UnknownColumnError("?", ref.column)
+
+
+def qualify(
+    expr: Expr,
+    columns: dict[str, list[str]],
+    allow_correlated: bool = False,
+) -> Expr:
+    """Rewrite *expr* so every local column reference is qualified.
+
+    Subquery atoms (EXISTS / IN) are left intact — their references are
+    resolved against their own FROM clauses by whoever descends into
+    them.
+    """
+
+    def rewrite(node: Expr) -> Expr | None:
+        if isinstance(node, (Exists, InSubquery)):
+            return node
+        if isinstance(node, ColumnRef):
+            resolved = resolve_column(node, columns, allow_correlated)
+            return resolved if resolved is not None else node
+        return None
+
+    return expr.transform(rewrite)
+
+
+def qualify_query_predicate(
+    query: SelectQuery, catalog: Catalog, allow_correlated: bool = False
+) -> Expr | None:
+    """The query's WHERE predicate with local references qualified."""
+    if query.where is None:
+        return None
+    return qualify(query.where, table_columns(query, catalog), allow_correlated)
+
+
+def projection_attributes(
+    query: SelectQuery, catalog: Catalog
+) -> list[Attribute]:
+    """The fully-qualified attributes of the query's select list.
+
+    ``*`` expands to every column of every FROM table; ``q.*`` to the
+    columns of table ``q``.
+    """
+    columns = table_columns(query, catalog)
+    attributes: list[Attribute] = []
+    for item in query.select_list:
+        if isinstance(item, Star):
+            if item.qualifier is None:
+                qualifiers = list(columns)
+            else:
+                if item.qualifier not in columns:
+                    raise UnknownTableError(item.qualifier)
+                qualifiers = [item.qualifier]
+            for qualifier in qualifiers:
+                attributes.extend(
+                    Attribute(qualifier, name) for name in columns[qualifier]
+                )
+        else:
+            expr = item.expr
+            if not isinstance(expr, ColumnRef):
+                raise UnknownColumnError("?", "<non-column select item>")
+            resolved = resolve_column(expr, columns)
+            assert resolved is not None and resolved.qualifier is not None
+            attributes.append(Attribute(resolved.qualifier, resolved.column))
+    return attributes

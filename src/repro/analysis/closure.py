@@ -1,0 +1,75 @@
+"""Bound-attribute transitive closure (Algorithm 1, lines 13–16).
+
+Starting from the projection attributes, an attribute becomes *bound*
+when it is equated with a constant (Type 1) or — transitively — with an
+already-bound attribute (Type 2).  A bound attribute is functionally
+determined by the query result: two result rows that agree on the
+projection necessarily agree on every bound attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .attributes import Attribute, AttributeSet
+from .conditions import Equality, Type1, Type2
+
+
+def bound_closure(
+    seed: Iterable[Attribute], equalities: Sequence[Equality]
+) -> AttributeSet:
+    """The set V of Algorithm 1: seed attributes plus every attribute
+    reachable through Type 1 bindings and Type 2 equality chains."""
+    bound: set[Attribute] = set(seed)
+    for equality in equalities:
+        if isinstance(equality, Type1):
+            bound.add(equality.attribute)
+
+    pairs = [
+        (equality.left, equality.right)
+        for equality in equalities
+        if isinstance(equality, Type2)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for left, right in pairs:
+            if left in bound and right not in bound:
+                bound.add(right)
+                changed = True
+            elif right in bound and left not in bound:
+                bound.add(left)
+                changed = True
+    return frozenset(bound)
+
+
+def equivalence_classes(
+    equalities: Sequence[Equality],
+) -> list[set[Attribute]]:
+    """Union-find style equivalence classes induced by Type 2 conditions.
+
+    Used by the Theorem 2 tester to reason about which inner-table
+    columns a correlation predicate pins down.
+    """
+    parent: dict[Attribute, Attribute] = {}
+
+    def find(attribute: Attribute) -> Attribute:
+        parent.setdefault(attribute, attribute)
+        root = attribute
+        while parent[root] != root:
+            root = parent[root]
+        while parent[attribute] != root:
+            parent[attribute], attribute = root, parent[attribute]
+        return root
+
+    def union(a: Attribute, b: Attribute) -> None:
+        parent[find(a)] = find(b)
+
+    for equality in equalities:
+        if isinstance(equality, Type2):
+            union(equality.left, equality.right)
+
+    groups: dict[Attribute, set[Attribute]] = {}
+    for attribute in parent:
+        groups.setdefault(find(attribute), set()).add(attribute)
+    return list(groups.values())

@@ -1,0 +1,110 @@
+"""Classification of equality conditions.
+
+Algorithm 1 distinguishes (§4):
+
+* **Type 1** conditions ``v = c`` — a column equated with a constant
+  (literal or host variable; a host variable is a constant for the
+  duration of one execution, so it binds the column exactly like a
+  literal — the paper's Example 4 relies on this), and
+* **Type 2** conditions ``v1 = v2`` — two columns equated.
+
+Atoms that are neither (non-equality comparisons, IS NULL tests,
+subqueries, ...) carry no binding information for the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql.expressions import ColumnRef, Comparison, Expr, HostVar, IsNull, Literal
+from ..types.values import is_null
+from .attributes import Attribute
+
+
+@dataclass(frozen=True)
+class Type1:
+    """``attribute = constant`` (constant: literal or host variable)."""
+
+    attribute: Attribute
+    constant: Expr  # Literal or HostVar
+
+
+@dataclass(frozen=True)
+class Type2:
+    """``left = right`` between two columns."""
+
+    left: Attribute
+    right: Attribute
+
+
+Equality = Type1 | Type2
+
+
+def classify_atom(
+    atom: Expr, treat_is_null_as_binding: bool = False
+) -> Equality | None:
+    """Classify one atom as Type 1, Type 2, or neither (None).
+
+    Column references must already be qualified (see
+    :func:`repro.analysis.binding.qualify`); unqualified references are
+    treated as unusable.
+
+    With ``treat_is_null_as_binding`` an affirmative ``v IS NULL`` counts
+    as a Type 1 binding: any two qualifying rows both carry NULL in
+    ``v``, which agree under the ≐ semantics of duplicate elimination.
+    This is a sound extension beyond the paper's algorithm (ablation A1
+    measures its effect).
+    """
+    if isinstance(atom, IsNull) and not atom.negated and treat_is_null_as_binding:
+        operand = atom.operand
+        if isinstance(operand, ColumnRef) and operand.qualifier is not None:
+            attribute = Attribute(operand.qualifier, operand.column)
+            return Type1(attribute, _NULL_CONSTANT)
+        return None
+    if not isinstance(atom, Comparison) or atom.op != "=":
+        return None
+    left, right = atom.left, atom.right
+    if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+        if left.qualifier is None or right.qualifier is None:
+            return None
+        return Type2(
+            Attribute(left.qualifier, left.column),
+            Attribute(right.qualifier, right.column),
+        )
+    if isinstance(left, ColumnRef) and _is_constant(right):
+        if left.qualifier is None:
+            return None
+        return Type1(Attribute(left.qualifier, left.column), right)
+    if isinstance(right, ColumnRef) and _is_constant(left):
+        if right.qualifier is None:
+            return None
+        return Type1(Attribute(right.qualifier, right.column), left)
+    return None
+
+
+def _is_constant(expr: Expr) -> bool:
+    if isinstance(expr, HostVar):
+        return True
+    if isinstance(expr, Literal):
+        # "v = NULL" is never true in WHERE semantics; it binds nothing.
+        return not is_null(expr.value)
+    return False
+
+
+def atom_attributes(atom: Expr) -> set[Attribute]:
+    """All qualified attributes mentioned by an atom."""
+    attributes: set[Attribute] = set()
+    for node in atom.walk():
+        if isinstance(node, ColumnRef) and node.qualifier is not None:
+            attributes.add(Attribute(node.qualifier, node.column))
+    return attributes
+
+
+class _NullMarker(Expr):
+    """Sentinel constant representing 'bound to NULL' for IS NULL atoms."""
+
+    def __repr__(self) -> str:
+        return "<null-binding>"
+
+
+_NULL_CONSTANT = _NullMarker()

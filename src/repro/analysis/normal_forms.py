@@ -1,0 +1,167 @@
+"""Conversion of predicates to negation/conjunctive/disjunctive normal form.
+
+Algorithm 1 operates on a CNF view of the selection predicate and then a
+DNF view of the surviving equality conditions.  These conversions are
+purely structural; they are exact under Kleene three-valued logic:
+
+* double negation and De Morgan's laws hold in Kleene logic,
+* ``NOT (a = b)`` and ``a <> b`` agree (both UNKNOWN on NULL),
+* ``BETWEEN`` and ``IN`` lists are expanded into comparisons first, so
+  ``X IN (5, 10)`` is visible to the algorithm as ``X = 5 OR X = 10``.
+
+Distribution can explode exponentially; conversions raise
+:class:`NormalFormOverflow` past a clause budget so callers can fall
+back to a conservative answer.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..sql.expressions import (
+    And,
+    Between,
+    Comparison,
+    Exists,
+    Expr,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    conjoin,
+    disjoin,
+)
+
+#: Upper bound on the number of clauses/terms a conversion may produce.
+DEFAULT_CLAUSE_BUDGET = 512
+
+
+class NormalFormOverflow(ReproError):
+    """Raised when CNF/DNF distribution exceeds the clause budget."""
+
+
+def expand_sugar(expr: Expr) -> Expr:
+    """Expand BETWEEN and IN-list atoms into comparisons."""
+
+    def rewrite(node: Expr) -> Expr | None:
+        if isinstance(node, Between):
+            return node.expand()
+        if isinstance(node, InList):
+            return node.expand()
+        return None
+
+    return expr.transform(rewrite)
+
+
+def to_nnf(expr: Expr) -> Expr:
+    """Negation normal form: NOT pushed onto atoms (and absorbed when
+    the atom has an exact negation, e.g. comparisons and IS NULL)."""
+    expr = expand_sugar(expr)
+    return _nnf(expr, negated=False)
+
+
+def _nnf(expr: Expr, negated: bool) -> Expr:
+    if isinstance(expr, Not):
+        return _nnf(expr.operand, not negated)
+    if isinstance(expr, And):
+        parts = [_nnf(op, negated) for op in expr.operands]
+        return disjoin(parts) if negated else conjoin(parts)
+    if isinstance(expr, Or):
+        parts = [_nnf(op, negated) for op in expr.operands]
+        return conjoin(parts) if negated else disjoin(parts)
+    if not negated:
+        return expr
+    if isinstance(expr, (Comparison, IsNull, Exists)):
+        return expr.negate()
+    if isinstance(expr, InSubquery):
+        return InSubquery(expr.operand, expr.query, not expr.negated)
+    if isinstance(expr, Literal) and isinstance(expr.value, bool):
+        return Literal(not expr.value)
+    return Not(expr)  # opaque atom: keep the negation on it
+
+
+def to_cnf_clauses(
+    expr: Expr, budget: int = DEFAULT_CLAUSE_BUDGET
+) -> list[list[Expr]]:
+    """CNF as a list of clauses, each clause a list of atoms (disjuncts).
+
+    Raises:
+        NormalFormOverflow: if distribution would exceed *budget* clauses.
+    """
+    nnf = to_nnf(expr)
+    clauses = _distribute(nnf, over_or=True, budget=budget)
+    return _dedup(clauses)
+
+
+def to_dnf_terms(
+    expr: Expr, budget: int = DEFAULT_CLAUSE_BUDGET
+) -> list[list[Expr]]:
+    """DNF as a list of terms, each term a list of atoms (conjuncts)."""
+    nnf = to_nnf(expr)
+    terms = _distribute(nnf, over_or=False, budget=budget)
+    return _dedup(terms)
+
+
+def _distribute(expr: Expr, over_or: bool, budget: int) -> list[list[Expr]]:
+    """Return CNF clauses (over_or=True) or DNF terms (over_or=False).
+
+    The result is a list of groups; for CNF a group is a disjunction, for
+    DNF a conjunction.  The two cases are duals, differing only in which
+    connective multiplies out.
+    """
+    outer_type, inner_type = (And, Or) if over_or else (Or, And)
+
+    if isinstance(expr, outer_type):
+        groups: list[list[Expr]] = []
+        for operand in expr.operands:
+            groups.extend(_distribute(operand, over_or, budget))
+            if len(groups) > budget:
+                raise NormalFormOverflow(
+                    f"normal form exceeds {budget} clauses"
+                )
+        return groups
+    if isinstance(expr, inner_type):
+        # Cartesian combination of the operands' groups.
+        product: list[list[Expr]] = [[]]
+        for operand in expr.operands:
+            operand_groups = _distribute(operand, over_or, budget)
+            product = [
+                existing + group
+                for existing in product
+                for group in operand_groups
+            ]
+            if len(product) > budget:
+                raise NormalFormOverflow(
+                    f"normal form exceeds {budget} clauses"
+                )
+        return product
+    return [[expr]]
+
+
+def _dedup(groups: list[list[Expr]]) -> list[list[Expr]]:
+    """Remove duplicate atoms within each group and duplicate groups."""
+    seen: set[frozenset[Expr]] = set()
+    result: list[list[Expr]] = []
+    for group in groups:
+        unique: list[Expr] = []
+        members: set[Expr] = set()
+        for atom in group:
+            if atom not in members:
+                members.add(atom)
+                unique.append(atom)
+        key = frozenset(members)
+        if key not in seen:
+            seen.add(key)
+            result.append(unique)
+    return result
+
+
+def clauses_to_expr(clauses: list[list[Expr]]) -> Expr:
+    """Rebuild a CNF clause list into an expression."""
+    return conjoin([disjoin(clause) for clause in clauses])
+
+
+def terms_to_expr(terms: list[list[Expr]]) -> Expr:
+    """Rebuild a DNF term list into an expression."""
+    return disjoin([conjoin(term) for term in terms])

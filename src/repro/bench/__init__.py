@@ -1,0 +1,17 @@
+"""Benchmark harness utilities."""
+
+from .harness import (
+    RENDERED_REPORTS,
+    ExperimentReport,
+    geometric_sweep,
+    speedup,
+    timed,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "RENDERED_REPORTS",
+    "geometric_sweep",
+    "speedup",
+    "timed",
+]

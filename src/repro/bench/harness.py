@@ -1,0 +1,105 @@
+"""Benchmark harness helpers: experiment records and table formatting.
+
+Every benchmark prints a small report table (the "rows the paper would
+report") in addition to pytest-benchmark's timing output, so the shape
+of each claimed effect is visible directly in the bench log.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+@dataclass
+class ExperimentReport:
+    """A printable result table for one experiment."""
+
+    experiment: str
+    claim: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one data row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        """Attach a free-form footnote to the table."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """The report as an aligned ASCII table."""
+        cells = [[_fmt(value) for value in row] for row in self.rows]
+        widths = [len(name) for name in self.columns]
+        for row in cells:
+            for i, text in enumerate(row):
+                widths[i] = max(widths[i], len(text))
+        lines = [
+            f"== {self.experiment} ==",
+            f"claim: {self.claim}",
+            " | ".join(
+                name.ljust(widths[i]) for i, name in enumerate(self.columns)
+            ),
+            "-+-".join("-" * width for width in widths),
+        ]
+        for row in cells:
+            lines.append(
+                " | ".join(text.ljust(widths[i]) for i, text in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the table and register it for the bench summary.
+
+        pytest captures stdout, so the benchmark conftest replays every
+        registered report in the terminal summary — the experiment
+        tables always appear in the bench log.
+        """
+        rendered = self.render()
+        RENDERED_REPORTS.append(rendered)
+        print("\n" + rendered)
+
+
+#: Reports rendered during this process, replayed by the bench conftest.
+RENDERED_REPORTS: list[str] = []
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run *fn* once, returning (result, elapsed_seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """baseline / improved, guarded against zero."""
+    if improved <= 0:
+        return float("inf")
+    return baseline / improved
+
+
+def geometric_sweep(start: int, stop: int, factor: int = 2) -> list[int]:
+    """Sizes ``start, start*factor, ...`` up to and including *stop*."""
+    sizes = []
+    size = start
+    while size <= stop:
+        sizes.append(size)
+        size *= factor
+    if sizes and sizes[-1] != stop:
+        sizes.append(stop)
+    return sizes

@@ -1,0 +1,20 @@
+"""Schema catalog: tables, columns, keys, and constraints."""
+
+from .builder import CatalogBuilder, TableBuilder
+from .column import Column
+from .constraints import CheckConstraint, ForeignKeyConstraint, KeyConstraint
+from .inference import narrow_domains
+from .schema import Catalog
+from .table import TableSchema
+
+__all__ = [
+    "Catalog",
+    "CatalogBuilder",
+    "CheckConstraint",
+    "Column",
+    "ForeignKeyConstraint",
+    "KeyConstraint",
+    "TableBuilder",
+    "TableSchema",
+    "narrow_domains",
+]

@@ -1,0 +1,127 @@
+"""Fluent builders for constructing schemas programmatically.
+
+Example::
+
+    catalog = (
+        CatalogBuilder()
+        .table("SUPPLIER")
+        .column("SNO", "INT")
+        .column("SNAME", "VARCHAR")
+        .primary_key("SNO")
+        .check("SNO BETWEEN 1 AND 499")
+        .finish()
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from ..errors import CatalogError
+from ..sql.parser import parse_condition
+from ..types.domains import Domain
+from .column import Column
+from .constraints import CheckConstraint, ForeignKeyConstraint, KeyConstraint
+from .inference import narrow_domains
+from .schema import Catalog
+from .table import TableSchema
+
+
+class TableBuilder:
+    """Accumulates one table definition; ``finish()`` returns the parent."""
+
+    def __init__(self, parent: "CatalogBuilder", name: str) -> None:
+        self._parent = parent
+        self._name = name.upper()
+        self._columns: list[Column] = []
+        self._keys: list[KeyConstraint] = []
+        self._checks: list[CheckConstraint] = []
+        self._foreign_keys: list[ForeignKeyConstraint] = []
+
+    def column(
+        self,
+        name: str,
+        type_name: str = "INT",
+        nullable: bool = True,
+        domain: Domain | None = None,
+    ) -> "TableBuilder":
+        """Add a column."""
+        self._columns.append(
+            Column(name.upper(), type_name.upper(), None, nullable, domain)
+        )
+        return self
+
+    def primary_key(self, *columns: str) -> "TableBuilder":
+        """Declare the primary key; its columns become NOT NULL."""
+        if any(key.is_primary for key in self._keys):
+            raise CatalogError(f"table {self._name!r} has two primary keys")
+        names = tuple(column.upper() for column in columns)
+        self._keys.append(KeyConstraint(names, is_primary=True))
+        key_set = set(names)
+        self._columns = [
+            column.with_nullable(False) if column.name in key_set else column
+            for column in self._columns
+        ]
+        return self
+
+    def unique(self, *columns: str) -> "TableBuilder":
+        """Declare a candidate key (UNIQUE constraint)."""
+        names = tuple(column.upper() for column in columns)
+        self._keys.append(KeyConstraint(names, is_primary=False))
+        return self
+
+    def check(self, condition: str) -> "TableBuilder":
+        """Declare a CHECK constraint from SQL text."""
+        self._checks.append(CheckConstraint(parse_condition(condition)))
+        return self
+
+    def foreign_key(
+        self, columns: str | tuple[str, ...], ref_table: str, ref_columns=()
+    ) -> "TableBuilder":
+        """Declare a referential constraint."""
+        if isinstance(columns, str):
+            columns = (columns,)
+        if isinstance(ref_columns, str):
+            ref_columns = (ref_columns,)
+        self._foreign_keys.append(
+            ForeignKeyConstraint(
+                tuple(column.upper() for column in columns),
+                ref_table.upper(),
+                tuple(column.upper() for column in ref_columns),
+            )
+        )
+        return self
+
+    def finish(self) -> "CatalogBuilder":
+        """Register the completed table and return to the catalog builder."""
+        schema = TableSchema(
+            name=self._name,
+            columns=self._columns,
+            keys=self._keys,
+            checks=self._checks,
+            foreign_keys=self._foreign_keys,
+        )
+        domains = narrow_domains(schema)
+        schema.columns = [
+            column.with_domain(domains[column.name]) for column in schema.columns
+        ]
+        schema.__post_init__()
+        self._parent._register(schema)
+        return self._parent
+
+
+class CatalogBuilder:
+    """Fluent builder producing a :class:`Catalog`."""
+
+    def __init__(self) -> None:
+        self._catalog = Catalog()
+
+    def table(self, name: str) -> TableBuilder:
+        """Begin a new table definition."""
+        return TableBuilder(self, name)
+
+    def _register(self, schema: TableSchema) -> None:
+        self._catalog.register(schema)
+
+    def build(self) -> Catalog:
+        """Return the assembled catalog."""
+        return self._catalog

@@ -1,0 +1,43 @@
+"""Column metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..types.domains import Domain
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a base table.
+
+    Attributes:
+        name: column name (upper case, matching the lexer's normalization).
+        type_name: declared SQL type name.
+        length: declared length for character types, if any.
+        nullable: whether NULL may be stored. Primary-key columns are
+            automatically non-nullable.
+        domain: the value domain, possibly narrowed by CHECK constraints.
+    """
+
+    name: str
+    type_name: str = "INT"
+    length: int | None = None
+    nullable: bool = True
+    domain: Domain | None = None
+
+    def effective_domain(self) -> Domain:
+        """The column's domain, defaulting to an open domain of its type."""
+        if self.domain is not None:
+            if self.domain.nullable != self.nullable:
+                return replace(self.domain, nullable=self.nullable)
+            return self.domain
+        return Domain(type_name=self.type_name, nullable=self.nullable)
+
+    def with_nullable(self, nullable: bool) -> "Column":
+        """A copy with a different nullability."""
+        return replace(self, nullable=nullable)
+
+    def with_domain(self, domain: Domain) -> "Column":
+        """A copy with a (narrowed) domain attached."""
+        return replace(self, domain=domain)

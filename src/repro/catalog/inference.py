@@ -1,0 +1,122 @@
+"""Domain inference from CHECK constraints.
+
+A CHECK constraint typically narrows a column's domain — the paper's
+SUPPLIER example uses ``CHECK (SNO BETWEEN 1 AND 499)`` and
+``CHECK (SCITY IN ('Chicago', 'New York', 'Toronto'))``.  The exact
+Theorem 1 checker enumerates small active domains; this module extracts
+those domains from the constraint expressions.
+
+Only *top-level conjuncts* of a CHECK condition that mention a single
+column narrow that column's domain; disjunctions over several columns
+(like the paper's ``BUDGET <> 0 OR STATUS = 'Inactive'``) are handled by
+the checker as residual constraints instead.
+"""
+
+from __future__ import annotations
+
+from ..sql.expressions import (
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    column_refs,
+    conjuncts,
+)
+from ..types.domains import Domain
+from ..types.values import is_null
+from .table import TableSchema
+
+
+def narrow_domains(table: TableSchema) -> dict[str, Domain]:
+    """Infer per-column domains for *table* from its CHECK constraints.
+
+    Returns a mapping from column name to the narrowed domain; columns
+    without a usable narrowing keep their declared (open) domain.
+    """
+    domains = {
+        column.name: column.effective_domain() for column in table.columns
+    }
+    for check in table.checks:
+        for conjunct in conjuncts(check.condition):
+            narrowing = _narrowing_from_conjunct(conjunct)
+            if narrowing is None:
+                continue
+            column, domain = narrowing
+            if column in domains:
+                domains[column] = domains[column].intersect(domain)
+    return domains
+
+
+def _narrowing_from_conjunct(expr: Expr) -> tuple[str, Domain] | None:
+    """Extract a ``(column, domain)`` narrowing from one conjunct."""
+    refs = {ref.column for ref in column_refs(expr)}
+    if len(refs) != 1:
+        return None
+    column = next(iter(refs))
+
+    if isinstance(expr, Between):
+        low = _literal_value(expr.low)
+        high = _literal_value(expr.high)
+        if (
+            not expr.negated
+            and isinstance(expr.operand, ColumnRef)
+            and isinstance(low, int)
+            and isinstance(high, int)
+        ):
+            return column, Domain.integer_range(low, high)
+        return None
+
+    if isinstance(expr, InList) and not expr.negated:
+        if not isinstance(expr.operand, ColumnRef):
+            return None
+        values = []
+        for item in expr.items:
+            value = _literal_value(item)
+            if value is _MISSING or is_null(value):
+                return None
+            values.append(value)
+        return column, Domain.enumeration(values)
+
+    if isinstance(expr, Comparison):
+        return _narrowing_from_comparison(column, expr)
+
+    return None
+
+
+def _narrowing_from_comparison(
+    column: str, expr: Comparison
+) -> tuple[str, Domain] | None:
+    comparison = expr
+    if isinstance(comparison.right, ColumnRef) and isinstance(
+        comparison.left, Literal
+    ):
+        comparison = comparison.flipped()
+    if not isinstance(comparison.left, ColumnRef):
+        return None
+    value = _literal_value(comparison.right)
+    if value is _MISSING or is_null(value):
+        return None
+    if comparison.op == "=":
+        return column, Domain.enumeration([value])
+    if not isinstance(value, int):
+        return None
+    if comparison.op == ">=":
+        return column, Domain(type_name="INT", low=value)
+    if comparison.op == ">":
+        return column, Domain(type_name="INT", low=value + 1)
+    if comparison.op == "<=":
+        return column, Domain(type_name="INT", high=value)
+    if comparison.op == "<":
+        return column, Domain(type_name="INT", high=value - 1)
+    return None
+
+
+_MISSING = object()
+
+
+def _literal_value(expr: Expr):
+    if isinstance(expr, Literal):
+        return expr.value
+    return _MISSING

@@ -1,0 +1,168 @@
+"""The catalog: a registry of table schemas, loadable from DDL."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import CatalogError, UnknownTableError
+from ..sql.ast import (
+    CheckClause,
+    CreateTable,
+    ForeignKeyClause,
+    PrimaryKeyClause,
+    UniqueClause,
+)
+from ..sql.parser import parse_script
+from .column import Column
+from .constraints import CheckConstraint, ForeignKeyConstraint, KeyConstraint
+from .inference import narrow_domains
+from .table import TableSchema
+
+
+class Catalog:
+    """A named collection of :class:`TableSchema` objects.
+
+    Schemas can be registered directly (see
+    :class:`repro.catalog.builder.TableBuilder`) or created from
+    ``CREATE TABLE`` statements with :meth:`execute_ddl` /
+    :meth:`from_ddl`.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+
+    # ------------------------------------------------------------------
+    # registration and lookup
+
+    def register(self, schema: TableSchema) -> TableSchema:
+        """Add *schema*; replaces any table of the same name."""
+        self._tables[schema.name.upper()] = schema
+        return schema
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name.upper() not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[name.upper()]
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a table schema by (case-insensitive) name."""
+        try:
+            return self._tables[name.upper()]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table of this name is registered."""
+        return name.upper() in self._tables
+
+    def table_names(self) -> list[str]:
+        """All registered table names, sorted."""
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # ------------------------------------------------------------------
+    # DDL ingestion
+
+    def execute_ddl(self, statement: CreateTable) -> TableSchema:
+        """Create a table from a parsed ``CREATE TABLE`` statement."""
+        if self.has_table(statement.name):
+            raise CatalogError(f"table {statement.name!r} already exists")
+
+        columns: list[Column] = []
+        checks: list[CheckConstraint] = []
+        keys: list[KeyConstraint] = []
+        foreign_keys: list[ForeignKeyConstraint] = []
+
+        for column_def in statement.columns:
+            columns.append(
+                Column(
+                    name=column_def.name,
+                    type_name=column_def.type_name,
+                    length=column_def.length,
+                    nullable=not column_def.not_null,
+                )
+            )
+            if column_def.check is not None:
+                checks.append(CheckConstraint(column_def.check))
+
+        for clause in statement.constraints:
+            if isinstance(clause, PrimaryKeyClause):
+                if any(key.is_primary for key in keys):
+                    raise CatalogError(
+                        f"table {statement.name!r} has two primary keys"
+                    )
+                keys.append(KeyConstraint(clause.columns, is_primary=True))
+            elif isinstance(clause, UniqueClause):
+                keys.append(KeyConstraint(clause.columns, is_primary=False))
+            elif isinstance(clause, CheckClause):
+                checks.append(CheckConstraint(clause.condition))
+            elif isinstance(clause, ForeignKeyClause):
+                foreign_keys.append(
+                    ForeignKeyConstraint(
+                        clause.columns, clause.ref_table, clause.ref_columns
+                    )
+                )
+            else:  # pragma: no cover - parser produces only the above
+                raise CatalogError(f"unsupported constraint: {clause!r}")
+
+        # Primary-key columns cannot contain NULL (SQL2 / paper §2.1).
+        primary_columns: set[str] = set()
+        for key in keys:
+            if key.is_primary:
+                primary_columns.update(key.columns)
+        columns = [
+            column.with_nullable(False)
+            if column.name in primary_columns
+            else column
+            for column in columns
+        ]
+
+        schema = TableSchema(
+            name=statement.name.upper(),
+            columns=columns,
+            keys=keys,
+            checks=checks,
+            foreign_keys=foreign_keys,
+        )
+        # Narrow column domains using the CHECK constraints, so the exact
+        # Theorem 1 checker can enumerate small active domains.
+        domains = narrow_domains(schema)
+        schema.columns = [
+            column.with_domain(domains[column.name]) for column in schema.columns
+        ]
+        schema.__post_init__()
+        return self.register(schema)
+
+    @classmethod
+    def from_ddl(cls, script: str) -> "Catalog":
+        """Build a catalog from a script of ``CREATE TABLE`` statements."""
+        catalog = cls()
+        catalog.load_ddl(script)
+        return catalog
+
+    def load_ddl(self, script: str) -> None:
+        """Execute every ``CREATE TABLE`` in *script* against this catalog."""
+        for statement in parse_script(script):
+            if isinstance(statement, CreateTable):
+                self.execute_ddl(statement)
+            else:
+                raise CatalogError(
+                    "only CREATE TABLE statements are allowed in DDL scripts"
+                )
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable description of every table."""
+        return "\n\n".join(
+            self._tables[name].describe() for name in sorted(self._tables)
+        )

@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro check    [--schema DDL.sql | --paper] "SELECT DISTINCT ..."
+    python -m repro optimize [--schema DDL.sql | --paper]
+                             [--profile relational|navigational] "SELECT ..."
+    python -m repro run      [--script DB.sql | --demo] [--plan]
+                             [--param NAME=VALUE ...] "SELECT ..."
+    python -m repro demo
+
+* ``check`` runs Algorithm 1 and prints the paper-style trace.
+* ``optimize`` prints the rewrite trace and the final SQL.
+* ``run`` executes a query — against a script-built database
+  (``--script`` containing CREATE TABLE / INSERT statements) or the
+  bundled demo instance — optionally showing the physical plan.
+* ``demo`` walks through the paper's worked examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .catalog import Catalog
+from .core import Optimizer, UniquenessOptions, test_uniqueness
+from .engine import Database, Planner, Stats, execute_planned
+from .errors import ReproError
+from .types import NULL, SqlValue
+from .workloads import (
+    PAPER_QUERIES,
+    SupplierScale,
+    build_catalog,
+    build_database,
+    generate,
+)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Exploiting Uniqueness in Query Optimization "
+        "(Paulley & Larson, ICDE 1994) — reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_schema_options(sub: argparse.ArgumentParser) -> None:
+        group = sub.add_mutually_exclusive_group()
+        group.add_argument(
+            "--schema", metavar="FILE", help="DDL file defining the schema"
+        )
+        group.add_argument(
+            "--paper",
+            action="store_true",
+            help="use the paper's supplier schema (default)",
+        )
+
+    check = commands.add_parser(
+        "check", help="run Algorithm 1 on a query"
+    )
+    add_schema_options(check)
+    check.add_argument(
+        "--use-check-constraints",
+        action="store_true",
+        help="exploit CHECK constraints over NOT NULL columns",
+    )
+    check.add_argument("sql", help="the query to analyze")
+
+    optimize = commands.add_parser(
+        "optimize", help="rewrite a query and show the trace"
+    )
+    add_schema_options(optimize)
+    optimize.add_argument(
+        "--profile",
+        choices=("relational", "navigational"),
+        default="relational",
+        help="rule profile (default: relational)",
+    )
+    optimize.add_argument("sql", help="the query to optimize")
+
+    run = commands.add_parser("run", help="execute a query")
+    source = run.add_mutually_exclusive_group()
+    source.add_argument(
+        "--script",
+        metavar="FILE",
+        help="script of CREATE TABLE / INSERT statements to build the "
+        "database from",
+    )
+    source.add_argument(
+        "--demo",
+        action="store_true",
+        help="run against a small generated supplier instance (default)",
+    )
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="host-variable binding (repeatable)",
+    )
+    run.add_argument(
+        "--plan", action="store_true", help="also print the physical plan"
+    )
+    run.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="execute the query as written, skipping the rewrite rules",
+    )
+    run.add_argument("sql", help="the query to execute")
+
+    commands.add_parser("demo", help="walk through the paper's examples")
+    return parser
+
+
+def _load_catalog(args: argparse.Namespace) -> Catalog:
+    if getattr(args, "schema", None):
+        with open(args.schema) as handle:
+            return Catalog.from_ddl(handle.read())
+    return build_catalog()
+
+
+def _parse_params(pairs: list[str]) -> dict[str, SqlValue]:
+    params: dict[str, SqlValue] = {}
+    for pair in pairs:
+        name, _, text = pair.partition("=")
+        if not name or not _:
+            raise ReproError(f"malformed --param {pair!r}; use NAME=VALUE")
+        value: SqlValue
+        if text.upper() == "NULL":
+            value = NULL
+        else:
+            try:
+                value = int(text)
+            except ValueError:
+                try:
+                    value = float(text)
+                except ValueError:
+                    value = text
+        params[name.upper()] = value
+    return params
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: Algorithm 1 verdict (exit 0 = YES)."""
+    catalog = _load_catalog(args)
+    options = UniquenessOptions(
+        use_check_constraints=args.use_check_constraints
+    )
+    result = test_uniqueness(args.sql, catalog, options)
+    print(result.explain())
+    return 0 if result.unique else 1
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """``repro optimize``: print the rewrite trace and final SQL."""
+    catalog = _load_catalog(args)
+    if args.profile == "navigational":
+        optimizer = Optimizer.for_navigational(catalog)
+    else:
+        optimizer = Optimizer.for_relational(catalog)
+    outcome = optimizer.optimize(args.sql)
+    print(outcome.explain())
+    print()
+    print(outcome.sql)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: optimize (unless told not to) and execute."""
+    if args.script:
+        with open(args.script) as handle:
+            database = Database.from_script(handle.read())
+    else:
+        database = build_database(
+            generate(SupplierScale(suppliers=25, parts_per_supplier=5))
+        )
+    params = _parse_params(args.param)
+
+    query: object = args.sql
+    if not args.no_optimize:
+        outcome = Optimizer.for_relational(database.catalog).optimize(args.sql)
+        if outcome.changed:
+            print(outcome.explain())
+            print()
+        query = outcome.query
+
+    if args.plan:
+        plan = Planner(database.catalog).plan(query)
+        print("physical plan:")
+        print(plan.explain(indent=1))
+        print()
+
+    stats = Stats()
+    result = execute_planned(query, database, params=params, stats=stats)
+    print(result.to_table())
+    print()
+    print(f"-- {len(result)} row(s); {stats.describe()}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """``repro demo``: walk the paper's Examples 1-11."""
+    catalog = build_catalog()
+    relational = Optimizer.for_relational(catalog)
+    navigational = Optimizer.for_navigational(catalog)
+    for query in PAPER_QUERIES:
+        print("=" * 70)
+        print(f"Example {query.example}: {query.description}")
+        print(f"  {query.sql}")
+        optimizer = (
+            navigational if query.example in ("10", "11") else relational
+        )
+        outcome = optimizer.optimize(query.sql)
+        if outcome.changed:
+            for step in outcome.steps:
+                print(f"  [{step.rule}] {step.note}")
+            print(f"  => {outcome.sql}")
+        else:
+            print("  (no rewrite applies)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "check": cmd_check,
+        "optimize": cmd_optimize,
+        "run": cmd_run,
+        "demo": cmd_demo,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`): exit quietly
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's core contribution: uniqueness analysis and rewrites."""
+
+from .exact import Counterexample, ExactOptions, ExactResult, check_theorem1
+from .rewrite import (
+    OptimizeResult,
+    Optimizer,
+    navigational_rules,
+    optimize,
+    relational_rules,
+)
+from .strategy import StrategyCandidate, StrategyChoice, StrategySelector
+from .theorem2 import SubqueryUniqueness, subquery_matches_at_most_one
+from .theorem3 import correlation_predicate, null_safe_equality, projection_columns
+from .uniqueness import (
+    TermReport,
+    UniquenessOptions,
+    UniquenessResult,
+    is_duplicate_free,
+    test_uniqueness,
+)
+
+__all__ = [
+    "Counterexample",
+    "ExactOptions",
+    "ExactResult",
+    "OptimizeResult",
+    "Optimizer",
+    "StrategyCandidate",
+    "StrategyChoice",
+    "StrategySelector",
+    "SubqueryUniqueness",
+    "TermReport",
+    "UniquenessOptions",
+    "UniquenessResult",
+    "check_theorem1",
+    "correlation_predicate",
+    "is_duplicate_free",
+    "navigational_rules",
+    "null_safe_equality",
+    "optimize",
+    "projection_columns",
+    "relational_rules",
+    "subquery_matches_at_most_one",
+    "test_uniqueness",
+]

@@ -1,0 +1,425 @@
+"""Bounded exact checker for Theorem 1's uniqueness condition.
+
+The paper proves the exact condition is equivalent to a quantified
+Boolean satisfiability problem — NP-complete in general.  This module
+decides it by *counterexample search over bounded active domains*: it
+looks for two product tuples ``r, r'`` (drawn from small per-column
+domains, narrowed by CHECK constraints) and a host-variable assignment
+``h`` such that
+
+* both tuples satisfy the table CHECK constraints,
+* the two tuples of each table form a *valid instance* (per candidate
+  key: if the key values agree under ≐ the tuples must be identical),
+* both tuples satisfy the query predicate,
+* the tuples agree on the projection attributes ``A`` under ≐, yet
+* at least one table's pair of tuples differs — i.e. the query can
+  produce a genuine duplicate.
+
+Finding such a witness proves duplicate elimination *is* required; an
+exhausted search proves it unnecessary **over the enumerated domains**.
+For columns with finite domains (CHECK IN / BETWEEN narrowings) the
+enumeration is complete up to ``domain_size``; for open domains the
+search samples representative values, which suffices because the
+condition is invariant under renaming values an equality predicate does
+not mention.
+
+The cost is exponential in the number of columns — exactly the blowup
+Algorithm 1 avoids; benchmark E9 measures the contrast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..catalog.schema import Catalog
+from ..errors import UnsupportedQueryError
+from ..sql.ast import SelectQuery
+from ..sql.expressions import (
+    ColumnRef,
+    Comparison,
+    HostVar,
+    contains_subquery,
+    host_vars,
+)
+from ..sql.parser import parse_query
+from ..types.domains import Domain
+from ..types.values import SqlValue, eq_equivalent, is_null  # noqa: F401
+from ..engine.evaluator import Evaluator
+from ..engine.schema import RelSchema, Scope
+from ..analysis.attributes import Attribute
+from ..analysis.binding import projection_attributes, qualify_query_predicate
+
+
+@dataclass(frozen=True)
+class ExactOptions:
+    """Search bounds for the exact checker.
+
+    Attributes:
+        domain_size: non-null values sampled per column.
+        max_assignments: abort (inconclusive) after this many candidate
+            tuple-pair combinations.
+    """
+
+    domain_size: int = 2
+    max_assignments: int = 2_000_000
+
+
+@dataclass
+class Counterexample:
+    """A witness that duplicates are possible."""
+
+    host_values: dict[str, SqlValue]
+    tuples: dict[str, tuple[tuple, tuple]]  # alias -> (t, t')
+
+    def describe(self) -> str:
+        """Render the witness (host values + tuple pairs)."""
+        lines = []
+        if self.host_values:
+            bindings = ", ".join(
+                f":{name}={value!r}" for name, value in self.host_values.items()
+            )
+            lines.append(f"host variables: {bindings}")
+        for alias, (first, second) in self.tuples.items():
+            lines.append(f"{alias}: t={first!r} t'={second!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExactResult:
+    """Outcome of the bounded Theorem 1 check.
+
+    ``unique`` is True (no duplicates possible over the search space),
+    False (counterexample found), or None (search budget exhausted).
+    """
+
+    unique: bool | None
+    counterexample: Counterexample | None = None
+    combinations_checked: int = 0
+    reason: str = ""
+
+
+class _SearchBudgetExceeded(Exception):
+    pass
+
+
+def check_theorem1(
+    query: SelectQuery | str,
+    catalog: Catalog,
+    options: ExactOptions | None = None,
+) -> ExactResult:
+    """Decide Theorem 1's condition by bounded counterexample search."""
+    if isinstance(query, str):
+        parsed = parse_query(query)
+        if not isinstance(parsed, SelectQuery):
+            raise UnsupportedQueryError("exact checker requires a SELECT block")
+        query = parsed
+    options = options or ExactOptions()
+
+    if query.where is not None and contains_subquery(query.where):
+        raise UnsupportedQueryError(
+            "the exact checker does not support subqueries in WHERE"
+        )
+    for table_ref in query.tables:
+        if not catalog.table(table_ref.name).has_key():
+            return ExactResult(
+                unique=False,
+                reason=f"table {table_ref.name} has no candidate key",
+            )
+
+    search = _Search(query, catalog, options)
+    try:
+        witness = search.run()
+    except _SearchBudgetExceeded:
+        return ExactResult(
+            unique=None,
+            combinations_checked=search.combinations,
+            reason="search budget exhausted",
+        )
+    if witness is not None:
+        return ExactResult(
+            unique=False,
+            counterexample=witness,
+            combinations_checked=search.combinations,
+            reason="counterexample found: duplicates are possible",
+        )
+    return ExactResult(
+        unique=True,
+        combinations_checked=search.combinations,
+        reason="no counterexample over the bounded domains",
+    )
+
+
+class _Search:
+    """Enumerates candidate instances table by table."""
+
+    def __init__(
+        self, query: SelectQuery, catalog: Catalog, options: ExactOptions
+    ) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.options = options
+        self.combinations = 0
+
+        self.aliases = [ref.effective_name for ref in query.tables]
+        self.schemas = {
+            ref.effective_name: catalog.table(ref.name) for ref in query.tables
+        }
+        self.predicate = qualify_query_predicate(
+            query, catalog, allow_correlated=False
+        )
+        self.projection = set(projection_attributes(query, catalog))
+        self.host_names = sorted(
+            {hv.name for hv in host_vars(self.predicate)}
+        )
+        self.extra_constants = self._predicate_constants()
+
+    def _predicate_constants(self) -> dict[Attribute, list[SqlValue]]:
+        """Literal values each column is compared with in the predicate.
+
+        The active domains must contain these constants, otherwise a
+        predicate such as ``COLOR = 'RED'`` would be unsatisfiable over
+        the sampled values and the search would wrongly conclude
+        uniqueness.
+        """
+        constants: dict[Attribute, list[SqlValue]] = {}
+        if self.predicate is None:
+            return constants
+
+        def note(column: ColumnRef, value: SqlValue) -> None:
+            if column.qualifier is None or is_null(value):
+                return
+            attribute = Attribute(column.qualifier, column.column)
+            bucket = constants.setdefault(attribute, [])
+            if value not in bucket:
+                bucket.append(value)
+
+        from ..sql.expressions import Between, InList, Literal
+
+        for node in self.predicate.walk():
+            if isinstance(node, Comparison):
+                for col_side, lit_side in (
+                    (node.left, node.right),
+                    (node.right, node.left),
+                ):
+                    if isinstance(col_side, ColumnRef) and isinstance(
+                        lit_side, Literal
+                    ):
+                        note(col_side, lit_side.value)
+            elif isinstance(node, Between) and isinstance(
+                node.operand, ColumnRef
+            ):
+                for bound in (node.low, node.high):
+                    if isinstance(bound, Literal):
+                        note(node.operand, bound.value)
+            elif isinstance(node, InList) and isinstance(
+                node.operand, ColumnRef
+            ):
+                for item in node.items:
+                    if isinstance(item, Literal):
+                        note(node.operand, item.value)
+        return constants
+
+    def _sample_values(self, alias: str, column_name: str) -> list[SqlValue]:
+        """Active-domain samples for one column, predicate constants
+        included (when the domain admits them)."""
+        schema = self.schemas[alias]
+        domain = schema.column(column_name).effective_domain()
+        samples = domain.sample(self.options.domain_size)
+        for value in self.extra_constants.get(Attribute(alias, column_name), ()):
+            if domain.contains(value) and value not in samples:
+                samples.append(value)
+        return samples
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Counterexample | None:
+        """Search; returns a witness or None when exhausted."""
+        for host_values in self._host_assignments():
+            evaluator = Evaluator(params=host_values)
+            # Candidate tuple pairs per table, pre-filtered by per-table
+            # validity and by ≐-agreement on the projection attributes.
+            pair_sets = [
+                self._table_pairs(alias, evaluator) for alias in self.aliases
+            ]
+            if any(not pairs for pairs in pair_sets):
+                continue
+            witness = self._combine(pair_sets, evaluator, host_values)
+            if witness is not None:
+                return witness
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _host_assignments(self):
+        if not self.host_names:
+            yield {}
+            return
+        samples = [self._host_samples(name) for name in self.host_names]
+        for combo in itertools.product(*samples):
+            yield dict(zip(self.host_names, combo))
+
+    def _host_samples(self, name: str) -> list[SqlValue]:
+        """Sample values for one host variable.
+
+        The paper defines a host variable's domain as the intersection of
+        the domains of the columns it is compared with; the samples also
+        include those columns' predicate constants when the intersected
+        domain admits them.
+        """
+        domain = Domain()
+        compared: list[Attribute] = []
+        found = False
+        if self.predicate is not None:
+            for node in self.predicate.walk():
+                if not isinstance(node, Comparison):
+                    continue
+                sides = [(node.left, node.right), (node.right, node.left)]
+                for hv_side, col_side in sides:
+                    if (
+                        isinstance(hv_side, HostVar)
+                        and hv_side.name == name
+                        and isinstance(col_side, ColumnRef)
+                        and col_side.qualifier is not None
+                    ):
+                        schema = self.schemas.get(col_side.qualifier)
+                        if schema is None or not schema.has_column(
+                            col_side.column
+                        ):
+                            continue
+                        compared.append(
+                            Attribute(col_side.qualifier, col_side.column)
+                        )
+                        column_domain = schema.column(
+                            col_side.column
+                        ).effective_domain()
+                        domain = (
+                            column_domain
+                            if not found
+                            else domain.intersect(column_domain)
+                        )
+                        found = True
+        samples = domain.sample(self.options.domain_size)
+        for attribute in compared:
+            for value in self.extra_constants.get(attribute, ()):
+                if domain.contains(value) and value not in samples:
+                    samples.append(value)
+        return samples
+
+    # ------------------------------------------------------------------
+
+    def _table_pairs(
+        self, alias: str, evaluator: Evaluator
+    ) -> list[tuple[tuple, tuple, bool]]:
+        """Valid (t, t') pairs for one table.
+
+        Each entry carries ``differs``: whether the pair is genuinely two
+        different tuples (under ≐).  Pairs must agree on the table's
+        share of the projection attributes.
+        """
+        schema = self.schemas[alias]
+        tuples = self._table_tuples(alias, evaluator)
+        projection_indices = [
+            i
+            for i, name in enumerate(schema.column_names)
+            if Attribute(alias, name) in self.projection
+        ]
+        key_index_sets = [
+            [schema.column_index(column) for column in key.columns]
+            for key in schema.candidate_keys
+        ]
+
+        pairs: list[tuple[tuple, tuple, bool]] = []
+        for a_index, first in enumerate(tuples):
+            for second in tuples[a_index:]:
+                differs = not all(
+                    eq_equivalent(x, y) for x, y in zip(first, second)
+                )
+                if differs:
+                    # Valid instance: every candidate key must differ.
+                    keys_ok = all(
+                        not all(
+                            eq_equivalent(first[i], second[i]) for i in indices
+                        )
+                        for indices in key_index_sets
+                    )
+                    if not keys_ok:
+                        continue
+                if not all(
+                    eq_equivalent(first[i], second[i])
+                    for i in projection_indices
+                ):
+                    continue
+                pairs.append((first, second, differs))
+        return pairs
+
+    def _table_tuples(self, alias: str, evaluator: Evaluator) -> list[tuple]:
+        """All single tuples of one table passing its CHECK constraints."""
+        schema = self.schemas[alias]
+        samples = [
+            self._sample_values(alias, column.name) for column in schema.columns
+        ]
+        rel = RelSchema.for_table(alias, schema.column_names)
+        base_rel = RelSchema.for_table(schema.name, schema.column_names)
+        tuples: list[tuple] = []
+        for values in itertools.product(*samples):
+            row = tuple(values)
+            ok = True
+            for check in schema.checks:
+                # CHECK conditions reference the base table name or bare
+                # columns; evaluate under both the alias and base frames.
+                scope = Scope(base_rel, row, outer=Scope(rel, row))
+                if not evaluator.predicate(
+                    check.condition, scope
+                ).true_interpreted():
+                    ok = False
+                    break
+            if ok:
+                tuples.append(row)
+        return tuples
+
+    # ------------------------------------------------------------------
+
+    def _combine(
+        self,
+        pair_sets: list[list[tuple[tuple, tuple, bool]]],
+        evaluator: Evaluator,
+        host_values: dict[str, SqlValue],
+    ) -> Counterexample | None:
+        merged_schema = RelSchema(())
+        for alias in self.aliases:
+            schema = self.schemas[alias]
+            merged_schema = merged_schema.concat(
+                RelSchema.for_table(alias, schema.column_names)
+            )
+
+        for combo in itertools.product(*pair_sets):
+            self.combinations += 1
+            if self.combinations > self.options.max_assignments:
+                raise _SearchBudgetExceeded
+            if not any(differs for _, _, differs in combo):
+                continue  # identical product tuples are not duplicates
+            first_row: tuple = ()
+            second_row: tuple = ()
+            for first, second, _ in combo:
+                first_row += first
+                second_row += second
+            if self.predicate is not None:
+                scope_a = Scope(merged_schema, first_row)
+                scope_b = Scope(merged_schema, second_row)
+                if not evaluator.predicate(
+                    self.predicate, scope_a
+                ).false_interpreted():
+                    continue
+                if not evaluator.predicate(
+                    self.predicate, scope_b
+                ).false_interpreted():
+                    continue
+            return Counterexample(
+                host_values=dict(host_values),
+                tuples={
+                    alias: (first, second)
+                    for alias, (first, second, _) in zip(self.aliases, combo)
+                },
+            )
+        return None

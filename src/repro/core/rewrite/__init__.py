@@ -1,0 +1,36 @@
+"""Semantic rewrite rules and the tracing optimizer."""
+
+from .base import RewriteContext, RewriteStep, Rule, rename_alias
+from .distinct_elimination import DistinctElimination
+from .exists_to_intersect import ExistsToIntersect
+from .engine import (
+    OptimizeResult,
+    Optimizer,
+    navigational_rules,
+    optimize,
+    relational_rules,
+)
+from .join_elimination import JoinElimination
+from .join_to_subquery import JoinToSubquery
+from .setop_to_exists import ExceptToNotExists, IntersectToExists
+from .subquery_to_join import InToExists, SubqueryToJoin
+
+__all__ = [
+    "DistinctElimination",
+    "ExceptToNotExists",
+    "ExistsToIntersect",
+    "InToExists",
+    "IntersectToExists",
+    "JoinElimination",
+    "JoinToSubquery",
+    "OptimizeResult",
+    "Optimizer",
+    "RewriteContext",
+    "RewriteStep",
+    "Rule",
+    "SubqueryToJoin",
+    "navigational_rules",
+    "optimize",
+    "relational_rules",
+    "rename_alias",
+]

@@ -1,0 +1,169 @@
+"""The rewrite optimizer: applies rules to a fixpoint with a trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...catalog.schema import Catalog
+from ...sql.ast import Query, SelectQuery, SetOperation
+from ...sql.parser import parse_query
+from ...sql.printer import to_sql
+from ..uniqueness import UniquenessOptions
+from .base import RewriteContext, RewriteStep, Rule
+from .distinct_elimination import DistinctElimination
+from .join_elimination import JoinElimination
+from .join_to_subquery import JoinToSubquery
+from .setop_to_exists import ExceptToNotExists, IntersectToExists
+from .subquery_to_join import InToExists, SubqueryToJoin
+
+
+@dataclass
+class OptimizeResult:
+    """The rewritten query plus the trace of applied steps."""
+
+    query: Query
+    steps: list[RewriteStep] = field(default_factory=list)
+
+    @property
+    def sql(self) -> str:
+        """The rewritten query as SQL text."""
+        return to_sql(self.query)
+
+    @property
+    def changed(self) -> bool:
+        """Whether any rule fired."""
+        return bool(self.steps)
+
+    def explain(self) -> str:
+        """Human-readable trace of every applied step."""
+        if not self.steps:
+            return "(no rewrites applied)"
+        return "\n".join(step.describe() for step in self.steps)
+
+
+class Optimizer:
+    """Applies a pipeline of semantic rewrite rules to a fixpoint.
+
+    Rules are applied top-down over the query expression tree: set
+    operations first optimize their operands, then rules see the
+    combined node (so an INTERSECT whose operand just lost a redundant
+    DISTINCT can still convert to EXISTS).  Each applied step is
+    recorded; ``max_passes`` bounds the fixpoint loop.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rules: list[Rule] | None = None,
+        options: UniquenessOptions | None = None,
+        max_passes: int = 10,
+    ) -> None:
+        self.ctx = RewriteContext(catalog, options)
+        self.rules = rules if rules is not None else relational_rules()
+        self.max_passes = max_passes
+
+    @classmethod
+    def for_relational(
+        cls,
+        catalog: Catalog,
+        options: UniquenessOptions | None = None,
+        max_passes: int = 10,
+    ) -> "Optimizer":
+        """Profile for set-oriented engines: flatten subqueries to joins,
+        convert set operations, drop redundant DISTINCTs."""
+        return cls(catalog, relational_rules(), options, max_passes)
+
+    @classmethod
+    def for_navigational(
+        cls,
+        catalog: Catalog,
+        options: UniquenessOptions | None = None,
+        max_passes: int = 10,
+    ) -> "Optimizer":
+        """Profile for pointer-based systems (IMS, object stores):
+        prefer nested-loops shapes, so convert joins to subqueries."""
+        return cls(catalog, navigational_rules(), options, max_passes)
+
+    # ------------------------------------------------------------------
+
+    def optimize(self, query: Query | str) -> OptimizeResult:
+        """Rewrite *query* to a fixpoint; returns query + trace."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        result = OptimizeResult(query)
+        for _ in range(self.max_passes):
+            rewritten = self._pass(result.query, result.steps)
+            if rewritten is None:
+                break
+            result.query = rewritten
+        return result
+
+    def _pass(self, query: Query, steps: list[RewriteStep]) -> Query | None:
+        """One optimization pass; returns the new query or None."""
+        changed = False
+
+        if isinstance(query, SetOperation):
+            left = self._pass(query.left, steps)
+            right = self._pass(query.right, steps)
+            if left is not None or right is not None:
+                query = SetOperation(
+                    query.kind,
+                    query.all,
+                    left if left is not None else query.left,
+                    right if right is not None else query.right,
+                )
+                changed = True
+
+        for rule in self.rules:
+            outcome = rule.apply(query, self.ctx)
+            if outcome is None:
+                continue
+            rewritten, note = outcome
+            steps.append(
+                RewriteStep(rule=rule.name, before=query, after=rewritten, note=note)
+            )
+            query = rewritten
+            changed = True
+
+        return query if changed else None
+
+
+def relational_rules() -> list[Rule]:
+    """Default rule pipeline for relational execution.
+
+    Order matters: IN normalizes to EXISTS, set operations convert to
+    EXISTS, EXISTS flattens to joins, and DISTINCT elimination runs last
+    so it also sees DISTINCTs introduced by Corollary 1 flattening.
+    """
+    return [
+        InToExists(),
+        IntersectToExists(),
+        ExceptToNotExists(),
+        SubqueryToJoin(),
+        JoinElimination(),
+        DistinctElimination(),
+    ]
+
+
+def navigational_rules() -> list[Rule]:
+    """Rule pipeline for navigational backends (IMS / object stores).
+
+    Joins fold into EXISTS probes; subquery flattening is excluded (it
+    would undo the fold and loop)."""
+    return [
+        InToExists(),
+        IntersectToExists(),
+        ExceptToNotExists(),
+        DistinctElimination(),
+        JoinElimination(),
+        JoinToSubquery(),
+    ]
+
+
+def optimize(
+    query: Query | str,
+    catalog: Catalog,
+    options: UniquenessOptions | None = None,
+) -> OptimizeResult:
+    """One-shot relational optimization."""
+    return Optimizer.for_relational(catalog, options).optimize(query)

@@ -1,0 +1,215 @@
+"""Rule: convert an existential subquery into an INTERSECT (§5.3).
+
+The paper's observation after Theorem 3: "We now have a means of
+converting a nested query specification to a query expression involving
+intersection, another possible execution strategy."
+
+This is the inverse of :class:`IntersectToExists`.  It applies when
+
+* the outer block is duplicate-free (Theorem 3's precondition, so the
+  INTERSECT's duplicate elimination cannot change the outer multiset),
+* the WHERE contains one positive EXISTS conjunct whose inner predicate
+  is exactly the null-safe pairing (≐) of the *outer projection columns*
+  with inner columns — i.e. the EXISTS tests tuple membership — plus
+  arbitrary inner-only conjuncts.
+
+The rule is not part of either default profile (it would ping-pong with
+``intersect-to-exists``); it exists for cost-based optimizers that want
+the set-operation strategy in their search space, and to round out the
+paper's suite of equivalences.
+"""
+
+from __future__ import annotations
+
+from ...sql.ast import (
+    Quantifier,
+    Query,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SetOpKind,
+)
+from ...sql.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Exists,
+    Expr,
+    IsNull,
+    Or,
+    conjoin,
+    conjuncts,
+)
+from ...analysis.binding import qualify, table_columns
+from ..uniqueness import is_duplicate_free
+from .base import RewriteContext, Rule, query_aliases
+
+
+class ExistsToIntersect(Rule):
+    """Rewrite a membership-testing EXISTS into INTERSECT."""
+
+    name = "exists-to-intersect"
+
+    def apply(
+        self, query: Query, ctx: RewriteContext
+    ) -> tuple[Query, str] | None:
+        if not isinstance(query, SelectQuery) or query.where is None:
+            return None
+        if query.order_by:
+            return None
+        projection = self._projection_refs(query, ctx)
+        if projection is None:
+            return None
+
+        parts = conjuncts(query.where)
+        for position, conjunct in enumerate(parts):
+            if not isinstance(conjunct, Exists) or conjunct.negated:
+                continue
+            inner = conjunct.query
+            if not isinstance(inner, SelectQuery) or inner.where is None:
+                continue
+            rest = parts[:position] + parts[position + 1 :]
+            outcome = self._try_convert(
+                query, projection, inner, rest, ctx
+            )
+            if outcome is not None:
+                return outcome
+        return None
+
+    def _projection_refs(
+        self, query: SelectQuery, ctx: RewriteContext
+    ) -> list[ColumnRef] | None:
+        columns = table_columns(query, ctx.catalog)
+        refs: list[ColumnRef] = []
+        for item in query.select_list:
+            if not isinstance(item, SelectItem) or not isinstance(
+                item.expr, ColumnRef
+            ):
+                return None
+            from ...analysis.binding import resolve_column
+
+            resolved = resolve_column(item.expr, columns)
+            if resolved is None:
+                return None
+            refs.append(resolved)
+        return refs
+
+    def _try_convert(
+        self,
+        outer: SelectQuery,
+        projection: list[ColumnRef],
+        inner: SelectQuery,
+        rest: list[Expr],
+        ctx: RewriteContext,
+    ) -> tuple[Query, str] | None:
+        outer_without = outer.with_where(conjoin(rest) if rest else None)
+        if not is_duplicate_free(
+            outer_without.with_quantifier(Quantifier.ALL), ctx.catalog, ctx.options
+        ):
+            return None
+
+        inner_aliases = query_aliases(inner)
+        outer_aliases = query_aliases(outer)
+        predicate = qualify(
+            inner.where, table_columns(inner, ctx.catalog), allow_correlated=True
+        )
+        predicate = qualify(
+            predicate, table_columns(outer, ctx.catalog), allow_correlated=True
+        )
+
+        def nullable(ref: ColumnRef) -> bool:
+            source = outer if ref.qualifier in outer_aliases else inner
+            for table_ref in source.tables:
+                if table_ref.effective_name == ref.qualifier:
+                    schema = ctx.catalog.table(table_ref.name)
+                    return schema.column(ref.column).nullable
+            return True  # unknown: assume the worst
+
+        pairing: dict[ColumnRef, ColumnRef] = {}  # outer ref -> inner ref
+        inner_only: list[Expr] = []
+        for conjunct in conjuncts(predicate):
+            pair = _membership_pair(conjunct, outer_aliases, inner_aliases)
+            if pair is not None:
+                outer_ref, inner_ref, null_safe = pair
+                if not null_safe and nullable(outer_ref) and nullable(
+                    inner_ref
+                ):
+                    # plain '=' never matches NULL ≐ NULL, but INTERSECT
+                    # would: only a null-safe pairing is exact here
+                    return None
+                if outer_ref in pairing:
+                    return None  # ambiguous pairing
+                pairing[outer_ref] = inner_ref
+                continue
+            refs = [
+                node for node in conjunct.walk() if isinstance(node, ColumnRef)
+            ]
+            if any(ref.qualifier in outer_aliases for ref in refs):
+                return None  # extra correlation beyond the ≐ pairing
+            inner_only.append(conjunct)
+
+        if set(pairing) != set(projection) or len(pairing) != len(projection):
+            return None
+
+        right = SelectQuery(
+            quantifier=Quantifier.ALL,
+            select_list=tuple(
+                SelectItem(pairing[ref]) for ref in projection
+            ),
+            tables=inner.tables,
+            where=conjoin(inner_only) if inner_only else None,
+        )
+        rewritten = SetOperation(
+            SetOpKind.INTERSECT, False, outer_without, right
+        )
+        return rewritten, (
+            "the EXISTS tests ≐-membership of the (duplicate-free) outer "
+            "projection in the inner block: rewritten as INTERSECT "
+            "(the paper's §5.3 observation, inverse of Theorem 3)"
+        )
+
+
+def _membership_pair(
+    conjunct: Expr, outer_aliases: set[str], inner_aliases: set[str]
+) -> tuple[ColumnRef, ColumnRef, bool] | None:
+    """Match ``outer ≐ inner``: plain equality or the null-safe form.
+
+    Returns ``(outer_ref, inner_ref, null_safe)``.
+    """
+    comparison: Comparison | None = None
+    null_safe = False
+    if isinstance(conjunct, Comparison) and conjunct.op == "=":
+        comparison = conjunct
+    elif isinstance(conjunct, Or) and len(conjunct.operands) == 2:
+        null_part = next(
+            (op for op in conjunct.operands if isinstance(op, And)), None
+        )
+        eq_part = next(
+            (
+                op
+                for op in conjunct.operands
+                if isinstance(op, Comparison) and op.op == "="
+            ),
+            None,
+        )
+        if null_part is None or eq_part is None:
+            return None
+        tested = set()
+        for atom in null_part.operands:
+            if not isinstance(atom, IsNull) or atom.negated:
+                return None
+            tested.add(atom.operand)
+        if tested != {eq_part.left, eq_part.right}:
+            return None
+        comparison = eq_part
+        null_safe = True
+    if comparison is None:
+        return None
+    a, b = comparison.left, comparison.right
+    if not isinstance(a, ColumnRef) or not isinstance(b, ColumnRef):
+        return None
+    if a.qualifier in outer_aliases and b.qualifier in inner_aliases:
+        return a, b, null_safe
+    if b.qualifier in outer_aliases and a.qualifier in inner_aliases:
+        return b, a, null_safe
+    return None

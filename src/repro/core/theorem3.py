@@ -1,0 +1,107 @@
+"""Theorem 3 support: null-safe correlation predicates for set-operation
+rewrites.
+
+The subtlety the paper stresses (§5.3): intersection equates tuples under
+≐ — NULL matches NULL — while a WHERE clause does not.  Moving the
+matching into an EXISTS therefore requires, for each pair of compared
+columns, the predicate::
+
+    (R.X IS NULL AND S.X IS NULL) OR R.X = S.X
+
+unless the columns cannot be NULL (e.g. primary-key columns), in which
+case the plain equijoin suffices — the correction the paper applies to
+Pirahesh et al.'s Rule 8.
+"""
+
+from __future__ import annotations
+
+from ..catalog.schema import Catalog
+from ..errors import UnsupportedQueryError
+from ..sql.ast import SelectQuery, Star
+from ..sql.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    IsNull,
+    Or,
+    conjoin,
+)
+from ..analysis.binding import resolve_column, table_columns
+
+
+def projection_columns(
+    query: SelectQuery, catalog: Catalog
+) -> list[tuple[ColumnRef, bool]]:
+    """Qualified projection column refs plus their nullability.
+
+    Raises:
+        UnsupportedQueryError: for non-column select items.
+    """
+    columns = table_columns(query, catalog)
+    table_by_alias = {
+        ref.effective_name: catalog.table(ref.name) for ref in query.tables
+    }
+    out: list[tuple[ColumnRef, bool]] = []
+    for item in query.select_list:
+        if isinstance(item, Star):
+            qualifiers = (
+                list(columns) if item.qualifier is None else [item.qualifier]
+            )
+            for qualifier in qualifiers:
+                schema = table_by_alias[qualifier]
+                for column in schema.columns:
+                    out.append(
+                        (ColumnRef(qualifier, column.name), column.nullable)
+                    )
+        else:
+            expr = item.expr
+            if not isinstance(expr, ColumnRef):
+                raise UnsupportedQueryError(
+                    "set-operation rewrites require column projections"
+                )
+            resolved = resolve_column(expr, columns)
+            assert resolved is not None and resolved.qualifier is not None
+            schema = table_by_alias[resolved.qualifier]
+            nullable = schema.column(resolved.column).nullable
+            out.append((resolved, nullable))
+    return out
+
+
+def null_safe_equality(left: Expr, right: Expr, nullable: bool) -> Expr:
+    """``left ≐ right`` as a WHERE-clause predicate.
+
+    When neither side can be NULL the plain equality suffices (and the
+    optimizer keeps the chance to use it as a join key).
+    """
+    plain = Comparison("=", left, right)
+    if not nullable:
+        return plain
+    both_null = And((IsNull(left), IsNull(right)))
+    return Or((both_null, plain))
+
+
+def correlation_predicate(
+    left_columns: list[tuple[ColumnRef, bool]],
+    right_columns: list[tuple[ColumnRef, bool]],
+) -> Expr:
+    """The paper's C_{R,S} = ⌊R[A] ≐ S[A]⌋ for positionally-paired
+    projection columns.  A pair needs the null test only when *either*
+    side may be NULL."""
+    if len(left_columns) != len(right_columns):
+        raise UnsupportedQueryError(
+            "set operation operands are not union-compatible"
+        )
+    conjuncts = [
+        # NULL ≐ NULL can only arise when *both* sides may be NULL; with
+        # one side NOT NULL the plain equality is exact (the paper's
+        # footnote 1, generalized): a NULL on the nullable side compares
+        # UNKNOWN and the pair correctly fails to match.
+        null_safe_equality(
+            left_ref, right_ref, left_nullable and right_nullable
+        )
+        for (left_ref, left_nullable), (right_ref, right_nullable) in zip(
+            left_columns, right_columns
+        )
+    ]
+    return conjoin(conjuncts)

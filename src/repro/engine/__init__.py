@@ -1,0 +1,30 @@
+"""Multiset execution engine with three-valued logic."""
+
+from .cost import CostModel, PlanEstimate
+from .database import Database
+from .evaluator import Evaluator
+from .executor import Executor, execute
+from .planner import Planner, PlannerOptions, execute_plan, execute_planned
+from .result import Result
+from .schema import ColumnInfo, RelSchema, Scope
+from .stats import Stats
+from .table_data import TableData
+
+__all__ = [
+    "ColumnInfo",
+    "CostModel",
+    "PlanEstimate",
+    "Database",
+    "Evaluator",
+    "Executor",
+    "Planner",
+    "PlannerOptions",
+    "RelSchema",
+    "Result",
+    "Scope",
+    "Stats",
+    "TableData",
+    "execute",
+    "execute_plan",
+    "execute_planned",
+]

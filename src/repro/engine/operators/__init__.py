@@ -1,0 +1,24 @@
+"""Physical plan operators."""
+
+from .base import ExecContext, PlanNode
+from .filter import Filter
+from .joins import HashJoin, HashSemiJoin, NestedLoopJoin, SortMergeJoin
+from .project import HashDistinct, Project, Sort, SortDistinct
+from .scan import SeqScan
+from .setops import SortSetOp
+
+__all__ = [
+    "ExecContext",
+    "Filter",
+    "HashDistinct",
+    "HashJoin",
+    "HashSemiJoin",
+    "NestedLoopJoin",
+    "PlanNode",
+    "Project",
+    "SeqScan",
+    "Sort",
+    "SortDistinct",
+    "SortMergeJoin",
+    "SortSetOp",
+]

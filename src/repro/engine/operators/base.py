@@ -1,0 +1,64 @@
+"""Physical plan node base classes and execution context."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ...types.values import SqlValue
+from ..evaluator import Evaluator
+from ..schema import RelSchema, Scope
+from ..stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..database import Database
+
+
+class ExecContext:
+    """Shared state for one plan execution.
+
+    Holds the database, the host-variable bindings, the counter sink, and
+    a single :class:`Evaluator` wired so correlated subqueries fall back
+    to the reference interpreter (the naive nested-loop strategy — the
+    cost the paper's rewrites are designed to avoid).
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        params: dict[str, SqlValue] | None = None,
+        stats: Stats | None = None,
+    ) -> None:
+        from ..executor import Executor  # deferred to break the cycle
+
+        self.database = database
+        self.stats = stats or Stats()
+        self._interpreter = Executor(database, params=params, stats=self.stats)
+        self.evaluator = self._interpreter.evaluator
+
+
+class PlanNode:
+    """A node of a physical execution plan.
+
+    Subclasses define ``schema`` (a :class:`RelSchema` for the rows they
+    produce) and implement :meth:`rows`.
+    """
+
+    schema: RelSchema
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        """Yield output rows.  *outer* carries correlation bindings."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def label(self) -> str:
+        """One-line description used by EXPLAIN output."""
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """A printable operator tree."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)

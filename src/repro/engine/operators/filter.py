@@ -1,0 +1,36 @@
+"""Selection (filter) operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...sql.expressions import Expr
+from ...sql.printer import to_sql
+from ..schema import Scope
+from .base import ExecContext, PlanNode
+
+
+class Filter(PlanNode):
+    """Keeps rows whose predicate is definitely TRUE (⌊P⌋ semantics).
+
+    Predicates may contain correlated subqueries; the shared evaluator
+    re-executes them per input row through the reference interpreter,
+    counting each invocation.
+    """
+
+    def __init__(self, child: PlanNode, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        for row in self.child.rows(ctx, outer):
+            scope = Scope(self.schema, row, outer=outer)
+            if ctx.evaluator.qualifies(self.predicate, scope):
+                yield row
+
+    def label(self) -> str:
+        return f"Filter({to_sql(self.predicate)})"

@@ -1,0 +1,264 @@
+"""Join operators: nested-loop, hash, and sort-merge.
+
+All joins use WHERE-clause equality for their keys: a NULL key never
+matches anything (``NULL = NULL`` is UNKNOWN).  Hash and sort-merge
+joins therefore drop NULL-keyed rows on both sides, matching what the
+nested-loop join's predicate evaluation would do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...sql.expressions import Expr
+from ...sql.printer import to_sql
+from ...types.values import is_null, row_sort_key
+from ..schema import Scope
+from .base import ExecContext, PlanNode
+
+
+class NestedLoopJoin(PlanNode):
+    """Cartesian product with an optional join predicate.
+
+    The inner input is materialized once; the outer streams.  With no
+    predicate this is the paper's extended Cartesian product.
+    """
+
+    def __init__(
+        self, left: PlanNode, right: PlanNode, predicate: Expr | None = None
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.schema = left.schema.concat(right.schema)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        inner = list(self.right.rows(ctx, outer))
+        for left_row in self.left.rows(ctx, outer):
+            for right_row in inner:
+                ctx.stats.rows_joined += 1
+                combined = left_row + right_row
+                if self.predicate is not None:
+                    scope = Scope(self.schema, combined, outer=outer)
+                    if not ctx.evaluator.qualifies(self.predicate, scope):
+                        continue
+                yield combined
+
+    def label(self) -> str:
+        if self.predicate is None:
+            return "NestedLoopJoin(cross)"
+        return f"NestedLoopJoin({to_sql(self.predicate)})"
+
+
+class HashJoin(PlanNode):
+    """Equi-join via a hash table built on the right input.
+
+    A key position may be marked *null-safe* (the ≐ operator, SQL's
+    IS NOT DISTINCT FROM): NULL keys then match NULL keys instead of
+    matching nothing.  The planner emits null-safe keys for the
+    correlation predicates Theorem 3 generates.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: list[int],
+        right_keys: list[int],
+        residual: Expr | None = None,
+        null_safe: list[bool] | None = None,
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("hash join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.null_safe = null_safe or [False] * len(left_keys)
+        if len(self.null_safe) != len(left_keys):
+            raise ValueError("null_safe flags must match the key lists")
+        self.schema = left.schema.concat(right.schema)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def _usable(self, key_values: list) -> bool:
+        """A NULL key participates only at null-safe positions."""
+        return not any(
+            is_null(value) and not safe
+            for value, safe in zip(key_values, self.null_safe)
+        )
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        buckets: dict[tuple, list[tuple]] = {}
+        for right_row in self.right.rows(ctx, outer):
+            key_values = [right_row[i] for i in self.right_keys]
+            if not self._usable(key_values):
+                continue  # a NULL key can never satisfy '='
+            ctx.stats.hash_builds += 1
+            buckets.setdefault(row_sort_key(key_values), []).append(right_row)
+
+        for left_row in self.left.rows(ctx, outer):
+            key_values = [left_row[i] for i in self.left_keys]
+            if not self._usable(key_values):
+                continue
+            ctx.stats.hash_probes += 1
+            for right_row in buckets.get(row_sort_key(key_values), ()):
+                ctx.stats.rows_joined += 1
+                combined = left_row + right_row
+                if self.residual is not None:
+                    scope = Scope(self.schema, combined, outer=outer)
+                    if not ctx.evaluator.qualifies(self.residual, scope):
+                        continue
+                yield combined
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{self.left.schema.columns[l].name}={self.right.schema.columns[r].name}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin({keys})"
+
+
+class SortMergeJoin(PlanNode):
+    """Equi-join by sorting both inputs on the join keys and merging."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: list[int],
+        right_keys: list[int],
+        residual: Expr | None = None,
+        null_safe: list[bool] | None = None,
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("merge join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.null_safe = null_safe or [False] * len(left_keys)
+        if len(self.null_safe) != len(left_keys):
+            raise ValueError("null_safe flags must match the key lists")
+        self.schema = left.schema.concat(right.schema)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        left_rows = self._sorted_input(ctx, self.left, self.left_keys, outer)
+        right_rows = self._sorted_input(ctx, self.right, self.right_keys, outer)
+
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            left_key, left_row = left_rows[i]
+            right_key, right_row = right_rows[j]
+            if left_key < right_key:
+                i += 1
+            elif left_key > right_key:
+                j += 1
+            else:
+                # Gather the group of equal keys on the right, join with
+                # every equal-keyed left row.
+                j_end = j
+                while j_end < len(right_rows) and right_rows[j_end][0] == left_key:
+                    j_end += 1
+                while i < len(left_rows) and left_rows[i][0] == left_key:
+                    _, current_left = left_rows[i]
+                    for _, match in right_rows[j:j_end]:
+                        ctx.stats.rows_joined += 1
+                        combined = current_left + match
+                        if self.residual is not None:
+                            scope = Scope(self.schema, combined, outer=outer)
+                            if not ctx.evaluator.qualifies(self.residual, scope):
+                                continue
+                        yield combined
+                    i += 1
+                j = j_end
+
+    def _sorted_input(
+        self,
+        ctx: ExecContext,
+        child: PlanNode,
+        keys: list[int],
+        outer: Scope | None,
+    ) -> list[tuple]:
+        rows = []
+        for row in child.rows(ctx, outer):
+            key_values = [row[i] for i in keys]
+            skip = any(
+                is_null(value) and not safe
+                for value, safe in zip(key_values, self.null_safe)
+            )
+            if skip:
+                continue
+            rows.append((row_sort_key(key_values), row))
+        ctx.stats.sorts += 1
+        ctx.stats.sort_rows += len(rows)
+        rows.sort(key=lambda pair: pair[0])
+        return rows
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{self.left.schema.columns[l].name}={self.right.schema.columns[r].name}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"SortMergeJoin({keys})"
+
+
+class HashSemiJoin(PlanNode):
+    """Left semi-join: emit each left row with at least one key match.
+
+    This is the engine-feature ablation for flattening EXISTS: instead of
+    re-executing a correlated subquery per outer row, the inner input is
+    hashed once.  Produces the *left* schema only.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: list[int],
+        right_keys: list[int],
+        negated: bool = False,
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("semi join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.negated = negated
+        self.schema = left.schema
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        keys: set[tuple] = set()
+        for right_row in self.right.rows(ctx, outer):
+            key_values = [right_row[i] for i in self.right_keys]
+            if any(is_null(value) for value in key_values):
+                continue
+            ctx.stats.hash_builds += 1
+            keys.add(row_sort_key(key_values))
+
+        for left_row in self.left.rows(ctx, outer):
+            key_values = [left_row[i] for i in self.left_keys]
+            if any(is_null(value) for value in key_values):
+                matched = False
+            else:
+                ctx.stats.hash_probes += 1
+                matched = row_sort_key(key_values) in keys
+            if matched != self.negated:
+                yield left_row
+
+    def label(self) -> str:
+        kind = "HashAntiJoin" if self.negated else "HashSemiJoin"
+        return f"{kind}({len(self.left_keys)} keys)"

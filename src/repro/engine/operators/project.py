@@ -1,0 +1,127 @@
+"""Projection and duplicate-elimination operators."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..schema import ColumnInfo, RelSchema, Scope
+from ...types.values import row_sort_key
+from .base import ExecContext, PlanNode
+
+
+class Project(PlanNode):
+    """Projects input rows onto a list of column indices (ALL semantics)."""
+
+    def __init__(self, child: PlanNode, indices: list[int], names: list[str]) -> None:
+        self.child = child
+        self.indices = indices
+        self.schema = RelSchema(ColumnInfo(None, name) for name in names)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        for row in self.child.rows(ctx, outer):
+            yield tuple(row[i] for i in self.indices)
+
+    def label(self) -> str:
+        names = ", ".join(column.name for column in self.schema.columns)
+        return f"Project({names})"
+
+
+class SortDistinct(PlanNode):
+    """Duplicate elimination by sorting — the paper's default cost model.
+
+    This materializes and sorts its entire input; its ``sort_rows``
+    charge is exactly the work the distinct-elimination rewrite avoids.
+    """
+
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        rows = list(self.child.rows(ctx, outer))
+        ctx.stats.sorts += 1
+        ctx.stats.sort_rows += len(rows)
+        rows.sort(key=row_sort_key)
+        previous_key = None
+        for row in rows:
+            key = row_sort_key(row)
+            if key != previous_key:
+                previous_key = key
+                yield row
+            else:
+                ctx.stats.duplicates_removed += 1
+
+    def label(self) -> str:
+        return "Distinct(sort)"
+
+
+class HashDistinct(PlanNode):
+    """Duplicate elimination by hashing (streams, no sort)."""
+
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child.rows(ctx, outer):
+            key = row_sort_key(row)
+            ctx.stats.hash_probes += 1
+            if key in seen:
+                ctx.stats.duplicates_removed += 1
+                continue
+            seen.add(key)
+            ctx.stats.hash_builds += 1
+            yield row
+
+    def label(self) -> str:
+        return "Distinct(hash)"
+
+
+class Sort(PlanNode):
+    """ORDER BY operator over projected rows."""
+
+    def __init__(
+        self, child: PlanNode, key_positions: list[int], ascending: list[bool]
+    ) -> None:
+        self.child = child
+        self.key_positions = key_positions
+        self.ascending = ascending
+        self.schema = child.schema
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        from ..executor import _Reversed  # shared DESC-order helper
+        from ...types.values import sort_key
+
+        rows = list(self.child.rows(ctx, outer))
+        ctx.stats.sorts += 1
+        ctx.stats.sort_rows += len(rows)
+
+        def key_fn(row: tuple):
+            parts = []
+            for position, asc in zip(self.key_positions, self.ascending):
+                key = sort_key(row[position])
+                parts.append(key if asc else _Reversed(key))
+            return tuple(parts)
+
+        rows.sort(key=key_fn)
+        yield from rows
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{self.schema.columns[p].name}{'' if asc else ' DESC'}"
+            for p, asc in zip(self.key_positions, self.ascending)
+        )
+        return f"Sort({keys})"

@@ -1,0 +1,27 @@
+"""Base-table scan."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..schema import RelSchema, Scope
+from .base import ExecContext, PlanNode
+
+
+class SeqScan(PlanNode):
+    """Sequential scan of a stored table under a correlation name."""
+
+    def __init__(self, table_name: str, alias: str, column_names: list[str]) -> None:
+        self.table_name = table_name
+        self.alias = alias
+        self.schema = RelSchema.for_table(alias, column_names)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        for row in ctx.database.table(self.table_name).rows:
+            ctx.stats.rows_scanned += 1
+            yield row
+
+    def label(self) -> str:
+        if self.alias != self.table_name:
+            return f"SeqScan({self.table_name} AS {self.alias})"
+        return f"SeqScan({self.table_name})"

@@ -1,0 +1,377 @@
+"""Physical planner.
+
+Compiles a query AST into a tree of physical operators.  The planner is
+rule-based and deliberately simple — its job is to make execution
+*strategy* a measurable variable:
+
+* single-table conjuncts are pushed down below joins,
+* equality conjuncts between two tables become hash- or sort-merge-join
+  keys (configurable; nested-loop is the fallback and can be forced),
+* conjuncts containing subqueries stay in a final Filter, where the
+  evaluator re-executes them per row — the naive nested-loop strategy,
+* DISTINCT becomes a sort- or hash-based duplicate-elimination operator.
+
+The semantic rewrites of the paper (distinct elimination, subquery
+flattening, ...) happen *before* planning, in :mod:`repro.core.rewrite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.schema import Catalog
+from ..errors import ExecutionError
+from ..sql.ast import Query, SelectQuery, SetOperation
+from ..sql.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expr,
+    IsNull,
+    Or,
+    column_refs,
+    conjoin,
+    conjuncts,
+    contains_subquery,
+)
+from ..sql.parser import parse_query
+from ..types.values import SqlValue
+from .database import Database
+from .operators import (
+    ExecContext,
+    Filter,
+    HashDistinct,
+    HashJoin,
+    NestedLoopJoin,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+    SortDistinct,
+    SortMergeJoin,
+    SortSetOp,
+)
+from .projection import resolve_projection
+from .result import Result
+from .stats import Stats
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Strategy knobs for physical planning.
+
+    Attributes:
+        join_method: 'hash', 'merge', or 'nested' for equi-joins.
+        distinct_method: 'sort' (the paper's cost model) or 'hash'.
+    """
+
+    join_method: str = "hash"
+    distinct_method: str = "sort"
+
+    def __post_init__(self) -> None:
+        if self.join_method not in ("hash", "merge", "nested"):
+            raise ValueError(f"unknown join method {self.join_method!r}")
+        if self.distinct_method not in ("sort", "hash"):
+            raise ValueError(f"unknown distinct method {self.distinct_method!r}")
+
+
+class Planner:
+    """Compiles query ASTs to physical plans against a catalog."""
+
+    def __init__(
+        self, catalog: Catalog, options: PlannerOptions | None = None
+    ) -> None:
+        self.catalog = catalog
+        self.options = options or PlannerOptions()
+
+    # ------------------------------------------------------------------
+
+    def plan(self, query: Query | str) -> PlanNode:
+        """Build the physical plan for *query*."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, SelectQuery):
+            return self._plan_select(query)
+        if isinstance(query, SetOperation):
+            left = self.plan(query.left)
+            right = self.plan(query.right)
+            if len(left.schema) != len(right.schema):
+                raise ExecutionError(
+                    "set operation operands are not union-compatible"
+                )
+            return SortSetOp(query.kind, query.all, left, right)
+        raise ExecutionError(f"cannot plan {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _plan_select(self, query: SelectQuery) -> PlanNode:
+        scans = self._scans(query)
+        qualifier_columns = self._qualifier_columns(scans)
+
+        local: dict[str, list[Expr]] = {alias: [] for alias in scans}
+        joinable: list[tuple[frozenset[str], Expr]] = []
+        residual: list[Expr] = []
+
+        for conjunct in conjuncts(query.where):
+            tables = self._tables_of(conjunct, qualifier_columns)
+            if tables is None:
+                residual.append(conjunct)
+            elif len(tables) == 0:
+                residual.append(conjunct)  # e.g. :HV = 5 — constant test
+            elif len(tables) == 1:
+                local[next(iter(tables))].append(conjunct)
+            else:
+                joinable.append((frozenset(tables), conjunct))
+
+        # Push single-table conjuncts below the joins.
+        planned: dict[str, PlanNode] = {}
+        for alias, scan in scans.items():
+            node: PlanNode = scan
+            if local[alias]:
+                node = Filter(node, conjoin(local[alias]))
+            planned[alias] = node
+
+        # Left-deep join tree in FROM-clause order.
+        order = list(scans)
+        current = planned[order[0]]
+        covered = {order[0]}
+        pending = list(joinable)
+        for alias in order[1:]:
+            right = planned[alias]
+            applicable: list[Expr] = []
+            remaining: list[tuple[frozenset[str], Expr]] = []
+            for tables, conjunct in pending:
+                if tables <= covered | {alias} and alias in tables:
+                    applicable.append(conjunct)
+                else:
+                    remaining.append((tables, conjunct))
+            pending = remaining
+            current = self._join(
+                current, right, applicable, qualifier_columns, alias
+            )
+            covered.add(alias)
+
+        # Multi-table conjuncts that never became join predicates (or that
+        # span tables not adjacent in the join order) plus subquery
+        # conjuncts run in a final filter over the full product schema.
+        leftovers = [conjunct for _, conjunct in pending] + residual
+        if leftovers:
+            current = Filter(current, conjoin(leftovers))
+
+        names, indices = resolve_projection(query.select_list, current.schema)
+        current = Project(current, indices, names)
+
+        if query.distinct:
+            if self.options.distinct_method == "sort":
+                current = SortDistinct(current)
+            else:
+                current = HashDistinct(current)
+
+        if query.order_by:
+            current = self._order(query, current, names, indices)
+        return current
+
+    def _scans(self, query: SelectQuery) -> dict[str, SeqScan]:
+        scans: dict[str, SeqScan] = {}
+        for table_ref in query.tables:
+            alias = table_ref.effective_name
+            if alias in scans:
+                raise ExecutionError(
+                    f"duplicate correlation name {alias!r} in FROM clause"
+                )
+            schema = self.catalog.table(table_ref.name)
+            scans[alias] = SeqScan(
+                schema.name, alias, schema.column_names
+            )
+        return scans
+
+    def _qualifier_columns(
+        self, scans: dict[str, SeqScan]
+    ) -> dict[str, set[str]]:
+        return {
+            alias: {column.name for column in scan.schema.columns}
+            for alias, scan in scans.items()
+        }
+
+    def _tables_of(
+        self, conjunct: Expr, qualifier_columns: dict[str, set[str]]
+    ) -> set[str] | None:
+        """Qualifiers referenced by *conjunct*, or None if unplannable.
+
+        Conjuncts containing subqueries are left for the final filter
+        (their inner column references must not be mis-attributed).
+        """
+        if contains_subquery(conjunct):
+            return None
+        tables: set[str] = set()
+        for ref in column_refs(conjunct):
+            if ref.qualifier is not None:
+                if ref.qualifier not in qualifier_columns:
+                    return None  # correlated outer reference
+                tables.add(ref.qualifier)
+                continue
+            owners = [
+                alias
+                for alias, columns in qualifier_columns.items()
+                if ref.column in columns
+            ]
+            if len(owners) != 1:
+                return None  # unknown or ambiguous: resolve at runtime
+            tables.add(owners[0])
+        return tables
+
+    def _join(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        applicable: list[Expr],
+        qualifier_columns: dict[str, set[str]],
+        right_alias: str,
+    ) -> PlanNode:
+        if self.options.join_method == "nested" or not applicable:
+            predicate = conjoin(applicable) if applicable else None
+            return NestedLoopJoin(left, right, predicate)
+
+        left_keys: list[int] = []
+        right_keys: list[int] = []
+        null_safe: list[bool] = []
+        residual: list[Expr] = []
+        for conjunct in applicable:
+            keys = self._equi_keys(conjunct, left, right, right_alias)
+            if keys is None:
+                residual.append(conjunct)
+            else:
+                left_keys.append(keys[0])
+                right_keys.append(keys[1])
+                null_safe.append(keys[2])
+
+        if not left_keys:
+            return NestedLoopJoin(left, right, conjoin(applicable))
+
+        residual_pred = conjoin(residual) if residual else None
+        if self.options.join_method == "merge":
+            return SortMergeJoin(
+                left, right, left_keys, right_keys, residual_pred, null_safe
+            )
+        return HashJoin(
+            left, right, left_keys, right_keys, residual_pred, null_safe
+        )
+
+    def _equi_keys(
+        self,
+        conjunct: Expr,
+        left: PlanNode,
+        right: PlanNode,
+        right_alias: str,
+    ) -> tuple[int, int, bool] | None:
+        """Key indices plus a null-safe flag for a joinable conjunct.
+
+        Recognizes plain equality ``a = b`` and the null-safe pattern
+        the Theorem 3 rewrite generates::
+
+            (a IS NULL AND b IS NULL) OR a = b
+
+        which is SQL's IS NOT DISTINCT FROM — joinable with ≐ keys.
+        """
+        null_safe = False
+        comparison = conjunct
+        if isinstance(conjunct, Or):
+            pair = self._null_safe_pattern(conjunct)
+            if pair is None:
+                return None
+            comparison = pair
+            null_safe = True
+        if not isinstance(comparison, Comparison) or comparison.op != "=":
+            return None
+        a, b = comparison.left, comparison.right
+        if not isinstance(a, ColumnRef) or not isinstance(b, ColumnRef):
+            return None
+        for first, second in ((a, b), (b, a)):
+            if second.qualifier != right_alias:
+                continue
+            left_index = left.schema.try_index_of(first.qualifier, first.column)
+            right_index = right.schema.try_index_of(
+                second.qualifier, second.column
+            )
+            if left_index is not None and right_index is not None:
+                return left_index, right_index, null_safe
+        return None
+
+    @staticmethod
+    def _null_safe_pattern(disjunction: Or) -> Comparison | None:
+        """Match ``(a IS NULL AND b IS NULL) OR a = b``; return the
+        equality when the null tests cover exactly its two columns."""
+        if len(disjunction.operands) != 2:
+            return None
+        null_part: And | None = None
+        eq_part: Comparison | None = None
+        for operand in disjunction.operands:
+            if isinstance(operand, And):
+                null_part = operand
+            elif isinstance(operand, Comparison) and operand.op == "=":
+                eq_part = operand
+        if null_part is None or eq_part is None:
+            return None
+        if not isinstance(eq_part.left, ColumnRef) or not isinstance(
+            eq_part.right, ColumnRef
+        ):
+            return None
+        if len(null_part.operands) != 2:
+            return None
+        tested: set[ColumnRef] = set()
+        for atom in null_part.operands:
+            if not isinstance(atom, IsNull) or atom.negated:
+                return None
+            if not isinstance(atom.operand, ColumnRef):
+                return None
+            tested.add(atom.operand)
+        if tested != {eq_part.left, eq_part.right}:
+            return None
+        return eq_part
+
+    def _order(
+        self,
+        query: SelectQuery,
+        current: PlanNode,
+        names: list[str],
+        indices: list[int],
+    ) -> PlanNode:
+        positions: list[int] = []
+        ascending: list[bool] = []
+        for item in query.order_by:
+            expr = item.expr
+            if not isinstance(expr, ColumnRef):
+                raise ExecutionError("ORDER BY supports column references only")
+            if expr.qualifier is None and expr.column in names:
+                positions.append(names.index(expr.column))
+            else:
+                raise ExecutionError(
+                    "ORDER BY column must appear in the select list"
+                )
+            ascending.append(item.ascending)
+        return Sort(current, positions, ascending)
+
+
+def execute_plan(
+    plan: PlanNode,
+    database: Database,
+    params: dict[str, SqlValue] | None = None,
+    stats: Stats | None = None,
+) -> Result:
+    """Run a physical plan to completion."""
+    ctx = ExecContext(database, params=params, stats=stats)
+    rows = list(plan.rows(ctx))
+    ctx.stats.rows_output += len(rows)
+    return Result(plan.schema.output_names(), rows)
+
+
+def execute_planned(
+    query: Query | str,
+    database: Database,
+    params: dict[str, SqlValue] | None = None,
+    stats: Stats | None = None,
+    options: PlannerOptions | None = None,
+) -> Result:
+    """Plan and execute *query* with the physical engine."""
+    planner = Planner(database.catalog, options)
+    return execute_plan(planner.plan(query), database, params=params, stats=stats)

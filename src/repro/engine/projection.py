@@ -1,0 +1,44 @@
+"""Select-list resolution shared by the interpreter and the planner."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ExecutionError, UnknownTableError
+from ..sql.ast import SelectItem, Star
+from ..sql.expressions import ColumnRef
+from .schema import RelSchema
+
+
+def resolve_projection(
+    select_list: Sequence[SelectItem | Star], merged: RelSchema
+) -> tuple[list[str], list[int]]:
+    """Resolve a select list against an input schema.
+
+    Returns output column names and the input indices they project.
+    ``*`` expands to every column; ``q.*`` to the columns of qualifier
+    ``q``.  Only column references are supported (the paper's query class
+    has no arithmetic or aggregates).
+    """
+    names: list[str] = []
+    indices: list[int] = []
+    for item in select_list:
+        if isinstance(item, Star):
+            if item.qualifier is None:
+                targets = list(range(len(merged)))
+            else:
+                targets = merged.columns_of(item.qualifier)
+                if not targets:
+                    raise UnknownTableError(item.qualifier)
+            for index in targets:
+                names.append(merged.columns[index].name)
+                indices.append(index)
+        else:
+            expr = item.expr
+            if not isinstance(expr, ColumnRef):
+                raise ExecutionError(
+                    "select list supports column references and *"
+                )
+            indices.append(merged.index_of(expr.qualifier, expr.column))
+            names.append(item.output_name())
+    return names, indices

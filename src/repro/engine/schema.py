@@ -1,0 +1,130 @@
+"""Runtime row schemas and name-resolution scopes.
+
+A :class:`RelSchema` describes the shape of an intermediate result: an
+ordered list of ``(qualifier, column)`` pairs.  A :class:`Scope` chains a
+row/schema frame with an optional outer scope, which is how correlated
+subqueries see the columns of their enclosing query block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import AmbiguousColumnError, UnknownColumnError
+from ..sql.expressions import ColumnRef
+from ..types.values import SqlValue
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """One output column of an intermediate result."""
+
+    qualifier: str | None
+    name: str
+
+    def matches(self, qualifier: str | None, name: str) -> bool:
+        """Whether this column answers to (qualifier, name)."""
+        if name != self.name:
+            return False
+        return qualifier is None or qualifier == self.qualifier
+
+
+class RelSchema:
+    """Ordered columns of a (derived) relation, with lookup by name."""
+
+    def __init__(self, columns: Iterable[ColumnInfo]) -> None:
+        self.columns: tuple[ColumnInfo, ...] = tuple(columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    @staticmethod
+    def for_table(qualifier: str, column_names: Sequence[str]) -> "RelSchema":
+        """Schema of a base-table scan under correlation name *qualifier*."""
+        return RelSchema(ColumnInfo(qualifier, name) for name in column_names)
+
+    def concat(self, other: "RelSchema") -> "RelSchema":
+        """Schema of the Cartesian product of two inputs."""
+        return RelSchema((*self.columns, *other.columns))
+
+    def try_index_of(self, qualifier: str | None, name: str) -> int | None:
+        """Index of a column, or None when absent.
+
+        Raises:
+            AmbiguousColumnError: if an unqualified *name* matches columns
+                from several qualifiers.
+        """
+        matches = [
+            i for i, col in enumerate(self.columns) if col.matches(qualifier, name)
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            qualifiers = [self.columns[i].qualifier or "?" for i in matches]
+            raise AmbiguousColumnError(name, qualifiers)
+        return matches[0]
+
+    def index_of(self, qualifier: str | None, name: str) -> int:
+        """Index of a column; raises when absent or ambiguous."""
+        index = self.try_index_of(qualifier, name)
+        if index is None:
+            raise UnknownColumnError(qualifier or "?", name)
+        return index
+
+    def qualifiers(self) -> list[str]:
+        """Distinct qualifiers appearing in this schema, in order."""
+        seen: list[str] = []
+        for column in self.columns:
+            if column.qualifier and column.qualifier not in seen:
+                seen.append(column.qualifier)
+        return seen
+
+    def columns_of(self, qualifier: str) -> list[int]:
+        """Indexes of all columns belonging to *qualifier*."""
+        return [
+            i for i, col in enumerate(self.columns) if col.qualifier == qualifier
+        ]
+
+    def output_names(self) -> list[str]:
+        """Bare column names, for result headers."""
+        return [column.name for column in self.columns]
+
+
+class Scope:
+    """A name-resolution frame: a schema plus the current row.
+
+    Scopes chain through ``outer`` so a correlated subquery can resolve
+    columns of the enclosing block (innermost frame wins).
+    """
+
+    def __init__(
+        self,
+        schema: RelSchema,
+        row: Sequence[SqlValue],
+        outer: "Scope | None" = None,
+    ) -> None:
+        self.schema = schema
+        self.row = row
+        self.outer = outer
+
+    def resolve(self, ref: ColumnRef) -> SqlValue:
+        """The value of *ref* in this scope chain.
+
+        Raises:
+            UnknownColumnError: when no frame defines the column.
+        """
+        scope: Scope | None = self
+        while scope is not None:
+            index = scope.schema.try_index_of(ref.qualifier, ref.column)
+            if index is not None:
+                return scope.row[index]
+            scope = scope.outer
+        raise UnknownColumnError(ref.qualifier or "?", ref.column)
+
+    def child(self, schema: RelSchema, row: Sequence[SqlValue]) -> "Scope":
+        """A new innermost frame chained onto this scope."""
+        return Scope(schema, row, outer=self)

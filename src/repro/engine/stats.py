@@ -1,0 +1,74 @@
+"""Execution statistics.
+
+Every operator credits work to a :class:`Stats` object.  The benchmark
+harness reports these counters alongside wall-clock time, because the
+paper's arguments are about *work avoided* (sorts skipped, nested-loop
+probes saved), which the counters expose directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Stats:
+    """Counters accumulated during query execution.
+
+    Attributes:
+        rows_scanned: rows produced by base-table scans.
+        rows_joined: rows produced by join/product operators.
+        predicate_evals: WHERE/ON predicate evaluations.
+        sorts: number of sort operations performed.
+        sort_rows: total rows fed to sort operators (the paper's "expensive
+            sort of the query result" shows up here).
+        duplicates_removed: rows dropped by duplicate elimination.
+        hash_builds: rows inserted into join/distinct hash tables.
+        hash_probes: hash table lookups.
+        subquery_executions: number of times a correlated subquery was
+            (re-)executed — the cost of a naive nested-loop strategy.
+        rows_output: rows in the final result.
+    """
+
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    predicate_evals: int = 0
+    sorts: int = 0
+    sort_rows: int = 0
+    duplicates_removed: int = 0
+    hash_builds: int = 0
+    hash_probes: int = 0
+    subquery_executions: int = 0
+    rows_output: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def snapshot(self) -> "Stats":
+        """An independent copy of the current counter values."""
+        return Stats(**self.as_dict())
+
+    def __add__(self, other: "Stats") -> "Stats":
+        merged = Stats()
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def __sub__(self, other: "Stats") -> "Stats":
+        merged = Stats()
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) - getattr(other, f.name))
+        return merged
+
+    def describe(self) -> str:
+        """Non-zero counters as a compact single-line summary."""
+        parts = [
+            f"{name}={value}" for name, value in self.as_dict().items() if value
+        ]
+        return ", ".join(parts) if parts else "(no work recorded)"

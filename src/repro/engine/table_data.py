@@ -1,0 +1,170 @@
+"""Stored base tables with constraint enforcement.
+
+Inserts validate, in order: column count and NOT NULL, CHECK constraints
+(true-interpretation: a check passes when its condition is true *or
+unknown*), and key uniqueness under the ≐ semantics the paper adopts
+from SQL2 — a UNIQUE candidate key treats NULL as a single special
+value, so at most one row may carry any given (possibly NULL) key.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..catalog.table import TableSchema
+from ..errors import ConstraintViolation
+from ..types.values import NULL, SqlValue, format_value, is_null, row_sort_key
+from .schema import RelSchema, Scope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .evaluator import Evaluator
+
+
+class TableData:
+    """Row storage for one base table."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = []
+        # One uniqueness index per declared key: canonical key-tuple -> row.
+        self._key_indexes: list[dict[tuple, tuple]] = [
+            {} for _ in schema.candidate_keys
+        ]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # loading
+
+    def insert(
+        self,
+        values: Sequence[SqlValue],
+        evaluator: "Evaluator | None" = None,
+        enforce: bool = True,
+    ) -> tuple:
+        """Insert one row given positionally, validating constraints.
+
+        Pass ``enforce=False`` to bypass validation (used by tests that
+        deliberately construct invalid instances).
+        """
+        row = tuple(values)
+        if len(row) != len(self.schema.columns):
+            raise ConstraintViolation(
+                self.schema.name,
+                f"expected {len(self.schema.columns)} values, got {len(row)}",
+            )
+        if enforce:
+            self._check_not_null(row)
+            self._check_conditions(row, evaluator)
+            self._check_keys(row)
+        self.rows.append(row)
+        self._index_row(row)
+        return row
+
+    def insert_mapping(
+        self,
+        values: dict[str, SqlValue],
+        evaluator: "Evaluator | None" = None,
+        enforce: bool = True,
+    ) -> tuple:
+        """Insert one row given as a column->value mapping.
+
+        Missing columns receive NULL.
+        """
+        row = tuple(
+            values.get(column.name, NULL) for column in self.schema.columns
+        )
+        unknown = set(values) - {column.name for column in self.schema.columns}
+        if unknown:
+            raise ConstraintViolation(
+                self.schema.name, f"unknown columns: {sorted(unknown)}"
+            )
+        return self.insert(row, evaluator, enforce)
+
+    def extend(
+        self,
+        rows: Iterable[Sequence[SqlValue]],
+        evaluator: "Evaluator | None" = None,
+        enforce: bool = True,
+    ) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row, evaluator, enforce)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        """Delete every row (and reset the key indexes)."""
+        self.rows.clear()
+        for index in self._key_indexes:
+            index.clear()
+
+    def has_key_value(
+        self, columns: tuple[str, ...], values: tuple
+    ) -> bool | None:
+        """Index-accelerated lookup: does a row carry *values* in *columns*?
+
+        Returns None when *columns* is not a declared candidate key (the
+        caller must fall back to a scan).
+        """
+        for key, index in zip(self.schema.candidate_keys, self._key_indexes):
+            if key.columns == tuple(columns):
+                return row_sort_key(values) in index
+        return None
+
+    def remove_last(self) -> tuple:
+        """Undo the most recent insert (row and key-index entries)."""
+        row = self.rows.pop()
+        for key, index in zip(self.schema.candidate_keys, self._key_indexes):
+            index.pop(self._key_tuple(key.columns, row), None)
+        return row
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def _check_not_null(self, row: tuple) -> None:
+        for column, value in zip(self.schema.columns, row):
+            if not column.nullable and is_null(value):
+                raise ConstraintViolation(
+                    self.schema.name, f"column {column.name} is NOT NULL"
+                )
+
+    def _check_conditions(self, row: tuple, evaluator: "Evaluator | None") -> None:
+        if not self.schema.checks:
+            return
+        if evaluator is None:
+            from .evaluator import Evaluator  # local import breaks the cycle
+
+            evaluator = Evaluator()
+        schema = RelSchema.for_table(self.schema.name, self.schema.column_names)
+        scope = Scope(schema, row)
+        for check in self.schema.checks:
+            verdict = evaluator.predicate(check.condition, scope)
+            # SQL2: a CHECK is violated only when definitely false.
+            if not verdict.true_interpreted():
+                raise ConstraintViolation(
+                    self.schema.name,
+                    f"{check.describe()} fails for row "
+                    f"({', '.join(format_value(v) for v in row)})",
+                )
+
+    def _check_keys(self, row: tuple) -> None:
+        for key, index in zip(self.schema.candidate_keys, self._key_indexes):
+            key_value = self._key_tuple(key.columns, row)
+            if key_value in index:
+                raise ConstraintViolation(
+                    self.schema.name,
+                    f"duplicate value for {key.describe()}",
+                )
+
+    def _index_row(self, row: tuple) -> None:
+        for key, index in zip(self.schema.candidate_keys, self._key_indexes):
+            index[self._key_tuple(key.columns, row)] = row
+
+    def _key_tuple(self, columns: tuple[str, ...], row: tuple) -> tuple:
+        values = tuple(row[self.schema.column_index(name)] for name in columns)
+        # row_sort_key canonicalizes NULL so NULL keys collide, matching
+        # SQL2's treatment of NULL as a single special key value.
+        return row_sort_key(values)

@@ -1,0 +1,110 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised while processing SQL text."""
+
+
+class LexerError(SqlError):
+    """Raised when the lexer encounters an unrecognizable character.
+
+    Attributes:
+        position: zero-based character offset of the offending input.
+        line: one-based line number.
+        column: one-based column number.
+    """
+
+    def __init__(self, message: str, position: int, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when a token stream does not form a valid statement."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class CatalogError(ReproError):
+    """Raised for inconsistent schema definitions or unknown objects."""
+
+
+class UnknownTableError(CatalogError):
+    """Raised when a query references a table absent from the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(CatalogError):
+    """Raised when a query references a column absent from its table."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"unknown column: {table!r}.{column!r}")
+        self.table = table
+        self.column = column
+
+
+class AmbiguousColumnError(CatalogError):
+    """Raised when an unqualified column name matches several tables."""
+
+    def __init__(self, column: str, candidates: list[str]) -> None:
+        names = ", ".join(sorted(candidates))
+        super().__init__(f"ambiguous column {column!r}: matches {names}")
+        self.column = column
+        self.candidates = list(candidates)
+
+
+class ConstraintViolation(ReproError):
+    """Raised when an insert/update violates a declared constraint."""
+
+    def __init__(self, constraint: str, detail: str) -> None:
+        super().__init__(f"constraint {constraint!r} violated: {detail}")
+        self.constraint = constraint
+        self.detail = detail
+
+
+class ExecutionError(ReproError):
+    """Raised when query execution fails (type errors, missing host vars)."""
+
+
+class MissingHostVariableError(ExecutionError):
+    """Raised when a query references a host variable with no binding."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no binding supplied for host variable :{name}")
+        self.name = name
+
+
+class RewriteError(ReproError):
+    """Raised when a rewrite rule is applied to an unsupported query."""
+
+
+class UnsupportedQueryError(ReproError):
+    """Raised when a query falls outside the subset a component handles."""
+
+
+class ImsError(ReproError):
+    """Base class for errors raised by the IMS/DL-I simulator."""
+
+
+class OodbError(ReproError):
+    """Base class for errors raised by the object-store simulator."""

@@ -1,0 +1,25 @@
+"""Functional dependencies: FD sets, closure, derived keys."""
+
+from .dependency import FunctionalDependency
+from .derivation import (
+    base_fds,
+    derived_fds,
+    derived_keys,
+    is_duplicate_free_fd,
+    key_dependencies,
+    predicate_fds,
+    product_attributes,
+)
+from .fdset import FDSet
+
+__all__ = [
+    "FDSet",
+    "FunctionalDependency",
+    "base_fds",
+    "derived_fds",
+    "derived_keys",
+    "is_duplicate_free_fd",
+    "key_dependencies",
+    "predicate_fds",
+    "product_attributes",
+]

@@ -1,0 +1,45 @@
+"""Functional dependencies over qualified attributes.
+
+The paper's Definition 1 gives FDs null-aware semantics: ``A -> b``
+holds when any two tuples that agree on ``A`` under the ≐ operator
+(NULLs equal) also agree on ``b``.  Key dependencies are FDs whose
+left side is a declared candidate key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..analysis.attributes import Attribute, AttributeSet, attribute_set
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``lhs -> rhs`` between attribute sets.
+
+    An empty ``lhs`` expresses a *constant* dependency: the attribute has
+    the same value in every qualifying tuple (e.g. it is equated with a
+    constant by the selection predicate).
+    """
+
+    lhs: AttributeSet
+    rhs: AttributeSet
+
+    def __post_init__(self) -> None:
+        if not self.rhs:
+            raise ValueError("an FD must determine at least one attribute")
+
+    @staticmethod
+    def of(lhs: Iterable[Attribute], rhs: Iterable[Attribute]) -> "FunctionalDependency":
+        """Build an FD from attribute iterables."""
+        return FunctionalDependency(attribute_set(lhs), attribute_set(rhs))
+
+    def is_trivial(self) -> bool:
+        """Whether rhs ⊆ lhs (implied by reflexivity)."""
+        return self.rhs <= self.lhs
+
+    def __str__(self) -> str:
+        left = "{" + ", ".join(sorted(map(str, self.lhs))) + "}"
+        right = "{" + ", ".join(sorted(map(str, self.rhs))) + "}"
+        return f"{left} -> {right}"

@@ -1,0 +1,111 @@
+"""Derivation of functional dependencies for query blocks.
+
+Following Klug and Darwen (as surveyed in the paper's §7), the FDs that
+hold in a select/project/product derived table are:
+
+* every key dependency of every FROM-clause table (qualified by its
+  correlation name),
+* ``∅ -> v`` for every column equated with a constant or host variable
+  by a top-level conjunct of the WHERE clause, and
+* ``v1 <-> v2`` for every top-level equality conjunct between columns.
+
+Only *top-level conjuncts* contribute — an equality under an OR holds
+for some rows but not necessarily all, so it induces no dependency.
+
+This module is the general FD-theoretic machinery; Algorithm 1 in
+:mod:`repro.core.uniqueness` is the paper's lighter-weight test (which
+additionally handles disjunctive predicates through DNF expansion).
+The two are cross-validated by the property-based test suite.
+"""
+
+from __future__ import annotations
+
+from ..catalog.schema import Catalog
+from ..catalog.table import TableSchema
+from ..sql.ast import SelectQuery
+from ..sql.expressions import Expr, conjuncts
+from ..analysis.attributes import Attribute, AttributeSet, attribute_set
+from ..analysis.binding import (
+    projection_attributes,
+    qualify_query_predicate,
+    table_columns,
+)
+from ..analysis.conditions import Type1, Type2, classify_atom
+from .dependency import FunctionalDependency
+from .fdset import FDSet
+
+
+def key_dependencies(schema: TableSchema, alias: str) -> list[FunctionalDependency]:
+    """The key dependencies of one table under a correlation name."""
+    all_attributes = [Attribute(alias, name) for name in schema.column_names]
+    dependencies = []
+    for key in schema.candidate_keys:
+        lhs = [Attribute(alias, name) for name in key.columns]
+        dependencies.append(FunctionalDependency.of(lhs, all_attributes))
+    return dependencies
+
+
+def base_fds(query: SelectQuery, catalog: Catalog) -> FDSet:
+    """Key dependencies of every FROM-clause table of *query*."""
+    fds = FDSet()
+    for table_ref in query.tables:
+        schema = catalog.table(table_ref.name)
+        for fd in key_dependencies(schema, table_ref.effective_name):
+            fds.add(fd)
+    return fds
+
+
+def predicate_fds(predicate: Expr | None, fds: FDSet) -> None:
+    """Add FDs induced by top-level equality conjuncts of *predicate*."""
+    for conjunct in conjuncts(predicate):
+        equality = classify_atom(conjunct)
+        if isinstance(equality, Type1):
+            fds.add_constant(equality.attribute)
+        elif isinstance(equality, Type2):
+            fds.add_equivalence(equality.left, equality.right)
+
+
+def derived_fds(query: SelectQuery, catalog: Catalog) -> FDSet:
+    """All FDs known to hold in the query's filtered product."""
+    fds = base_fds(query, catalog)
+    predicate = qualify_query_predicate(query, catalog, allow_correlated=True)
+    predicate_fds(predicate, fds)
+    return fds
+
+
+def product_attributes(query: SelectQuery, catalog: Catalog) -> AttributeSet:
+    """Every attribute of the query's extended Cartesian product."""
+    columns = table_columns(query, catalog)
+    return attribute_set(
+        Attribute(alias, name)
+        for alias, names in columns.items()
+        for name in names
+    )
+
+
+def derived_keys(
+    query: SelectQuery, catalog: Catalog, max_size: int | None = None
+) -> list[AttributeSet]:
+    """Candidate keys of the query's derived table (among its projection).
+
+    A projected attribute set is a key when its closure covers the whole
+    product — equivalently (since each table's key determines the rest of
+    its columns) when it covers a concatenated candidate key.
+    """
+    fds = derived_fds(query, catalog)
+    universe = product_attributes(query, catalog)
+    projection = projection_attributes(query, catalog)
+    return fds.candidate_keys(universe, within=projection, max_size=max_size)
+
+
+def is_duplicate_free_fd(query: SelectQuery, catalog: Catalog) -> bool:
+    """FD-based duplicate-freeness: closure of the projection covers the
+    product.  Requires every FROM table to have a declared key (otherwise
+    nothing determines that table's tuples)."""
+    for table_ref in query.tables:
+        if not catalog.table(table_ref.name).has_key():
+            return False
+    fds = derived_fds(query, catalog)
+    universe = product_attributes(query, catalog)
+    projection = projection_attributes(query, catalog)
+    return fds.is_superkey(projection, universe)

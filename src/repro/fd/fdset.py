@@ -1,0 +1,113 @@
+"""Sets of functional dependencies with closure computation.
+
+Implements the standard attribute-set closure algorithm (Ullman), the
+foundation for deriving keys of derived tables: a set ``K`` is a
+superkey of a relation with attributes ``U`` under FD set ``F`` iff
+``closure(K, F) ⊇ U``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from ..analysis.attributes import Attribute, AttributeSet, attribute_set
+from .dependency import FunctionalDependency
+
+
+class FDSet:
+    """A mutable collection of functional dependencies."""
+
+    def __init__(self, fds: Iterable[FunctionalDependency] = ()) -> None:
+        self._fds: list[FunctionalDependency] = []
+        for fd in fds:
+            self.add(fd)
+
+    def add(self, fd: FunctionalDependency) -> None:
+        """Add an FD (trivial and duplicate FDs are ignored)."""
+        if not fd.is_trivial() and fd not in self._fds:
+            self._fds.append(fd)
+
+    def add_constant(self, attribute: Attribute) -> None:
+        """Record that *attribute* is constant (``∅ -> attribute``)."""
+        self.add(FunctionalDependency(frozenset(), frozenset({attribute})))
+
+    def add_equivalence(self, left: Attribute, right: Attribute) -> None:
+        """Record ``left = right`` (each determines the other)."""
+        self.add(FunctionalDependency.of([left], [right]))
+        self.add(FunctionalDependency.of([right], [left]))
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    # ------------------------------------------------------------------
+
+    def closure(self, attributes: Iterable[Attribute]) -> AttributeSet:
+        """Attribute-set closure: everything determined by *attributes*."""
+        closed: set[Attribute] = set(attributes)
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.lhs <= closed and not fd.rhs <= closed:
+                    closed |= fd.rhs
+                    changed = True
+        return frozenset(closed)
+
+    def implies(self, fd: FunctionalDependency) -> bool:
+        """Whether this FD set logically implies *fd*."""
+        return fd.rhs <= self.closure(fd.lhs)
+
+    def is_superkey(
+        self, attributes: Iterable[Attribute], universe: Iterable[Attribute]
+    ) -> bool:
+        """Whether *attributes* determine every attribute in *universe*."""
+        return attribute_set(universe) <= self.closure(attributes)
+
+    def candidate_keys(
+        self,
+        universe: Iterable[Attribute],
+        within: Iterable[Attribute] | None = None,
+        max_size: int | None = None,
+    ) -> list[AttributeSet]:
+        """Minimal keys of *universe* drawn from *within*.
+
+        *within* defaults to the universe itself; restrict it to a
+        projection list to find keys of a projected derived table.  The
+        search enumerates subsets smallest-first, skipping supersets of
+        keys already found, so results are minimal.  ``max_size`` bounds
+        the subset size for large schemas.
+        """
+        universe_set = attribute_set(universe)
+        pool = sorted(attribute_set(within) if within is not None else universe_set)
+        limit = max_size if max_size is not None else len(pool)
+        keys: list[AttributeSet] = []
+        for size in range(0, limit + 1):
+            for combo in combinations(pool, size):
+                candidate = frozenset(combo)
+                if any(key <= candidate for key in keys):
+                    continue
+                if universe_set <= self.closure(candidate):
+                    keys.append(candidate)
+            if keys and size == 0:
+                break  # the empty set is a key: singleton relation
+        return keys
+
+    def restricted_to(self, attributes: Iterable[Attribute]) -> "FDSet":
+        """FDs whose attributes all fall within *attributes*.
+
+        A cheap (incomplete) projection of the FD set; complete FD
+        projection requires closure enumeration, which
+        :meth:`candidate_keys` performs implicitly where it matters.
+        """
+        allowed = attribute_set(attributes)
+        return FDSet(
+            fd for fd in self._fds if fd.lhs <= allowed and fd.rhs <= allowed
+        )
+
+    def describe(self) -> str:
+        """One FD per line, or a placeholder when empty."""
+        return "\n".join(str(fd) for fd in self._fds) or "(no dependencies)"

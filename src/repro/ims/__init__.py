@@ -1,0 +1,34 @@
+"""IMS/DL-I simulator: hierarchical storage, DL/I calls, SQL gateway."""
+
+from .database import ImsDatabase, Segment
+from .dli import (
+    SSA,
+    STATUS_END,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    Dli,
+    DliStats,
+)
+from .gateway import GatewayStats, ImsGateway
+from .programs import exists_strategy, join_strategy, root_scan_strategy, scan_roots
+from .segments import Hierarchy, SegmentType, define_hierarchy
+
+__all__ = [
+    "Dli",
+    "DliStats",
+    "GatewayStats",
+    "Hierarchy",
+    "ImsDatabase",
+    "ImsGateway",
+    "SSA",
+    "STATUS_END",
+    "STATUS_NOT_FOUND",
+    "STATUS_OK",
+    "Segment",
+    "SegmentType",
+    "define_hierarchy",
+    "exists_strategy",
+    "join_strategy",
+    "root_scan_strategy",
+    "scan_roots",
+]

@@ -1,0 +1,133 @@
+"""HIDAM-style storage for an IMS hierarchy.
+
+Root segments are key-sequenced and reachable through a primary index
+(a sorted mapping), as in HIDAM; dependent segments hang off their
+parent through physical-child pointers, with twins (same-type siblings)
+kept in key order when the type has a sequence field.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import ImsError
+from ..types.values import SqlValue
+from .segments import Hierarchy, SegmentType
+
+
+@dataclass
+class Segment:
+    """One stored segment occurrence."""
+
+    segment_type: SegmentType
+    values: tuple
+    children: dict[str, list["Segment"]] = field(default_factory=dict)
+
+    @property
+    def key(self) -> SqlValue | None:
+        """The sequence-field value, or None for unkeyed segments."""
+        if self.segment_type.key_field is None:
+            return None
+        return self.values[self.segment_type.field_index(self.segment_type.key_field)]
+
+    def field(self, name: str) -> SqlValue:
+        """The value of one field."""
+        return self.values[self.segment_type.field_index(name)]
+
+    def twins(self, child_name: str) -> list["Segment"]:
+        """Children of one type, in twin-chain (key) order."""
+        return self.children.get(child_name.upper(), [])
+
+    def as_dict(self) -> dict[str, SqlValue]:
+        """Field name -> value mapping."""
+        return dict(zip(self.segment_type.fields, self.values))
+
+
+class ImsDatabase:
+    """A populated hierarchical database."""
+
+    def __init__(self, hierarchy: Hierarchy) -> None:
+        self.hierarchy = hierarchy
+        self.roots: list[Segment] = []  # key-sequenced
+        self._root_keys: list = []  # parallel list for the primary index
+
+    # ------------------------------------------------------------------
+    # loading
+
+    def insert_root(self, values: Sequence[SqlValue]) -> Segment:
+        """Insert a root segment, keeping key sequence (HIDAM index)."""
+        root_type = self.hierarchy.root
+        segment = Segment(root_type, tuple(values))
+        key = segment.key
+        if key is None:
+            raise ImsError("root segments must be keyed")
+        position = bisect.bisect_left(self._root_keys, key)
+        if position < len(self._root_keys) and self._root_keys[position] == key:
+            raise ImsError(f"duplicate root key {key!r}")
+        self.roots.insert(position, segment)
+        self._root_keys.insert(position, key)
+        return segment
+
+    def insert_child(
+        self, parent: Segment, child_name: str, values: Sequence[SqlValue]
+    ) -> Segment:
+        """Insert a dependent segment under *parent*, in twin-key order."""
+        child_type = parent.segment_type.child(child_name)
+        segment = Segment(child_type, tuple(values))
+        twins = parent.children.setdefault(child_type.name, [])
+        if child_type.key_field is not None:
+            key = segment.key
+            keys = [twin.key for twin in twins]
+            position = bisect.bisect_right(keys, key)
+            twins.insert(position, segment)
+        else:
+            twins.append(segment)
+        return segment
+
+    # ------------------------------------------------------------------
+    # access paths
+
+    def find_root(self, key: SqlValue) -> tuple[Segment | None, int]:
+        """Primary-index lookup of a root by key.
+
+        Returns ``(segment, index)``; segment is None when absent (index
+        is then the insertion point, useful for positioning).
+        """
+        position = bisect.bisect_left(self._root_keys, key)
+        if position < len(self._root_keys) and self._root_keys[position] == key:
+            return self.roots[position], position
+        return None, position
+
+    def hierarchic_order(self) -> Iterator[Segment]:
+        """All segments in hierarchic (preorder, twin-order) sequence."""
+        for root in self.roots:
+            yield from self._preorder(root)
+
+    def _preorder(self, segment: Segment) -> Iterator[Segment]:
+        yield segment
+        for child_type in segment.segment_type.children:
+            for child in segment.twins(child_type.name):
+                yield from self._preorder(child)
+
+    def descendants(self, segment: Segment, type_name: str) -> list[Segment]:
+        """All occurrences of one type within *segment*'s subtree,
+        in hierarchic (preorder) sequence — what GNP walks for
+        non-direct-child segment types."""
+        wanted = type_name.upper()
+        found: list[Segment] = []
+        for child_type in segment.segment_type.children:
+            for child in segment.twins(child_type.name):
+                if child.segment_type.name == wanted:
+                    found.append(child)
+                found.extend(self.descendants(child, wanted))
+        return found
+
+    def segment_count(self, name: str | None = None) -> int:
+        """Number of stored segments (of one type, or all)."""
+        total = 0
+        for segment in self.hierarchic_order():
+            if name is None or segment.segment_type.name == name.upper():
+                total += 1
+        return total

@@ -1,0 +1,248 @@
+"""The DL/I call interface: GU, GN, GNP with SSAs and status codes.
+
+This is the data-access API IMS application programs use; the paper's
+§6.1 cost arguments are phrased entirely in terms of these calls, so the
+simulator counts every call per segment type and every segment examined
+while satisfying one.
+
+Supported subset (sufficient for the paper's programs):
+
+* ``GU`` — get unique: (re)position at the first segment satisfying the
+  SSA list; a root SSA qualified on the key with ``=`` uses the HIDAM
+  primary index.
+* ``GN`` — get next: advance to the next *root* segment satisfying the
+  (root-type) SSA, in key sequence.
+* ``GNP`` — get next within parent: advance over the current parent's
+  twins of the requested child type.  When the qualification is on the
+  child's *key* field with ``=``, the twin-chain scan halts as soon as a
+  key greater than the sought value appears (twins are key-sequenced);
+  a qualification on a non-key field must examine every remaining twin —
+  exactly the distinction behind the paper's OEM-PNO remark.
+
+Status codes follow IMS: ``'  '`` (blanks) for success, ``'GE'`` for
+not-found, ``'GB'`` for end of database.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import ImsError
+from ..types.values import SqlValue
+from .database import ImsDatabase, Segment
+
+STATUS_OK = "  "
+STATUS_NOT_FOUND = "GE"
+STATUS_END = "GB"
+
+
+@dataclass(frozen=True)
+class SSA:
+    """A segment search argument.
+
+    Unqualified (``field is None``): matches any occurrence of the
+    segment type.  Qualified: ``field op value`` with op in
+    ``= <> < <= > >=``.
+    """
+
+    segment: str
+    field: str | None = None
+    op: str = "="
+    value: SqlValue | None = None
+
+    def matches(self, segment: Segment) -> bool:
+        """Whether a stored segment satisfies this SSA."""
+        if segment.segment_type.name != self.segment.upper():
+            return False
+        if self.field is None:
+            return True
+        actual = segment.field(self.field)
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "<>":
+            return actual != self.value
+        if self.op == "<":
+            return actual < self.value
+        if self.op == "<=":
+            return actual <= self.value
+        if self.op == ">":
+            return actual > self.value
+        if self.op == ">=":
+            return actual >= self.value
+        raise ImsError(f"unsupported SSA operator {self.op!r}")
+
+
+@dataclass
+class DliStats:
+    """Work counters for a sequence of DL/I calls."""
+
+    calls: Counter = field(default_factory=Counter)  # (call, segment) -> n
+    segments_examined: Counter = field(default_factory=Counter)
+    index_lookups: int = 0
+
+    def record_call(self, call: str, segment: str) -> None:
+        """Count one DL/I call of *call* against *segment*."""
+        self.calls[(call, segment)] += 1
+
+    def calls_to(self, segment: str, call: str | None = None) -> int:
+        """Total calls against one segment type (optionally one verb)."""
+        return sum(
+            count
+            for (verb, name), count in self.calls.items()
+            if name == segment.upper() and (call is None or verb == call)
+        )
+
+    def total_calls(self) -> int:
+        """Total DL/I calls across every verb and segment."""
+        return sum(self.calls.values())
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.calls.clear()
+        self.segments_examined.clear()
+        self.index_lookups = 0
+
+    def describe(self) -> str:
+        """Compact one-line summary of all counters."""
+        parts = [
+            f"{verb} {name}={count}"
+            for (verb, name), count in sorted(self.calls.items())
+        ]
+        parts.append(f"index_lookups={self.index_lookups}")
+        parts.extend(
+            f"examined {name}={count}"
+            for name, count in sorted(self.segments_examined.items())
+        )
+        return ", ".join(parts)
+
+
+class Dli:
+    """One application program's view of the database (a PCB, roughly).
+
+    Tracks position: the current root (parentage for GNP) and per-child
+    twin cursors.
+    """
+
+    def __init__(self, database: ImsDatabase, stats: DliStats | None = None) -> None:
+        self.database = database
+        self.stats = stats or DliStats()
+        self._root_position = -1
+        self._parent: Segment | None = None
+        self._gnp_positions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # calls
+
+    def gu(self, ssa: SSA) -> tuple[str, Segment | None]:
+        """Get unique: position at the first qualifying segment."""
+        self.stats.record_call("GU", ssa.segment)
+        root_type = self.database.hierarchy.root
+        if ssa.segment.upper() != root_type.name:
+            raise ImsError(
+                "this simulator supports GU on the root segment only"
+            )
+        if (
+            ssa.field is not None
+            and ssa.field.upper() == root_type.key_field
+            and ssa.op == "="
+        ):
+            # HIDAM primary index lookup.
+            self.stats.index_lookups += 1
+            segment, position = self.database.find_root(ssa.value)
+            if segment is None:
+                return STATUS_NOT_FOUND, None
+            self._set_parent(segment, position)
+            return STATUS_OK, segment
+        for position, root in enumerate(self.database.roots):
+            self.stats.segments_examined[root_type.name] += 1
+            if ssa.matches(root):
+                self._set_parent(root, position)
+                return STATUS_OK, root
+        return STATUS_NOT_FOUND, None
+
+    def gn(self, ssa: SSA) -> tuple[str, Segment | None]:
+        """Get next root segment satisfying *ssa*, in key sequence."""
+        self.stats.record_call("GN", ssa.segment)
+        root_type = self.database.hierarchy.root
+        if ssa.segment.upper() != root_type.name:
+            raise ImsError(
+                "this simulator supports GN on the root segment only"
+            )
+        position = self._root_position + 1
+        while position < len(self.database.roots):
+            root = self.database.roots[position]
+            self.stats.segments_examined[root_type.name] += 1
+            if ssa.matches(root):
+                self._set_parent(root, position)
+                return STATUS_OK, root
+            position += 1
+        self._root_position = len(self.database.roots)
+        return STATUS_END, None
+
+    def gnp(self, ssa: SSA) -> tuple[str, Segment | None]:
+        """Get next occurrence of a dependent type within the parent.
+
+        Direct children walk the twin chain (with the key-sequenced early
+        halt); deeper descendants walk the parent's subtree in hierarchic
+        order.  Cursors are kept per segment type, a simplification of
+        IMS's single positional cursor that the paper's programs never
+        distinguish.
+        """
+        self.stats.record_call("GNP", ssa.segment)
+        if self._parent is None:
+            raise ImsError("GNP issued without established parentage")
+        try:
+            child_type = self._parent.segment_type.child(ssa.segment)
+        except ImsError:
+            return self._gnp_descendant(ssa)
+        twins = self._parent.twins(child_type.name)
+        position = self._gnp_positions.get(child_type.name, 0)
+
+        key_qualified = (
+            ssa.field is not None
+            and child_type.key_field is not None
+            and ssa.field.upper() == child_type.key_field
+            and ssa.op == "="
+        )
+        while position < len(twins):
+            twin = twins[position]
+            self.stats.segments_examined[child_type.name] += 1
+            position += 1
+            if key_qualified and twin.key is not None and twin.key > ssa.value:
+                # Twins are key-sequenced: nothing further can match.
+                self._gnp_positions[child_type.name] = position
+                return STATUS_NOT_FOUND, None
+            if ssa.matches(twin):
+                self._gnp_positions[child_type.name] = position
+                return STATUS_OK, twin
+        self._gnp_positions[child_type.name] = position
+        return STATUS_NOT_FOUND, None
+
+    def _gnp_descendant(self, ssa: SSA) -> tuple[str, Segment | None]:
+        """GNP for a non-direct-child dependent: subtree walk."""
+        target = self.database.hierarchy.segment_type(ssa.segment)
+        parent_type = self._parent.segment_type
+        if not target.is_descendant_of(parent_type):
+            raise ImsError(
+                f"segment {target.name!r} is not a dependent of "
+                f"{parent_type.name!r}"
+            )
+        occurrences = self.database.descendants(self._parent, target.name)
+        position = self._gnp_positions.get(target.name, 0)
+        while position < len(occurrences):
+            segment = occurrences[position]
+            self.stats.segments_examined[target.name] += 1
+            position += 1
+            if ssa.matches(segment):
+                self._gnp_positions[target.name] = position
+                return STATUS_OK, segment
+        self._gnp_positions[target.name] = position
+        return STATUS_NOT_FOUND, None
+
+    # ------------------------------------------------------------------
+
+    def _set_parent(self, segment: Segment, position: int) -> None:
+        self._root_position = position
+        self._parent = segment
+        self._gnp_positions = {}

@@ -1,0 +1,78 @@
+"""Iterative DL/I programs for parent/child queries.
+
+These are the two execution strategies of the paper's Example 10,
+expressed as functions over the :class:`~repro.ims.dli.Dli` interface.
+
+``join_strategy`` implements the straightforward nested-loop *join*
+translation (the paper's lines 21–29): after each qualifying child the
+program issues another GNP, which — when the qualification is on the
+child's key — always fails, so half the calls against the child segment
+are wasted.
+
+``exists_strategy`` implements the *nested query* translation (lines
+30–35) obtained after the join→subquery rewrite: one GNP per parent,
+stopping at the first match.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .database import Segment
+from .dli import SSA, STATUS_OK, Dli
+
+OutputFn = Callable[[Segment, Segment | None], tuple]
+
+
+def scan_roots(dli: Dli, root_ssa: SSA) -> Iterator[Segment]:
+    """GU/GN loop over qualifying root segments."""
+    status, root = dli.gu(root_ssa)
+    while status == STATUS_OK:
+        yield root
+        status, root = dli.gn(root_ssa)
+
+
+def join_strategy(
+    dli: Dli,
+    root_ssa: SSA,
+    child_ssa: SSA,
+    output: OutputFn | None = None,
+) -> list[tuple]:
+    """Nested-loop join: inner GNP loop runs until 'GE' (Example 10a).
+
+    Emits one output row per (parent, matching child) pair — multiset
+    join semantics.
+    """
+    emit = output or (lambda parent, child: parent.values)
+    rows: list[tuple] = []
+    for root in scan_roots(dli, root_ssa):
+        status, child = dli.gnp(child_ssa)
+        while status == STATUS_OK:
+            rows.append(emit(root, child))
+            status, child = dli.gnp(child_ssa)
+    return rows
+
+
+def exists_strategy(
+    dli: Dli,
+    root_ssa: SSA,
+    child_ssa: SSA,
+    output: OutputFn | None = None,
+) -> list[tuple]:
+    """Existential probe: one GNP per parent, stop at first match
+    (Example 10b).  Emits one output row per parent with a match."""
+    emit = output or (lambda parent, child: parent.values)
+    rows: list[tuple] = []
+    for root in scan_roots(dli, root_ssa):
+        status, child = dli.gnp(child_ssa)
+        if status == STATUS_OK:
+            rows.append(emit(root, child))
+    return rows
+
+
+def root_scan_strategy(
+    dli: Dli, root_ssa: SSA, output: Callable[[Segment], tuple] | None = None
+) -> list[tuple]:
+    """Plain qualified scan over the root segment type."""
+    emit = output or (lambda parent: parent.values)
+    return [emit(root) for root in scan_roots(dli, root_ssa)]

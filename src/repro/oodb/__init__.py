@@ -1,0 +1,16 @@
+"""Object-oriented database simulator: OIDs, extents, navigation."""
+
+from .model import Oid, OoClass, OoObject
+from .store import ObjectStats, ObjectStore
+from .strategies import forward_join, full_scan_join, selective_exists
+
+__all__ = [
+    "ObjectStats",
+    "ObjectStore",
+    "Oid",
+    "OoClass",
+    "OoObject",
+    "forward_join",
+    "full_scan_join",
+    "selective_exists",
+]

@@ -1,0 +1,86 @@
+"""Object model: classes, objects, and physical OIDs (Figure 3).
+
+In the paper's object-oriented setting (modelled on EXODUS and O₂),
+*object identifiers* replace foreign keys, and each child object holds a
+pointer **to its parent** — the direction that makes parent-restricted
+joins awkward, motivating the join→subquery rewrite of §6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import OodbError
+from ..types.values import SqlValue
+
+
+@dataclass(frozen=True)
+class Oid:
+    """A physical object identifier: class name plus slot number."""
+
+    class_name: str
+    slot: int
+
+    def __str__(self) -> str:
+        return f"{self.class_name}#{self.slot}"
+
+
+@dataclass
+class OoClass:
+    """A class definition.
+
+    Attributes:
+        name: class name (upper case).
+        attributes: scalar attribute names.
+        key_attribute: the primary-key attribute (unique per parent for
+            child classes, mirroring the paper's relational schema).
+        references: reference attribute -> target class name; these hold
+            OIDs (child→parent pointers in the supplier model).
+    """
+
+    name: str
+    attributes: list[str]
+    key_attribute: str | None = None
+    references: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.name = self.name.upper()
+        self.attributes = [a.upper() for a in self.attributes]
+        if self.key_attribute is not None:
+            self.key_attribute = self.key_attribute.upper()
+            if self.key_attribute not in self.attributes:
+                raise OodbError(
+                    f"key attribute {self.key_attribute!r} is not an "
+                    f"attribute of class {self.name!r}"
+                )
+        self.references = {
+            attr.upper(): target.upper()
+            for attr, target in self.references.items()
+        }
+
+
+@dataclass
+class OoObject:
+    """One stored object."""
+
+    oid: Oid
+    values: dict[str, SqlValue]
+    refs: dict[str, Oid] = field(default_factory=dict)
+
+    def get(self, attribute: str) -> SqlValue:
+        """The value of one scalar attribute."""
+        try:
+            return self.values[attribute.upper()]
+        except KeyError:
+            raise OodbError(
+                f"object {self.oid} has no attribute {attribute!r}"
+            ) from None
+
+    def ref(self, attribute: str) -> Oid:
+        """The OID stored in one reference attribute."""
+        try:
+            return self.refs[attribute.upper()]
+        except KeyError:
+            raise OodbError(
+                f"object {self.oid} has no reference {attribute!r}"
+            ) from None

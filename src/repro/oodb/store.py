@@ -1,0 +1,204 @@
+"""Object store with extents, attribute indexes, and fetch accounting.
+
+Every object *fetch* (materializing an object from its OID or scanning
+an extent) is counted — the §6.2 argument is entirely about how many
+objects each navigation strategy touches.  Index lookups return OIDs
+without fetching; dereferencing them is the part that costs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import OodbError
+from ..types.values import SqlValue
+from .model import Oid, OoClass, OoObject
+
+
+@dataclass
+class ObjectStats:
+    """Work counters for navigational execution."""
+
+    fetches: Counter = field(default_factory=Counter)  # class -> n
+    index_lookups: int = 0
+    pointer_derefs: int = 0
+
+    def fetches_of(self, class_name: str) -> int:
+        """Objects of one class fetched so far."""
+        return self.fetches[class_name.upper()]
+
+    def total_fetches(self) -> int:
+        """Objects fetched across every class."""
+        return sum(self.fetches.values())
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.fetches.clear()
+        self.index_lookups = 0
+        self.pointer_derefs = 0
+
+    def describe(self) -> str:
+        """Compact one-line summary of all counters."""
+        parts = [
+            f"fetch {name}={count}" for name, count in sorted(self.fetches.items())
+        ]
+        parts.append(f"index_lookups={self.index_lookups}")
+        parts.append(f"pointer_derefs={self.pointer_derefs}")
+        return ", ".join(parts)
+
+
+class _Index:
+    """A sorted attribute index mapping values to OID lists."""
+
+    def __init__(self) -> None:
+        self._keys: list = []
+        self._buckets: dict = {}
+
+    def add(self, value: SqlValue, oid: Oid) -> None:
+        if value not in self._buckets:
+            bisect.insort(self._keys, value)
+            self._buckets[value] = []
+        self._buckets[value].append(oid)
+
+    def lookup(self, value: SqlValue) -> list[Oid]:
+        return list(self._buckets.get(value, ()))
+
+    def range(self, low: SqlValue, high: SqlValue) -> list[Oid]:
+        start = bisect.bisect_left(self._keys, low)
+        end = bisect.bisect_right(self._keys, high)
+        oids: list[Oid] = []
+        for key in self._keys[start:end]:
+            oids.extend(self._buckets[key])
+        return oids
+
+
+class ObjectStore:
+    """Class registry, extents, and indexes."""
+
+    def __init__(self, stats: ObjectStats | None = None) -> None:
+        self.stats = stats or ObjectStats()
+        self._classes: dict[str, OoClass] = {}
+        self._extents: dict[str, list[OoObject]] = {}
+        self._indexes: dict[tuple[str, str], _Index] = {}
+
+    # ------------------------------------------------------------------
+    # schema
+
+    def define_class(self, oo_class: OoClass) -> OoClass:
+        """Register a class (reference targets must already exist)."""
+        if oo_class.name in self._classes:
+            raise OodbError(f"class {oo_class.name!r} already defined")
+        for target in oo_class.references.values():
+            if target not in self._classes:
+                raise OodbError(
+                    f"reference target class {target!r} is not defined"
+                )
+        self._classes[oo_class.name] = oo_class
+        self._extents[oo_class.name] = []
+        return oo_class
+
+    def oo_class(self, name: str) -> OoClass:
+        """Look up a class definition by name."""
+        try:
+            return self._classes[name.upper()]
+        except KeyError:
+            raise OodbError(f"unknown class {name!r}") from None
+
+    def create_index(self, class_name: str, attribute: str) -> None:
+        """Build an index on one attribute (retroactively as well)."""
+        oo_class = self.oo_class(class_name)
+        attribute = attribute.upper()
+        if attribute not in oo_class.attributes:
+            raise OodbError(
+                f"class {oo_class.name!r} has no attribute {attribute!r}"
+            )
+        index = _Index()
+        for obj in self._extents[oo_class.name]:
+            index.add(obj.get(attribute), obj.oid)
+        self._indexes[(oo_class.name, attribute)] = index
+
+    # ------------------------------------------------------------------
+    # objects
+
+    def create(
+        self,
+        class_name: str,
+        values: dict[str, SqlValue],
+        refs: dict[str, Oid] | None = None,
+    ) -> OoObject:
+        """Store a new object; every scalar attribute must be supplied.
+
+        *refs* maps reference attributes to OIDs of existing objects
+        (the child→parent pointers of Figure 3).
+        """
+        oo_class = self.oo_class(class_name)
+        normalized = {key.upper(): value for key, value in values.items()}
+        missing = set(oo_class.attributes) - set(normalized)
+        if missing:
+            raise OodbError(f"missing attributes: {sorted(missing)}")
+        normalized_refs: dict[str, Oid] = {}
+        for attr, oid in (refs or {}).items():
+            attr = attr.upper()
+            if attr not in oo_class.references:
+                raise OodbError(
+                    f"class {oo_class.name!r} has no reference {attr!r}"
+                )
+            normalized_refs[attr] = oid
+        extent = self._extents[oo_class.name]
+        obj = OoObject(Oid(oo_class.name, len(extent)), normalized, normalized_refs)
+        extent.append(obj)
+        for (cls, attribute), index in self._indexes.items():
+            if cls == oo_class.name:
+                index.add(obj.get(attribute), obj.oid)
+        return obj
+
+    def deref(self, oid: Oid) -> OoObject:
+        """Fetch an object through its OID (counted)."""
+        try:
+            obj = self._extents[oid.class_name][oid.slot]
+        except (KeyError, IndexError):
+            raise OodbError(f"dangling OID {oid}") from None
+        self.stats.fetches[oid.class_name] += 1
+        self.stats.pointer_derefs += 1
+        return obj
+
+    def scan(self, class_name: str) -> Iterator[OoObject]:
+        """Full extent scan (each object fetch counted)."""
+        for obj in self._extents[self.oo_class(class_name).name]:
+            self.stats.fetches[obj.oid.class_name] += 1
+            yield obj
+
+    def extent_size(self, class_name: str) -> int:
+        """Number of stored objects of one class."""
+        return len(self._extents[self.oo_class(class_name).name])
+
+    # ------------------------------------------------------------------
+    # index access
+
+    def index_lookup(self, class_name: str, attribute: str, value: SqlValue) -> list[Oid]:
+        """Point lookup; returns OIDs without fetching."""
+        self.stats.index_lookups += 1
+        return self._index(class_name, attribute).lookup(value)
+
+    def index_range(
+        self, class_name: str, attribute: str, low: SqlValue, high: SqlValue
+    ) -> list[Oid]:
+        """Inclusive range lookup; returns OIDs without fetching."""
+        self.stats.index_lookups += 1
+        return self._index(class_name, attribute).range(low, high)
+
+    def has_index(self, class_name: str, attribute: str) -> bool:
+        """Whether an index exists on (class, attribute)."""
+        return (self.oo_class(class_name).name, attribute.upper()) in self._indexes
+
+    def _index(self, class_name: str, attribute: str) -> _Index:
+        key = (self.oo_class(class_name).name, attribute.upper())
+        try:
+            return self._indexes[key]
+        except KeyError:
+            raise OodbError(
+                f"no index on {key[0]}.{key[1]}; create_index first"
+            ) from None

@@ -1,0 +1,103 @@
+"""Navigational execution strategies for parent/child joins (§6.2).
+
+Example 11's query::
+
+    SELECT ALL S.* FROM SUPPLIER S, PARTS P
+    WHERE S.SNO BETWEEN 10 AND 20 AND S.SNO = P.SNO AND P.PNO = :PARTNO
+
+admits two navigations over the child→parent pointer model:
+
+* :func:`forward_join` (lines 36–42): start from the child class via
+  its attribute index and dereference every child's parent pointer —
+  many parents are fetched only to fail the range test;
+* :func:`selective_exists` (lines 43–48): after the join→subquery
+  rewrite, start from the *selective* parent range and probe the child
+  index per parent, stopping at the first child whose parent pointer
+  matches — the EXISTS semantics.
+
+Which wins depends on selectivities; benchmark E8 sweeps the crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..types.values import SqlValue
+from .model import OoObject
+from .store import ObjectStore
+
+ParentPredicate = Callable[[OoObject], bool]
+
+
+def forward_join(
+    store: ObjectStore,
+    child_class: str,
+    child_attr: str,
+    child_value: SqlValue,
+    parent_ref: str,
+    parent_predicate: ParentPredicate,
+) -> list[OoObject]:
+    """Navigate child -> parent; emit each parent passing the predicate.
+
+    One output per qualifying (child, parent) pair — the multiset join.
+    """
+    output: list[OoObject] = []
+    for child_oid in store.index_lookup(child_class, child_attr, child_value):
+        child = store.deref(child_oid)
+        parent = store.deref(child.ref(parent_ref))
+        if parent_predicate(parent):
+            output.append(parent)
+    return output
+
+
+def selective_exists(
+    store: ObjectStore,
+    parent_class: str,
+    parent_attr: str,
+    low: SqlValue,
+    high: SqlValue,
+    child_class: str,
+    child_attr: str,
+    child_value: SqlValue,
+    parent_ref: str,
+) -> list[OoObject]:
+    """Navigate parent-range -> child probe with early termination.
+
+    For each parent in the attribute range, scan the child index bucket
+    for *child_value* and stop at the first child pointing back at this
+    parent (EXISTS semantics); emit the parent when found.
+    """
+    output: list[OoObject] = []
+    for parent_oid in store.index_range(parent_class, parent_attr, low, high):
+        parent = store.deref(parent_oid)
+        store.stats.index_lookups += 1
+        found = False
+        for child_oid in store._index(child_class, child_attr).lookup(child_value):
+            child = store.deref(child_oid)
+            if child.ref(parent_ref) == parent.oid:
+                found = True
+                break
+        if found:
+            output.append(parent)
+    return output
+
+
+def full_scan_join(
+    store: ObjectStore,
+    parent_class: str,
+    parent_predicate: ParentPredicate,
+    child_class: str,
+    child_attr: str,
+    child_value: SqlValue,
+    parent_ref: str,
+) -> list[OoObject]:
+    """Baseline without any index: scan the child extent, dereference
+    parents, filter.  The worst strategy; included for benchmarks."""
+    output: list[OoObject] = []
+    for child in store.scan(child_class):
+        if child.get(child_attr) != child_value:
+            continue
+        parent = store.deref(child.ref(parent_ref))
+        if parent_predicate(parent):
+            output.append(parent)
+    return output

@@ -1,0 +1,248 @@
+"""Statement-level AST: queries, set operations, DDL, and INSERT.
+
+The query model follows the paper's Section 2 exactly:
+
+* a **query specification** (:class:`SelectQuery`) is
+  ``SELECT [ALL|DISTINCT] A FROM R, S, ... WHERE C`` — selection,
+  projection and extended Cartesian product only;
+* a **query expression** (:class:`SetOperation`) combines two query
+  specifications with ``INTERSECT [ALL]``, ``EXCEPT [ALL]`` or
+  ``UNION [ALL]``.
+
+Subqueries (EXISTS / IN) appear inside WHERE predicates via the
+expression nodes in :mod:`repro.sql.expressions`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from .expressions import ColumnRef, Expr
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in a FROM clause, with an optional correlation name.
+
+    ``effective_name`` is how the rest of the query refers to the table:
+    the alias when present, otherwise the table name itself.
+    """
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def effective_name(self) -> str:
+        """The correlation name the query uses for this table."""
+        return self.alias or self.name
+
+    def __repr__(self) -> str:
+        if self.alias:
+            return f"TableRef({self.name} {self.alias})"
+        return f"TableRef({self.name})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of a select list: a column reference or ``*``.
+
+    A ``None`` expression stands for a bare ``*``; a qualifier-only item
+    (``S.*``) is a :class:`Star`.
+    """
+
+    expr: Expr
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        """The result-column name this item produces."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.column
+        return "?column?"
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``qualifier.*`` in a select list."""
+
+    qualifier: str | None = None
+
+
+class Quantifier(enum.Enum):
+    """Projection duplicate-handling: the paper's ``All`` vs ``Dist``."""
+
+    ALL = "ALL"
+    DISTINCT = "DISTINCT"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY element."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A query specification (SELECT-FROM-WHERE block).
+
+    Attributes:
+        quantifier: ALL (keep duplicates) or DISTINCT (the paper's focus).
+        select_list: projection entries; ``Star`` entries expand against a
+            catalog during binding.
+        tables: FROM-clause tables; multiple entries form an extended
+            Cartesian product, per the paper's algebra.
+        where: selection predicate or None.
+        order_by: optional ordering (outside the paper's algebra but
+            supported by the engine for deterministic output).
+    """
+
+    quantifier: Quantifier
+    select_list: tuple[SelectItem | Star, ...]
+    tables: tuple[TableRef, ...]
+    where: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+
+    @property
+    def distinct(self) -> bool:
+        """Whether this block eliminates duplicates."""
+        return self.quantifier is Quantifier.DISTINCT
+
+    def with_quantifier(self, quantifier: Quantifier) -> "SelectQuery":
+        """A copy of this query with a different ALL/DISTINCT setting."""
+        return replace(self, quantifier=quantifier)
+
+    def with_where(self, where: Expr | None) -> "SelectQuery":
+        """A copy of this query with a different WHERE predicate."""
+        return replace(self, where=where)
+
+    def with_tables(self, tables: Sequence[TableRef]) -> "SelectQuery":
+        """A copy of this query with a different FROM clause."""
+        return replace(self, tables=tuple(tables))
+
+    def with_select_list(
+        self, select_list: Sequence[SelectItem | Star]
+    ) -> "SelectQuery":
+        """A copy of this query with a different projection list."""
+        return replace(self, select_list=tuple(select_list))
+
+    def table_names(self) -> list[str]:
+        """Effective (alias-resolved) names of the FROM-clause tables."""
+        return [table.effective_name for table in self.tables]
+
+
+class SetOpKind(enum.Enum):
+    """The set operator of a query expression."""
+
+    INTERSECT = "INTERSECT"
+    EXCEPT = "EXCEPT"
+    UNION = "UNION"
+
+
+@dataclass(frozen=True)
+class SetOperation:
+    """A query expression: two operands joined by a set operator.
+
+    ``all`` selects the multiset (``... ALL``) semantics: INTERSECT ALL
+    keeps ``min(j, k)`` copies of a row and EXCEPT ALL ``max(j - k, 0)``,
+    exactly as Section 2.2 of the paper defines.
+    """
+
+    kind: SetOpKind
+    all: bool
+    left: "Query"
+    right: "Query"
+
+    @property
+    def distinct(self) -> bool:
+        """Whether this set operation eliminates duplicates."""
+        return not self.all
+
+
+Query = SelectQuery | SetOperation
+
+
+def iter_select_blocks(query: Query) -> Iterator[SelectQuery]:
+    """Yield every SELECT block in *query*, left to right."""
+    if isinstance(query, SelectQuery):
+        yield query
+    else:
+        yield from iter_select_blocks(query.left)
+        yield from iter_select_blocks(query.right)
+
+
+# ----------------------------------------------------------------------
+# DDL and DML statements
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str
+    length: int | None = None
+    not_null: bool = False
+    check: Expr | None = None
+
+
+@dataclass(frozen=True)
+class PrimaryKeyClause:
+    """``PRIMARY KEY (c1, ...)`` — implies NOT NULL on every column."""
+
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class UniqueClause:
+    """``UNIQUE (c1, ...)`` — a candidate key; columns may be NULL.
+
+    Following SQL2 (and the paper), NULL is treated as a single special
+    value: at most one row may have NULL in the key.
+    """
+
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CheckClause:
+    """``CHECK (condition)`` — must never be false for any stored row."""
+
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class ForeignKeyClause:
+    """``FOREIGN KEY (c1, ...) REFERENCES t (d1, ...)``."""
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+TableConstraint = PrimaryKeyClause | UniqueClause | CheckClause | ForeignKeyClause
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """A parsed CREATE TABLE statement."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    constraints: tuple[TableConstraint, ...] = ()
+
+
+@dataclass(frozen=True)
+class Insert:
+    """A parsed INSERT statement with literal VALUES rows."""
+
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple, ...]
+
+
+Statement = Query | CreateTable | Insert

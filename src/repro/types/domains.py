@@ -1,0 +1,159 @@
+"""Value domains for columns and host variables.
+
+The paper defines a host variable's domain as the intersection of the
+column domains it is compared with, and its exact Theorem 1 test
+quantifies over ``Domain(R × S)``.  To make that test *decidable* the
+exact checker (``repro.core.exact``) enumerates small **active domains**;
+this module provides the domain abstraction it enumerates.
+
+A :class:`Domain` describes the set of values a column may take.  It can
+be finite (an explicit enumeration, e.g. derived from a ``CHECK (c IN
+(...))`` constraint), an integer range (``CHECK (c BETWEEN lo AND hi)``),
+or unconstrained, in which case callers sample a few representative
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .values import NULL, SqlValue, is_null
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The set of values a column may take.
+
+    Attributes:
+        type_name: declared SQL type ('INT', 'VARCHAR', 'BOOLEAN', ...).
+        values: explicit finite enumeration, or None when open.
+        low/high: inclusive integer bounds, or None when unbounded.
+        nullable: whether NULL belongs to the domain.
+    """
+
+    type_name: str = "INT"
+    values: tuple[SqlValue, ...] | None = None
+    low: int | None = None
+    high: int | None = None
+    nullable: bool = True
+
+    def is_finite(self) -> bool:
+        """Whether the non-null part of the domain is finitely enumerable."""
+        if self.values is not None:
+            return True
+        return self.low is not None and self.high is not None
+
+    def contains(self, value: SqlValue) -> bool:
+        """Membership test; NULL is a member iff the domain is nullable."""
+        if is_null(value):
+            return self.nullable
+        if self.values is not None:
+            return value in self.values
+        if self.low is not None and isinstance(value, (int, float)):
+            if value < self.low:
+                return False
+        if self.high is not None and isinstance(value, (int, float)):
+            if value > self.high:
+                return False
+        return True
+
+    def sample(self, limit: int = 3) -> list[SqlValue]:
+        """Up to *limit* representative non-null values, plus NULL if allowed.
+
+        Used by the exact Theorem 1 checker to build small active domains.
+        For open domains we fabricate distinct integers or strings; the
+        checker only needs *distinguishable* values, not realistic ones.
+        """
+        out: list[SqlValue] = []
+        if self.values is not None:
+            out.extend(self.values[:limit])
+        elif self.low is not None and self.high is not None:
+            span = range(self.low, self.high + 1)
+            for value in list(span)[:limit]:
+                out.append(value)
+        elif self.type_name.upper() in ("CHAR", "VARCHAR", "TEXT", "STRING"):
+            out.extend(f"v{i}" for i in range(limit))
+        else:
+            out.extend(range(limit))
+        if self.nullable:
+            out.append(NULL)
+        return out
+
+    def intersect(self, other: "Domain") -> "Domain":
+        """Domain intersection (used for host variables, per the paper)."""
+        if self.values is not None and other.values is not None:
+            merged = tuple(v for v in self.values if v in other.values)
+            values: tuple[SqlValue, ...] | None = merged
+        elif self.values is not None:
+            values = tuple(v for v in self.values if other.contains(v))
+        elif other.values is not None:
+            values = tuple(v for v in other.values if self.contains(v))
+        else:
+            values = None
+        low = _max_opt(self.low, other.low)
+        high = _min_opt(self.high, other.high)
+        return Domain(
+            type_name=self.type_name,
+            values=values,
+            low=low,
+            high=high,
+            nullable=self.nullable and other.nullable,
+        )
+
+    @staticmethod
+    def enumeration(values: Iterable[SqlValue], nullable: bool = True) -> "Domain":
+        """A finite domain from an explicit list of values."""
+        values = tuple(values)
+        type_name = "VARCHAR" if any(isinstance(v, str) for v in values) else "INT"
+        return Domain(type_name=type_name, values=values, nullable=nullable)
+
+    @staticmethod
+    def integer_range(low: int, high: int, nullable: bool = True) -> "Domain":
+        """A bounded integer domain (e.g. from CHECK BETWEEN)."""
+        return Domain(type_name="INT", low=low, high=high, nullable=nullable)
+
+
+def _max_opt(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _min_opt(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+@dataclass
+class DomainMap:
+    """Mutable mapping from qualified column names to domains.
+
+    Keys are ``(relation, column)`` pairs; the map also tracks host
+    variable domains inferred from the comparisons they appear in.
+    """
+
+    columns: dict[tuple[str, str], Domain] = field(default_factory=dict)
+    host_vars: dict[str, Domain] = field(default_factory=dict)
+
+    def column_domain(self, relation: str, column: str) -> Domain:
+        """The recorded domain, defaulting to an open one."""
+        return self.columns.get((relation, column), Domain())
+
+    def set_column(self, relation: str, column: str, domain: Domain) -> None:
+        """Record a column's domain."""
+        self.columns[(relation, column)] = domain
+
+    def narrow_host_var(self, name: str, domain: Domain) -> None:
+        """Intersect a host variable's domain with *domain* (paper §3.2)."""
+        current = self.host_vars.get(name)
+        self.host_vars[name] = domain if current is None else current.intersect(domain)
+
+    def host_var_domain(self, name: str) -> Domain:
+        """The accumulated domain of one host variable."""
+        return self.host_vars.get(name, Domain())

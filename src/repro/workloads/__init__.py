@@ -1,0 +1,37 @@
+"""Workloads: the paper's supplier schema, example queries, generators."""
+
+from .generator import (
+    GeneratorConfig,
+    random_catalog,
+    random_database,
+    random_query,
+)
+from .queries import PAPER_QUERIES, PaperQuery, paper_query
+from .supplier import (
+    SupplierData,
+    SupplierScale,
+    build_catalog,
+    build_database,
+    build_ims_database,
+    build_object_store,
+    generate,
+    supplier_ddl,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "PAPER_QUERIES",
+    "PaperQuery",
+    "SupplierData",
+    "SupplierScale",
+    "build_catalog",
+    "build_database",
+    "build_ims_database",
+    "build_object_store",
+    "generate",
+    "paper_query",
+    "random_catalog",
+    "random_database",
+    "random_query",
+    "supplier_ddl",
+]

@@ -1,0 +1,162 @@
+"""Random schemas, instances, and queries for property-based testing.
+
+The soundness property the test suite hammers: *whenever Algorithm 1
+answers YES, executing the query with and without DISTINCT yields the
+same multiset on every instance*.  These generators produce small random
+worlds for that check; they are deliberately adversarial (NULL-able
+columns, shared names across tables, OR-predicates, host variables).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..catalog.builder import CatalogBuilder
+from ..catalog.schema import Catalog
+from ..engine.database import Database
+from ..errors import ConstraintViolation
+from ..sql.ast import Quantifier, SelectItem, SelectQuery, TableRef
+from ..sql.expressions import (
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    conjoin,
+    disjoin,
+)
+from ..types.values import NULL
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape parameters for the random world."""
+
+    max_tables: int = 2
+    max_columns: int = 4
+    max_rows: int = 8
+    domain: tuple = (0, 1, 2)
+    null_rate: float = 0.15
+    max_predicates: int = 3
+    or_rate: float = 0.25
+
+
+def random_catalog(rng: random.Random, config: GeneratorConfig | None = None) -> Catalog:
+    """A random 1–2 table catalog; every table gets a primary key.
+
+    Adversarial features appear with some probability: UNIQUE candidate
+    keys, CHECK constraints (both equality checks on NOT NULL columns —
+    exploitable by ``use_check_constraints`` — and range checks), and a
+    foreign key from the second table to the first one's key (food for
+    the join-elimination rule).
+    """
+    config = config or GeneratorConfig()
+    builder = CatalogBuilder()
+    table_count = rng.randint(1, config.max_tables)
+    first_key_width = 1
+    for t in range(table_count):
+        name = f"T{t}"
+        column_count = rng.randint(2, config.max_columns)
+        key_width = 1 if rng.random() < 0.7 else min(2, column_count)
+        if t == 0:
+            first_key_width = key_width
+        check_column = (
+            key_width if rng.random() < 0.25 and column_count > key_width
+            else None
+        )
+        table = builder.table(name)
+        for c in range(column_count):
+            table.column(f"C{c}", "INT", nullable=(c != check_column))
+        table.primary_key(*[f"C{i}" for i in range(key_width)])
+        if rng.random() < 0.3 and column_count > key_width:
+            table.unique(f"C{column_count - 1}")
+        if check_column is not None:
+            table.check(f"C{check_column} = {rng.choice(config.domain)}")
+        elif rng.random() < 0.2:
+            table.check(f"C0 >= {min(config.domain)}")
+        if (
+            t == 1
+            and first_key_width == 1
+            and column_count > key_width
+            and rng.random() < 0.4
+        ):
+            table.foreign_key(f"C{column_count - 1}", "T0", "C0")
+        builder = table.finish()
+    return builder.build()
+
+
+def random_database(
+    rng: random.Random,
+    catalog: Catalog,
+    config: GeneratorConfig | None = None,
+) -> Database:
+    """A random valid instance; constraint violations are retried away."""
+    config = config or GeneratorConfig()
+    database = Database(catalog)
+    for schema in catalog:  # creation order: referenced tables first
+        data = database.table(schema.name)
+        target = rng.randint(0, config.max_rows)
+        attempts = 0
+        while len(data) < target and attempts < target * 10:
+            attempts += 1
+            row = []
+            for column in schema.columns:
+                if column.nullable and rng.random() < config.null_rate:
+                    row.append(NULL)
+                else:
+                    row.append(rng.choice(config.domain))
+            try:
+                database.insert(schema.name, tuple(row))
+            except ConstraintViolation:
+                continue
+    return database
+
+
+def random_query(
+    rng: random.Random,
+    catalog: Catalog,
+    config: GeneratorConfig | None = None,
+) -> SelectQuery:
+    """A random SELECT DISTINCT block over the catalog's tables."""
+    config = config or GeneratorConfig()
+    names = catalog.table_names()
+    table_count = rng.randint(1, len(names))
+    chosen = rng.sample(names, table_count)
+    tables = tuple(TableRef(name) for name in chosen)
+
+    all_columns = [
+        ColumnRef(name, column)
+        for name in chosen
+        for column in catalog.table(name).column_names
+    ]
+    projection_size = rng.randint(1, len(all_columns))
+    projection = rng.sample(all_columns, projection_size)
+    select_list = tuple(SelectItem(ref) for ref in projection)
+
+    predicates: list[Expr] = []
+    for _ in range(rng.randint(0, config.max_predicates)):
+        atom = _random_atom(rng, all_columns, config)
+        if rng.random() < config.or_rate:
+            atom = disjoin([atom, _random_atom(rng, all_columns, config)])
+        predicates.append(atom)
+
+    where = conjoin(predicates) if predicates else None
+    return SelectQuery(
+        quantifier=Quantifier.DISTINCT,
+        select_list=select_list,
+        tables=tables,
+        where=where,
+    )
+
+
+def _random_atom(
+    rng: random.Random, columns: list[ColumnRef], config: GeneratorConfig
+) -> Expr:
+    left = rng.choice(columns)
+    kind = rng.random()
+    if kind < 0.5:
+        return Comparison("=", left, Literal(rng.choice(config.domain)))
+    if kind < 0.85:
+        return Comparison("=", left, rng.choice(columns))
+    op = rng.choice(("<", "<=", ">", ">=", "<>"))
+    return Comparison(op, left, Literal(rng.choice(config.domain)))

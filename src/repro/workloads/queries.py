@@ -1,0 +1,154 @@
+"""The paper's worked examples as a machine-readable query catalog.
+
+Each entry records the example number, the SQL text, required host
+variables, and the paper's stated outcome, so tests and benchmarks can
+iterate over them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..types.values import SqlValue
+
+
+@dataclass(frozen=True)
+class PaperQuery:
+    """One worked example from the paper."""
+
+    example: str
+    description: str
+    sql: str
+    params: dict[str, SqlValue] = field(default_factory=dict)
+    distinct_unnecessary: bool | None = None  # Theorem 1 verdict, if stated
+    rewrite_rule: str | None = None  # rule expected to fire, if any
+
+
+PAPER_QUERIES: list[PaperQuery] = [
+    PaperQuery(
+        example="1",
+        description="red parts and their supplier numbers: DISTINCT is "
+        "unnecessary (SNO, PNO is the key of PARTS)",
+        sql=(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME "
+            "FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'"
+        ),
+        distinct_unnecessary=True,
+        rewrite_rule="distinct-elimination",
+    ),
+    PaperQuery(
+        example="2",
+        description="supplier NAMES of red parts: duplicates are possible "
+        "(two suppliers may share a name)",
+        sql=(
+            "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME "
+            "FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'"
+        ),
+        distinct_unnecessary=False,
+    ),
+    PaperQuery(
+        example="3",
+        description="parts of one supplier (host variable): PNO keys the "
+        "derived table",
+        sql=(
+            "SELECT ALL S.SNO, SNAME, P.PNO, PNAME "
+            "FROM SUPPLIER S, PARTS P "
+            "WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO"
+        ),
+        params={"SUPPLIER-NO": 1},
+        distinct_unnecessary=True,
+    ),
+    PaperQuery(
+        example="4",
+        description="Example 3 with DISTINCT: removable via Theorem 1",
+        sql=(
+            "SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME "
+            "FROM SUPPLIER S, PARTS P "
+            "WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO"
+        ),
+        params={"SUPPLIER-NO": 1},
+        distinct_unnecessary=True,
+        rewrite_rule="distinct-elimination",
+    ),
+    PaperQuery(
+        example="6",
+        description="parts of suppliers with a given (non-unique) name: "
+        "DISTINCT unnecessary — keys are still projected",
+        sql=(
+            "SELECT DISTINCT S.SNO, PNO, PNAME, P.COLOR "
+            "FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNAME = :SUPPLIER-NAME AND S.SNO = P.SNO"
+        ),
+        params={"SUPPLIER-NAME": "Supplier-1"},
+        distinct_unnecessary=True,
+        rewrite_rule="distinct-elimination",
+    ),
+    PaperQuery(
+        example="7",
+        description="correlated EXISTS probing one part: flattens to a "
+        "join by Theorem 2",
+        sql=(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S "
+            "WHERE S.SNAME = :SUPPLIER-NAME AND EXISTS "
+            "(SELECT * FROM PARTS P "
+            "WHERE S.SNO = P.SNO AND P.PNO = :PART-NO)"
+        ),
+        params={"SUPPLIER-NAME": "Supplier-1", "PART-NO": 3},
+        rewrite_rule="subquery-to-join",
+    ),
+    PaperQuery(
+        example="8",
+        description="suppliers of at least one red part: flattens to a "
+        "DISTINCT join by Corollary 1",
+        sql=(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S "
+            "WHERE EXISTS (SELECT * FROM PARTS P "
+            "WHERE P.SNO = S.SNO AND P.COLOR = 'RED')"
+        ),
+        rewrite_rule="subquery-to-join",
+    ),
+    PaperQuery(
+        example="9",
+        description="Toronto suppliers with Ottawa/Hull agents: "
+        "INTERSECT converts to EXISTS by Theorem 3",
+        sql=(
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' "
+            "INTERSECT "
+            "SELECT ALL A.SNO FROM AGENTS A "
+            "WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'"
+        ),
+        rewrite_rule="intersect-to-exists",
+    ),
+    PaperQuery(
+        example="10",
+        description="IMS select-project-parent/child join: all suppliers "
+        "of one part",
+        sql=(
+            "SELECT ALL S.* FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.PNO = :PARTNO"
+        ),
+        params={"PARTNO": 3},
+        rewrite_rule="join-to-subquery",
+    ),
+    PaperQuery(
+        example="11",
+        description="OODB join with a selective parent range",
+        sql=(
+            "SELECT ALL S.* FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO BETWEEN 10 AND 20 AND S.SNO = P.SNO "
+            "AND P.PNO = :PARTNO"
+        ),
+        params={"PARTNO": 3},
+        rewrite_rule="join-to-subquery",
+    ),
+]
+
+
+def paper_query(example: str) -> PaperQuery:
+    """Look up one worked example by its number."""
+    for query in PAPER_QUERIES:
+        if query.example == example:
+            return query
+    raise KeyError(f"no paper query for example {example!r}")

@@ -1,0 +1,341 @@
+"""The paper's supplier database (Figure 1) and scalable data generators.
+
+Schema::
+
+    SUPPLIER (SNO, SNAME, SCITY, BUDGET, STATUS)        key SNO
+    PARTS    (SNO, PNO, PNAME, OEM-PNO, COLOR)          key (SNO, PNO),
+                                                        candidate OEM-PNO
+    AGENTS   (SNO, ANO, ANAME, ACITY)                   key ANO
+
+The generator is seeded and scale-parameterized; ``name_collision_rate``
+controls how often two suppliers share a name, which is what makes
+Example 2's DISTINCT genuinely necessary on generated data.
+
+The same logical data can be materialized three ways: as a relational
+:class:`~repro.engine.database.Database`, as an IMS hierarchy (Figure 2),
+or as an object store with child→parent OIDs (Figure 3) — so every
+backend in the benchmark suite runs the *same* instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..catalog.schema import Catalog
+from ..engine.database import Database
+from ..ims.database import ImsDatabase
+from ..ims.segments import define_hierarchy
+from ..oodb.model import OoClass
+from ..oodb.store import ObjectStore
+from ..types.values import NULL
+
+CITIES = ("Chicago", "New York", "Toronto")
+COLORS = ("RED", "BLUE", "GREEN", "YELLOW")
+AGENT_CITIES = ("Ottawa", "Hull", "Toronto", "Chicago")
+
+
+def supplier_ddl(max_sno: int = 499) -> str:
+    """The paper's CREATE TABLE statements (SNO range parameterized so
+    benchmarks can scale past 499 suppliers)."""
+    return f"""
+CREATE TABLE SUPPLIER (
+  SNO INT,
+  SNAME VARCHAR(30),
+  SCITY VARCHAR(20),
+  BUDGET INT,
+  STATUS VARCHAR(10),
+  PRIMARY KEY (SNO),
+  CHECK (SNO BETWEEN 1 AND {max_sno}),
+  CHECK (SCITY IN ('Chicago', 'New York', 'Toronto')),
+  CHECK (BUDGET <> 0 OR STATUS = 'Inactive'));
+
+CREATE TABLE PARTS (
+  SNO INT,
+  PNO INT,
+  PNAME VARCHAR(30),
+  OEM-PNO INT,
+  COLOR VARCHAR(10),
+  PRIMARY KEY (SNO, PNO),
+  UNIQUE (OEM-PNO),
+  CHECK (SNO BETWEEN 1 AND {max_sno}),
+  FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO));
+
+CREATE TABLE AGENTS (
+  SNO INT,
+  ANO INT,
+  ANAME VARCHAR(30),
+  ACITY VARCHAR(20),
+  PRIMARY KEY (ANO),
+  CHECK (SNO BETWEEN 1 AND {max_sno}),
+  FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO));
+"""
+
+
+def build_catalog(max_sno: int = 499) -> Catalog:
+    """The paper's schema as a catalog."""
+    return Catalog.from_ddl(supplier_ddl(max_sno))
+
+
+@dataclass(frozen=True)
+class SupplierScale:
+    """Size and shape parameters for generated instances."""
+
+    suppliers: int = 50
+    parts_per_supplier: int = 10
+    agents_per_supplier: int = 2
+    name_collision_rate: float = 0.3
+    seed: int = 94  # ICDE 1994
+
+    def __post_init__(self) -> None:
+        if self.suppliers < 1:
+            raise ValueError("need at least one supplier")
+        if not 0.0 <= self.name_collision_rate <= 1.0:
+            raise ValueError("name_collision_rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SupplierRow:
+    """One generated SUPPLIER tuple."""
+
+    sno: int
+    sname: str
+    scity: str
+    budget: int
+    status: str
+
+
+@dataclass(frozen=True)
+class PartRow:
+    """One generated PARTS tuple (oem_pno None maps to SQL NULL)."""
+
+    sno: int
+    pno: int
+    pname: str
+    oem_pno: int | None
+    color: str
+
+
+@dataclass(frozen=True)
+class AgentRow:
+    """One generated AGENTS tuple."""
+
+    sno: int
+    ano: int
+    aname: str
+    acity: str
+
+
+@dataclass
+class SupplierData:
+    """One generated instance, backend-independent."""
+
+    scale: SupplierScale
+    suppliers: list[SupplierRow]
+    parts: list[PartRow]
+    agents: list[AgentRow]
+
+    @property
+    def max_sno(self) -> int:
+        """Upper bound for the SNO CHECK constraint at this scale."""
+        return max(499, self.scale.suppliers)
+
+
+def generate(scale: SupplierScale | None = None) -> SupplierData:
+    """Generate a deterministic instance for *scale*."""
+    scale = scale or SupplierScale()
+    rng = random.Random(scale.seed)
+
+    name_pool_size = max(
+        1, int(scale.suppliers * (1.0 - scale.name_collision_rate)) or 1
+    )
+    suppliers: list[SupplierRow] = []
+    for sno in range(1, scale.suppliers + 1):
+        status = rng.choice(("Active", "Active", "Inactive"))
+        budget = 0 if status == "Inactive" and rng.random() < 0.5 else (
+            rng.randrange(1, 1000)
+        )
+        suppliers.append(
+            SupplierRow(
+                sno=sno,
+                sname=f"Supplier-{rng.randrange(name_pool_size)}",
+                scity=rng.choice(CITIES),
+                budget=budget,
+                status=status,
+            )
+        )
+
+    parts: list[PartRow] = []
+    oem_counter = 1
+    for supplier in suppliers:
+        for pno in range(1, scale.parts_per_supplier + 1):
+            if rng.random() < 0.1:
+                oem: int | None = None  # UNIQUE key allows one NULL... per
+                # instance; keep at most one NULL overall below.
+            else:
+                oem = oem_counter
+                oem_counter += 1
+            parts.append(
+                PartRow(
+                    sno=supplier.sno,
+                    pno=pno,
+                    pname=f"part-{pno}",
+                    oem_pno=oem,
+                    color=rng.choice(COLORS),
+                )
+            )
+    # SQL2 treats NULL as a single special key value: keep at most one
+    # NULL OEM-PNO so the UNIQUE constraint holds.
+    seen_null = False
+    fixed_parts: list[PartRow] = []
+    for part in parts:
+        if part.oem_pno is None:
+            if seen_null:
+                part = PartRow(
+                    part.sno, part.pno, part.pname, oem_counter, part.color
+                )
+                oem_counter += 1
+            else:
+                seen_null = True
+        fixed_parts.append(part)
+
+    agents: list[AgentRow] = []
+    ano = 1
+    for supplier in suppliers:
+        for _ in range(scale.agents_per_supplier):
+            agents.append(
+                AgentRow(
+                    sno=supplier.sno,
+                    ano=ano,
+                    aname=f"agent-{ano}",
+                    acity=rng.choice(AGENT_CITIES),
+                )
+            )
+            ano += 1
+
+    return SupplierData(scale, suppliers, fixed_parts, agents)
+
+
+# ----------------------------------------------------------------------
+# backends
+
+
+def build_database(data: SupplierData | None = None) -> Database:
+    """Materialize an instance as a relational database."""
+    data = data or generate()
+    database = Database(build_catalog(data.max_sno))
+    database.load(
+        "SUPPLIER",
+        [
+            (s.sno, s.sname, s.scity, s.budget, s.status)
+            for s in data.suppliers
+        ],
+    )
+    database.load(
+        "PARTS",
+        [
+            (p.sno, p.pno, p.pname, p.oem_pno if p.oem_pno is not None else NULL, p.color)
+            for p in data.parts
+        ],
+    )
+    database.load(
+        "AGENTS",
+        [(a.sno, a.ano, a.aname, a.acity) for a in data.agents],
+    )
+    return database
+
+
+def build_ims_database(data: SupplierData | None = None) -> ImsDatabase:
+    """Materialize an instance as the Figure 2 IMS hierarchy."""
+    data = data or generate()
+    hierarchy = define_hierarchy(
+        "SUPPLIER",
+        ["SNO", "SNAME", "SCITY", "BUDGET", "STATUS"],
+        "SNO",
+        [
+            ("PARTS", ["PNO", "PNAME", "OEM-PNO", "COLOR"], "PNO"),
+            ("AGENTS", ["ANO", "ANAME", "ACITY"], "ANO"),
+        ],
+    )
+    ims = ImsDatabase(hierarchy)
+    roots = {}
+    for s in data.suppliers:
+        roots[s.sno] = ims.insert_root(
+            (s.sno, s.sname, s.scity, s.budget, s.status)
+        )
+    for p in data.parts:
+        ims.insert_child(
+            roots[p.sno],
+            "PARTS",
+            (p.pno, p.pname, p.oem_pno if p.oem_pno is not None else NULL, p.color),
+        )
+    for a in data.agents:
+        ims.insert_child(roots[a.sno], "AGENTS", (a.ano, a.aname, a.acity))
+    return ims
+
+
+def build_object_store(data: SupplierData | None = None) -> ObjectStore:
+    """Materialize an instance as the Figure 3 object model.
+
+    Indexes: SUPPLIER by SNO, PARTS by PNO, AGENTS by ACITY — the access
+    paths Example 11 assumes.
+    """
+    data = data or generate()
+    store = ObjectStore()
+    store.define_class(
+        OoClass(
+            "SUPPLIER",
+            ["SNO", "SNAME", "SCITY", "BUDGET", "STATUS"],
+            key_attribute="SNO",
+        )
+    )
+    store.define_class(
+        OoClass(
+            "PARTS",
+            ["PNO", "PNAME", "OEM-PNO", "COLOR"],
+            key_attribute="PNO",
+            references={"SUPPLIER": "SUPPLIER"},
+        )
+    )
+    store.define_class(
+        OoClass(
+            "AGENTS",
+            ["ANO", "ANAME", "ACITY"],
+            key_attribute="ANO",
+            references={"SUPPLIER": "SUPPLIER"},
+        )
+    )
+    supplier_oids = {}
+    for s in data.suppliers:
+        obj = store.create(
+            "SUPPLIER",
+            {
+                "SNO": s.sno,
+                "SNAME": s.sname,
+                "SCITY": s.scity,
+                "BUDGET": s.budget,
+                "STATUS": s.status,
+            },
+        )
+        supplier_oids[s.sno] = obj.oid
+    for p in data.parts:
+        store.create(
+            "PARTS",
+            {
+                "PNO": p.pno,
+                "PNAME": p.pname,
+                "OEM-PNO": p.oem_pno if p.oem_pno is not None else NULL,
+                "COLOR": p.color,
+            },
+            refs={"SUPPLIER": supplier_oids[p.sno]},
+        )
+    for a in data.agents:
+        store.create(
+            "AGENTS",
+            {"ANO": a.ano, "ANAME": a.aname, "ACITY": a.acity},
+            refs={"SUPPLIER": supplier_oids[a.sno]},
+        )
+    store.create_index("SUPPLIER", "SNO")
+    store.create_index("PARTS", "PNO")
+    store.create_index("AGENTS", "ACITY")
+    return store

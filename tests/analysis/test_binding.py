@@ -1,0 +1,106 @@
+"""Static name resolution against a catalog."""
+
+import pytest
+
+from repro.analysis import (
+    Attribute,
+    projection_attributes,
+    qualify,
+    qualify_query_predicate,
+    resolve_column,
+    table_columns,
+)
+from repro.errors import (
+    AmbiguousColumnError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.sql import ColumnRef, column_refs, parse_condition, parse_query
+
+
+@pytest.fixture()
+def columns(paper_catalog):
+    query = parse_query("SELECT * FROM SUPPLIER S, PARTS P")
+    return table_columns(query, paper_catalog)
+
+
+class TestResolveColumn:
+    def test_qualified_reference(self, columns):
+        ref = resolve_column(ColumnRef("S", "SNAME"), columns)
+        assert ref == ColumnRef("S", "SNAME")
+
+    def test_unqualified_unique_column(self, columns):
+        ref = resolve_column(ColumnRef(None, "PNAME"), columns)
+        assert ref == ColumnRef("P", "PNAME")
+
+    def test_ambiguous_column_raises(self, columns):
+        # SNO exists in both SUPPLIER and PARTS.
+        with pytest.raises(AmbiguousColumnError):
+            resolve_column(ColumnRef(None, "SNO"), columns)
+
+    def test_unknown_qualifier(self, columns):
+        with pytest.raises(UnknownTableError):
+            resolve_column(ColumnRef("X", "SNO"), columns)
+
+    def test_unknown_column(self, columns):
+        with pytest.raises(UnknownColumnError):
+            resolve_column(ColumnRef("S", "NOPE"), columns)
+
+    def test_correlated_reference_allowed(self, columns):
+        ref = resolve_column(
+            ColumnRef("OUTER", "X"), columns, allow_correlated=True
+        )
+        assert ref is None
+
+
+class TestQualify:
+    def test_qualifies_unqualified_refs(self, columns):
+        expr = qualify(parse_condition("PNAME = 'bolt' AND S.SNO = 1"), columns)
+        refs = column_refs(expr)
+        assert all(ref.qualifier is not None for ref in refs)
+
+    def test_subquery_atoms_left_intact(self, columns):
+        expr = qualify(
+            parse_condition("EXISTS (SELECT * FROM AGENTS A WHERE A.SNO = SNO)"),
+            columns,
+            allow_correlated=True,
+        )
+        from repro.sql import Exists
+
+        assert isinstance(expr, Exists)
+
+    def test_query_predicate_helper(self, paper_catalog):
+        query = parse_query(
+            "SELECT S.SNO FROM SUPPLIER S WHERE SNAME = 'x'"
+        )
+        predicate = qualify_query_predicate(query, paper_catalog)
+        refs = column_refs(predicate)
+        assert refs[0].qualifier == "S"
+
+    def test_no_predicate_returns_none(self, paper_catalog):
+        query = parse_query("SELECT S.SNO FROM SUPPLIER S")
+        assert qualify_query_predicate(query, paper_catalog) is None
+
+
+class TestProjectionAttributes:
+    def test_column_items(self, paper_catalog):
+        query = parse_query(
+            "SELECT S.SNO, PNAME FROM SUPPLIER S, PARTS P"
+        )
+        attrs = projection_attributes(query, paper_catalog)
+        assert attrs == [Attribute("S", "SNO"), Attribute("P", "PNAME")]
+
+    def test_bare_star(self, paper_catalog):
+        query = parse_query("SELECT * FROM SUPPLIER S, AGENTS A")
+        attrs = projection_attributes(query, paper_catalog)
+        assert len(attrs) == 5 + 4
+
+    def test_qualified_star(self, paper_catalog):
+        query = parse_query("SELECT A.* FROM SUPPLIER S, AGENTS A")
+        attrs = projection_attributes(query, paper_catalog)
+        assert {a.relation for a in attrs} == {"A"}
+
+    def test_unknown_star_qualifier(self, paper_catalog):
+        query = parse_query("SELECT X.* FROM SUPPLIER S")
+        with pytest.raises(UnknownTableError):
+            projection_attributes(query, paper_catalog)

@@ -1,0 +1,77 @@
+"""Type 1 / Type 2 equality classification."""
+
+from repro.analysis import Attribute, Type1, Type2, atom_attributes, classify_atom
+from repro.sql import parse_condition
+
+
+def classify(text, **kwargs):
+    return classify_atom(parse_condition(text), **kwargs)
+
+
+class TestType1:
+    def test_column_equals_literal(self):
+        result = classify("T.A = 5")
+        assert isinstance(result, Type1)
+        assert result.attribute == Attribute("T", "A")
+
+    def test_literal_on_left(self):
+        result = classify("5 = T.A")
+        assert isinstance(result, Type1)
+
+    def test_host_variable_is_a_constant(self):
+        result = classify("T.A = :PARTNO")
+        assert isinstance(result, Type1)
+
+    def test_null_literal_binds_nothing(self):
+        # "A = NULL" is never true in a WHERE clause.
+        assert classify("T.A = NULL") is None
+
+
+class TestType2:
+    def test_column_equals_column(self):
+        result = classify("T.A = S.B")
+        assert isinstance(result, Type2)
+        assert result.left == Attribute("T", "A")
+        assert result.right == Attribute("S", "B")
+
+    def test_same_table_columns(self):
+        result = classify("T.A = T.B")
+        assert isinstance(result, Type2)
+
+
+class TestRejections:
+    def test_inequality_not_classified(self):
+        assert classify("T.A < 5") is None
+        assert classify("T.A <> 5") is None
+
+    def test_unqualified_column_not_usable(self):
+        assert classify("A = 5") is None
+        assert classify("T.A = B") is None
+
+    def test_is_null_rejected_by_default(self):
+        assert classify("T.A IS NULL") is None
+
+    def test_exists_rejected(self):
+        assert classify("EXISTS (SELECT * FROM X)") is None
+
+
+class TestIsNullExtension:
+    def test_affirmative_is_null_binds(self):
+        result = classify("T.A IS NULL", treat_is_null_as_binding=True)
+        assert isinstance(result, Type1)
+        assert result.attribute == Attribute("T", "A")
+
+    def test_is_not_null_never_binds(self):
+        assert classify("T.A IS NOT NULL", treat_is_null_as_binding=True) is None
+
+    def test_unqualified_is_null_not_usable(self):
+        assert classify("A IS NULL", treat_is_null_as_binding=True) is None
+
+
+class TestAtomAttributes:
+    def test_collects_qualified_refs(self):
+        attrs = atom_attributes(parse_condition("T.A = S.B"))
+        assert attrs == {Attribute("T", "A"), Attribute("S", "B")}
+
+    def test_ignores_unqualified(self):
+        assert atom_attributes(parse_condition("A = 5")) == set()

@@ -1,0 +1,73 @@
+"""Fluent catalog builder."""
+
+import pytest
+
+from repro.catalog import CatalogBuilder
+from repro.errors import CatalogError
+
+
+def build_supplier():
+    return (
+        CatalogBuilder()
+        .table("SUPPLIER")
+        .column("SNO", "INT")
+        .column("SNAME", "VARCHAR")
+        .primary_key("SNO")
+        .check("SNO BETWEEN 1 AND 499")
+        .finish()
+        .table("PARTS")
+        .column("SNO")
+        .column("PNO")
+        .column("OEM_PNO")
+        .primary_key("SNO", "PNO")
+        .unique("OEM_PNO")
+        .foreign_key("SNO", "SUPPLIER", "SNO")
+        .finish()
+        .build()
+    )
+
+
+def test_builder_round_trip():
+    catalog = build_supplier()
+    supplier = catalog.table("SUPPLIER")
+    assert supplier.primary_key.columns == ("SNO",)
+    assert not supplier.column("SNO").nullable
+    assert supplier.column("SNO").domain.high == 499
+
+
+def test_builder_lowercase_names_normalized():
+    catalog = (
+        CatalogBuilder()
+        .table("t")
+        .column("a")
+        .primary_key("a")
+        .finish()
+        .build()
+    )
+    assert catalog.has_table("T")
+    assert catalog.table("T").has_column("A")
+
+
+def test_builder_foreign_key_recorded():
+    parts = build_supplier().table("PARTS")
+    fk = parts.foreign_keys[0]
+    assert fk.ref_table == "SUPPLIER"
+    assert fk.columns == ("SNO",)
+
+
+def test_builder_rejects_second_primary_key():
+    table = CatalogBuilder().table("T").column("A").column("B").primary_key("A")
+    with pytest.raises(CatalogError):
+        table.primary_key("B")
+
+
+def test_builder_check_narrows_domain():
+    catalog = (
+        CatalogBuilder()
+        .table("T")
+        .column("C", "VARCHAR")
+        .check("C IN ('x', 'y')")
+        .finish()
+        .build()
+    )
+    assert catalog.table("T").column("C").domain.values == ("x", "y")

@@ -1,0 +1,73 @@
+"""Domain narrowing from CHECK constraints."""
+
+from repro.catalog import Catalog, narrow_domains
+
+
+def domains_for(ddl: str):
+    catalog = Catalog.from_ddl(ddl)
+    table = next(iter(catalog))
+    return narrow_domains(table)
+
+
+def test_between_narrows_to_range():
+    domains = domains_for(
+        "CREATE TABLE T (A INT, CHECK (A BETWEEN 5 AND 9))"
+    )
+    assert domains["A"].low == 5 and domains["A"].high == 9
+
+
+def test_in_list_narrows_to_enumeration():
+    domains = domains_for(
+        "CREATE TABLE T (C VARCHAR(10), CHECK (C IN ('a', 'b')))"
+    )
+    assert domains["C"].values == ("a", "b")
+
+
+def test_equality_narrows_to_singleton():
+    domains = domains_for("CREATE TABLE T (A INT, CHECK (A = 7))")
+    assert domains["A"].values == (7,)
+
+
+def test_inequalities_narrow_bounds():
+    domains = domains_for(
+        "CREATE TABLE T (A INT, CHECK (A >= 3), CHECK (A < 10))"
+    )
+    assert domains["A"].low == 3 and domains["A"].high == 9
+
+
+def test_flipped_comparison_handled():
+    domains = domains_for("CREATE TABLE T (A INT, CHECK (3 = A))")
+    assert domains["A"].values == (3,)
+
+
+def test_multi_column_disjunction_does_not_narrow():
+    # The paper's BUDGET <> 0 OR STATUS = 'Inactive' constrains no single
+    # column's domain.
+    domains = domains_for(
+        "CREATE TABLE T (B INT, S VARCHAR(10), "
+        "CHECK (B <> 0 OR S = 'Inactive'))"
+    )
+    assert domains["B"].low is None and domains["B"].values is None
+    assert domains["S"].values is None
+
+
+def test_conjoined_checks_intersect():
+    domains = domains_for(
+        "CREATE TABLE T (A INT, CHECK (A BETWEEN 1 AND 100 AND A BETWEEN 50 AND 200))"
+    )
+    assert domains["A"].low == 50 and domains["A"].high == 100
+
+
+def test_negated_between_ignored():
+    domains = domains_for(
+        "CREATE TABLE T (A INT, CHECK (A NOT BETWEEN 1 AND 5))"
+    )
+    assert domains["A"].low is None
+
+
+def test_not_null_column_domain_excludes_null():
+    catalog = Catalog.from_ddl(
+        "CREATE TABLE T (A INT, PRIMARY KEY (A), CHECK (A BETWEEN 1 AND 3))"
+    )
+    domain = catalog.table("T").column("A").effective_domain()
+    assert not domain.nullable

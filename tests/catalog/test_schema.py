@@ -1,0 +1,114 @@
+"""Catalog and DDL ingestion behaviour."""
+
+import pytest
+
+from repro.catalog import Catalog, CheckConstraint, KeyConstraint, TableSchema, Column
+from repro.errors import (
+    CatalogError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+def make_catalog():
+    return Catalog.from_ddl(
+        """CREATE TABLE SUPPLIER (
+             SNO INT, SNAME VARCHAR(30),
+             PRIMARY KEY (SNO),
+             CHECK (SNO BETWEEN 1 AND 499));
+           CREATE TABLE PARTS (
+             SNO INT, PNO INT, OEM-PNO INT,
+             PRIMARY KEY (SNO, PNO),
+             UNIQUE (OEM-PNO));"""
+    )
+
+
+class TestDdlIngestion:
+    def test_tables_registered(self):
+        catalog = make_catalog()
+        assert catalog.table_names() == ["PARTS", "SUPPLIER"]
+        assert "supplier" in catalog  # case-insensitive
+
+    def test_primary_key_columns_become_not_null(self):
+        catalog = make_catalog()
+        parts = catalog.table("PARTS")
+        assert not parts.column("SNO").nullable
+        assert not parts.column("PNO").nullable
+        assert parts.column("OEM-PNO").nullable  # UNIQUE stays nullable
+
+    def test_candidate_keys_primary_first(self):
+        parts = make_catalog().table("PARTS")
+        keys = parts.candidate_keys
+        assert keys[0].is_primary and keys[0].columns == ("SNO", "PNO")
+        assert not keys[1].is_primary and keys[1].columns == ("OEM-PNO",)
+
+    def test_check_constraint_narrows_domain(self):
+        supplier = make_catalog().table("SUPPLIER")
+        domain = supplier.column("SNO").domain
+        assert domain.low == 1 and domain.high == 499
+
+    def test_duplicate_table_rejected(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.load_ddl("CREATE TABLE SUPPLIER (X INT)")
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog.from_ddl(
+                "CREATE TABLE T (A INT, B INT, PRIMARY KEY (A), PRIMARY KEY (B))"
+            )
+
+    def test_key_over_unknown_column_rejected(self):
+        with pytest.raises(UnknownColumnError):
+            Catalog.from_ddl("CREATE TABLE T (A INT, PRIMARY KEY (NOPE))")
+
+    def test_insert_statement_rejected_in_ddl(self):
+        with pytest.raises(CatalogError):
+            Catalog.from_ddl("INSERT INTO T VALUES (1)")
+
+
+class TestLookup:
+    def test_unknown_table_raises(self):
+        with pytest.raises(UnknownTableError):
+            make_catalog().table("MISSING")
+
+    def test_drop(self):
+        catalog = make_catalog()
+        catalog.drop("PARTS")
+        assert not catalog.has_table("PARTS")
+        with pytest.raises(UnknownTableError):
+            catalog.drop("PARTS")
+
+    def test_column_index(self):
+        parts = make_catalog().table("PARTS")
+        assert parts.column_index("PNO") == 1
+        with pytest.raises(UnknownColumnError):
+            parts.column_index("NOPE")
+
+    def test_describe_mentions_constraints(self):
+        text = make_catalog().describe()
+        assert "PRIMARY KEY (SNO, PNO)" in text
+        assert "CHECK (SNO BETWEEN 1 AND 499)" in text
+
+
+class TestTableSchemaValidation:
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("T", [Column("A"), Column("A")])
+
+    def test_key_constraint_requires_columns(self):
+        with pytest.raises(ValueError):
+            KeyConstraint(())
+
+    def test_key_constraint_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            KeyConstraint(("A", "A"))
+
+    def test_has_key(self):
+        schema = TableSchema("T", [Column("A")])
+        assert not schema.has_key()
+        keyed = TableSchema(
+            "T", [Column("A")], keys=[KeyConstraint(("A",), is_primary=True)]
+        )
+        assert keyed.has_key()
+        assert keyed.primary_key is keyed.keys[0]

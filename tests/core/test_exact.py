@@ -1,0 +1,143 @@
+"""Bounded exact Theorem 1 checker."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core import ExactOptions, check_theorem1, test_uniqueness
+from repro.errors import UnsupportedQueryError
+
+
+@pytest.fixture(scope="module")
+def small_catalog():
+    """A deliberately small schema so the search space stays tiny."""
+    return Catalog.from_ddl(
+        """CREATE TABLE SUPPLIER (
+             SNO INT, SNAME VARCHAR(10), SCITY VARCHAR(10),
+             PRIMARY KEY (SNO), CHECK (SNO BETWEEN 1 AND 3));
+           CREATE TABLE PARTS (
+             SNO INT, PNO INT, PNAME VARCHAR(10), COLOR VARCHAR(10),
+             PRIMARY KEY (SNO, PNO),
+             CHECK (SNO BETWEEN 1 AND 3), CHECK (PNO BETWEEN 1 AND 3));"""
+    )
+
+
+class TestPaperExamples:
+    def test_example1_no_counterexample(self, small_catalog):
+        result = check_theorem1(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            small_catalog,
+        )
+        assert result.unique is True
+        assert result.combinations_checked > 0
+
+    def test_example2_finds_counterexample(self, small_catalog):
+        result = check_theorem1(
+            "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            small_catalog,
+        )
+        assert result.unique is False
+        witness = result.counterexample
+        assert witness is not None
+        # The witness shows two suppliers sharing a name...
+        s1, s2 = witness.tuples["S"]
+        assert s1[1] == s2[1] and s1[0] != s2[0]
+        # ...and both parts RED (the predicate holds for both tuples).
+        p1, p2 = witness.tuples["P"]
+        assert p1[3] == "RED" and p2[3] == "RED"
+        assert "S:" in witness.describe()
+
+
+class TestSemantics:
+    def test_check_constraints_rule_out_counterexamples(self):
+        # SNAME is pinned by a CHECK to a single value... duplicates on
+        # (SNAME) still possible since keys differ; but pinning SNO's
+        # domain to one value forces a single supplier.
+        catalog = Catalog.from_ddl(
+            """CREATE TABLE S1 (
+                 SNO INT, SNAME VARCHAR(10),
+                 PRIMARY KEY (SNO), CHECK (SNO = 7));"""
+        )
+        result = check_theorem1("SELECT DISTINCT SNAME FROM S1", catalog)
+        assert result.unique is True
+
+    def test_without_check_duplicates_possible(self):
+        catalog = Catalog.from_ddl(
+            "CREATE TABLE S2 (SNO INT, SNAME VARCHAR(10), PRIMARY KEY (SNO))"
+        )
+        result = check_theorem1("SELECT DISTINCT SNAME FROM S2", catalog)
+        assert result.unique is False
+
+    def test_host_variable_binding(self, small_catalog):
+        result = check_theorem1(
+            "SELECT DISTINCT P.PNO, P.PNAME FROM PARTS P "
+            "WHERE P.SNO = :SUPPLIER-NO",
+            small_catalog,
+        )
+        assert result.unique is True
+
+    def test_unique_candidate_key_with_nulls(self):
+        # UNIQUE treats NULL as a single value (SQL2), so projecting the
+        # candidate key is enough even when it is nullable.
+        catalog = Catalog.from_ddl(
+            """CREATE TABLE U (
+                 A INT, B INT, PRIMARY KEY (A), UNIQUE (B),
+                 CHECK (A BETWEEN 1 AND 3))"""
+        )
+        result = check_theorem1("SELECT DISTINCT B FROM U", catalog)
+        assert result.unique is True
+
+    def test_keyless_table_fails_fast(self):
+        catalog = Catalog.from_ddl("CREATE TABLE H (X INT)")
+        result = check_theorem1("SELECT DISTINCT X FROM H", catalog)
+        assert result.unique is False
+        assert result.counterexample is None  # precondition failure
+
+
+class TestLimits:
+    def test_budget_exhaustion_is_inconclusive(self, small_catalog):
+        result = check_theorem1(
+            "SELECT DISTINCT S.SCITY FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNAME = P.PNAME",
+            small_catalog,
+            ExactOptions(domain_size=3, max_assignments=5),
+        )
+        assert result.unique in (None, False)
+        if result.unique is None:
+            assert "budget" in result.reason
+
+    def test_subqueries_unsupported(self, small_catalog):
+        with pytest.raises(UnsupportedQueryError):
+            check_theorem1(
+                "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE EXISTS "
+                "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+                small_catalog,
+            )
+
+    def test_setop_unsupported(self, small_catalog):
+        with pytest.raises(UnsupportedQueryError):
+            check_theorem1(
+                "SELECT SNO FROM SUPPLIER INTERSECT SELECT SNO FROM PARTS",
+                small_catalog,
+            )
+
+
+class TestAgreementWithAlgorithm1:
+    """Algorithm 1 YES must imply the exact checker finds nothing."""
+
+    QUERIES = [
+        "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+        "WHERE S.SNO = P.SNO",
+        "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SNAME = 'x'",
+        "SELECT DISTINCT P.PNO, P.SNO FROM PARTS P",
+        "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P "
+        "WHERE S.SNO = P.SNO AND P.PNAME = :N",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_yes_is_confirmed_exactly(self, small_catalog, sql):
+        algo = test_uniqueness(sql, small_catalog)
+        assert algo.unique, "test precondition: Algorithm 1 says YES"
+        exact = check_theorem1(sql, small_catalog)
+        assert exact.unique is True

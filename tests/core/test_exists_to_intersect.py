@@ -1,0 +1,119 @@
+"""The §5.3 observation: nested query -> INTERSECT (inverse of Thm 3)."""
+
+import pytest
+
+from repro.core.rewrite import (
+    ExistsToIntersect,
+    IntersectToExists,
+    RewriteContext,
+)
+from repro.engine import execute
+from repro.sql import SetOperation, SetOpKind, parse_query, to_sql
+
+
+def apply(sql, catalog):
+    outcome = ExistsToIntersect().apply(
+        parse_query(sql), RewriteContext(catalog)
+    )
+    return None if outcome is None else outcome[0]
+
+
+EXAMPLE9_NESTED = (
+    "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' AND EXISTS "
+    "(SELECT * FROM AGENTS A WHERE (A.ACITY = 'Ottawa' OR A.ACITY = 'Hull') "
+    "AND S.SNO = A.SNO)"
+)
+
+
+class TestConvertsMembership:
+    def test_example9_round_trips_to_intersect(self, paper_catalog):
+        rewritten = apply(EXAMPLE9_NESTED, paper_catalog)
+        assert isinstance(rewritten, SetOperation)
+        assert rewritten.kind is SetOpKind.INTERSECT and not rewritten.all
+        assert to_sql(rewritten) == (
+            "SELECT S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' "
+            "INTERSECT SELECT A.SNO FROM AGENTS A "
+            "WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'"
+        )
+
+    def test_full_round_trip_with_intersect_to_exists(self, paper_catalog):
+        ctx = RewriteContext(paper_catalog)
+        forward = IntersectToExists().apply(
+            apply(EXAMPLE9_NESTED, paper_catalog), ctx
+        )
+        assert forward is not None
+        # back to a nested query specification
+        assert "EXISTS" in to_sql(forward[0])
+
+    def test_null_safe_pairing_accepted(self, paper_catalog):
+        rewritten = apply(
+            "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 1 AND EXISTS "
+            "(SELECT * FROM AGENTS A WHERE "
+            "(S.SNAME IS NULL AND A.ANAME IS NULL) OR S.SNAME = A.ANAME)",
+            paper_catalog,
+        )
+        assert isinstance(rewritten, SetOperation)
+
+    def test_results_preserved(self, tiny_db):
+        before = execute(EXAMPLE9_NESTED, tiny_db)
+        rewritten = apply(EXAMPLE9_NESTED, tiny_db.catalog)
+        after = execute(rewritten, tiny_db)
+        assert before.same_rows(after)
+
+
+class TestDeclines:
+    def test_duplicate_prone_outer_blocked(self, paper_catalog):
+        # SCITY is not a key: the INTERSECT would collapse duplicates the
+        # nested query keeps.
+        assert (
+            apply(
+                "SELECT S.SCITY FROM SUPPLIER S WHERE EXISTS "
+                "(SELECT * FROM AGENTS A WHERE S.SNO = A.SNO)",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_pairing_must_cover_projection(self, paper_catalog):
+        # correlation on SNO but SNAME is also projected: not membership
+        assert (
+            apply(
+                "SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS "
+                "(SELECT * FROM AGENTS A WHERE S.SNO = A.SNO)",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_extra_correlation_blocked(self, paper_catalog):
+        assert (
+            apply(
+                "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS "
+                "(SELECT * FROM AGENTS A WHERE S.SNO = A.SNO "
+                "AND A.ANAME = S.SNAME)",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_nullable_plain_equality_blocked(self, paper_catalog):
+        # SNAME/ANAME are both nullable: plain '=' is not ≐, so the
+        # INTERSECT (which matches NULLs) would differ.
+        assert (
+            apply(
+                "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 1 AND EXISTS "
+                "(SELECT * FROM AGENTS A WHERE S.SNAME = A.ANAME)",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_negated_exists_blocked(self, paper_catalog):
+        assert (
+            apply(
+                "SELECT S.SNO FROM SUPPLIER S WHERE NOT EXISTS "
+                "(SELECT * FROM AGENTS A WHERE S.SNO = A.SNO)",
+                paper_catalog,
+            )
+            is None
+        )

@@ -1,0 +1,410 @@
+"""Rewrite rules and the tracing optimizer."""
+
+import pytest
+
+from repro.core import Optimizer, UniquenessOptions
+from repro.core.rewrite import (
+    DistinctElimination,
+    ExceptToNotExists,
+    InToExists,
+    IntersectToExists,
+    JoinToSubquery,
+    RewriteContext,
+    SubqueryToJoin,
+    rename_alias,
+)
+from repro.sql import (
+    Exists,
+    Quantifier,
+    SelectQuery,
+    SetOperation,
+    parse_query,
+    to_sql,
+)
+
+
+def ctx_for(catalog, **options):
+    opts = UniquenessOptions(**options) if options else None
+    return RewriteContext(catalog, opts)
+
+
+def apply_rule(rule, sql, catalog):
+    outcome = rule.apply(parse_query(sql), ctx_for(catalog))
+    if outcome is None:
+        return None
+    return outcome[0]
+
+
+class TestDistinctElimination:
+    def test_fires_on_redundant_distinct(self, paper_catalog):
+        rewritten = apply_rule(
+            DistinctElimination(),
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO",
+            paper_catalog,
+        )
+        assert rewritten is not None
+        assert rewritten.quantifier is Quantifier.ALL
+
+    def test_keeps_necessary_distinct(self, paper_catalog):
+        assert (
+            apply_rule(
+                DistinctElimination(),
+                "SELECT DISTINCT SNAME FROM SUPPLIER",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_ignores_all_queries(self, paper_catalog):
+        assert (
+            apply_rule(
+                DistinctElimination(),
+                "SELECT SNO FROM SUPPLIER",
+                paper_catalog,
+            )
+            is None
+        )
+
+
+class TestSubqueryToJoin:
+    def test_theorem2_flatten_preserves_quantifier(self, paper_catalog):
+        rewritten = apply_rule(
+            SubqueryToJoin(),
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :N)",
+            paper_catalog,
+        )
+        assert rewritten is not None
+        assert rewritten.quantifier is Quantifier.ALL
+        assert len(rewritten.tables) == 2
+        assert "EXISTS" not in to_sql(rewritten)
+
+    def test_corollary1_flatten_introduces_distinct(self, paper_catalog):
+        rewritten = apply_rule(
+            SubqueryToJoin(),
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+            paper_catalog,
+        )
+        assert rewritten.quantifier is Quantifier.DISTINCT
+
+    def test_distinct_outer_always_flattens(self, paper_catalog):
+        rewritten = apply_rule(
+            SubqueryToJoin(),
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+            paper_catalog,
+        )
+        assert rewritten is not None
+        assert rewritten.quantifier is Quantifier.DISTINCT
+
+    def test_no_valid_justification_means_no_rewrite(self, paper_catalog):
+        # ALL + non-unique inner + non-unique outer projection.
+        assert (
+            apply_rule(
+                SubqueryToJoin(),
+                "SELECT ALL S.SNAME FROM SUPPLIER S WHERE EXISTS "
+                "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO "
+                "AND P.COLOR = 'RED')",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_negated_exists_untouched(self, paper_catalog):
+        assert (
+            apply_rule(
+                SubqueryToJoin(),
+                "SELECT ALL S.SNO FROM SUPPLIER S WHERE NOT EXISTS "
+                "(SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :N)",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_alias_conflict_renamed(self, paper_catalog):
+        rewritten = apply_rule(
+            SubqueryToJoin(),
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS S WHERE S.PNO = :N AND S.SNO = 1)",
+            paper_catalog,
+        )
+        assert rewritten is not None
+        aliases = [t.effective_name for t in rewritten.tables]
+        assert len(set(aliases)) == 2
+        assert "S_1" in aliases
+
+    def test_other_conjuncts_preserved(self, paper_catalog):
+        rewritten = apply_rule(
+            SubqueryToJoin(),
+            "SELECT ALL S.SNO FROM SUPPLIER S "
+            "WHERE S.SCITY = 'Toronto' AND EXISTS "
+            "(SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :N)",
+            paper_catalog,
+        )
+        assert "S.SCITY = 'Toronto'" in to_sql(rewritten)
+
+
+class TestInToExists:
+    def test_positive_in_normalized(self, paper_catalog):
+        rewritten = apply_rule(
+            InToExists(),
+            "SELECT S.SNO FROM SUPPLIER S "
+            "WHERE S.SNO IN (SELECT P.SNO FROM PARTS P)",
+            paper_catalog,
+        )
+        assert "EXISTS" in to_sql(rewritten)
+        assert "IN (SELECT" not in to_sql(rewritten)
+
+    def test_negated_in_untouched(self, paper_catalog):
+        assert (
+            apply_rule(
+                InToExists(),
+                "SELECT S.SNO FROM SUPPLIER S "
+                "WHERE S.SNO NOT IN (SELECT P.SNO FROM PARTS P)",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_multi_column_inner_untouched(self, paper_catalog):
+        assert (
+            apply_rule(
+                InToExists(),
+                "SELECT S.SNO FROM SUPPLIER S "
+                "WHERE S.SNO IN (SELECT * FROM PARTS P)",
+                paper_catalog,
+            )
+            is None
+        )
+
+
+class TestIntersectToExists:
+    def test_example9_form(self, paper_catalog):
+        rewritten = apply_rule(
+            IntersectToExists(),
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' "
+            "INTERSECT "
+            "SELECT ALL A.SNO FROM AGENTS A "
+            "WHERE A.ACITY = 'Ottawa' OR A.ACITY = 'Hull'",
+            paper_catalog,
+        )
+        assert isinstance(rewritten, SelectQuery)
+        text = to_sql(rewritten)
+        assert "EXISTS" in text
+        # SUPPLIER.SNO is NOT NULL, so the plain equijoin suffices — the
+        # paper's footnote 1.
+        assert "S.SNO = A.SNO" in text
+        assert "IS NULL" not in text
+
+    def test_both_nullable_pair_gets_null_test(self, paper_catalog):
+        rewritten = apply_rule(
+            IntersectToExists(),
+            "SELECT SNO, SNAME FROM SUPPLIER "
+            "INTERSECT SELECT SNO, ANAME FROM AGENTS",
+            paper_catalog,
+        )
+        # SNAME and ANAME are both nullable: the ≐ test is required.
+        assert "IS NULL" in to_sql(rewritten)
+
+    def test_right_side_unique_swaps_operands(self, paper_catalog):
+        rewritten = apply_rule(
+            IntersectToExists(),
+            "SELECT SNAME FROM SUPPLIER INTERSECT SELECT SNO FROM SUPPLIER",
+            paper_catalog,
+        )
+        assert rewritten is not None
+        # the unique (right) side became the outer block
+        assert rewritten.select_list[0].expr.column == "SNO"
+
+    def test_neither_side_unique_no_rewrite(self, paper_catalog):
+        assert (
+            apply_rule(
+                IntersectToExists(),
+                "SELECT SNAME FROM SUPPLIER INTERSECT "
+                "SELECT ANAME FROM AGENTS",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_intersect_all_with_unique_left(self, paper_catalog):
+        rewritten = apply_rule(
+            IntersectToExists(),
+            "SELECT SNO FROM SUPPLIER INTERSECT ALL SELECT SNO FROM AGENTS",
+            paper_catalog,
+        )
+        assert rewritten is not None
+
+    def test_non_nullable_pair_uses_plain_equality(self, paper_catalog):
+        rewritten = apply_rule(
+            IntersectToExists(),
+            "SELECT SNO FROM SUPPLIER INTERSECT SELECT ANO FROM AGENTS",
+            paper_catalog,
+        )
+        text = to_sql(rewritten)
+        assert "IS NULL" not in text  # both sides are NOT NULL keys
+
+
+class TestExceptToNotExists:
+    def test_unique_left_rewrites(self, paper_catalog):
+        rewritten = apply_rule(
+            ExceptToNotExists(),
+            "SELECT SNO FROM SUPPLIER EXCEPT SELECT SNO FROM AGENTS",
+            paper_catalog,
+        )
+        assert "NOT EXISTS" in to_sql(rewritten)
+
+    def test_non_unique_left_blocked(self, paper_catalog):
+        assert (
+            apply_rule(
+                ExceptToNotExists(),
+                "SELECT SNAME FROM SUPPLIER EXCEPT SELECT ANAME FROM AGENTS",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_unique_right_does_not_help(self, paper_catalog):
+        # EXCEPT is not commutative: a unique right operand is useless.
+        assert (
+            apply_rule(
+                ExceptToNotExists(),
+                "SELECT SNAME FROM SUPPLIER EXCEPT SELECT SNO FROM SUPPLIER",
+                paper_catalog,
+            )
+            is None
+        )
+
+
+class TestJoinToSubquery:
+    def test_example10_folds_parts(self, paper_catalog):
+        rewritten = apply_rule(
+            JoinToSubquery(),
+            "SELECT ALL S.* FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.PNO = :PARTNO",
+            paper_catalog,
+        )
+        assert rewritten is not None
+        assert len(rewritten.tables) == 1
+        assert "EXISTS" in to_sql(rewritten)
+
+    def test_projected_table_not_folded(self, paper_catalog):
+        assert (
+            apply_rule(
+                JoinToSubquery(),
+                "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P "
+                "WHERE S.SNO = P.SNO AND P.PNO = :PARTNO",
+                paper_catalog,
+            )
+            is None
+        )
+
+    def test_distinct_projection_allows_fold_without_uniqueness(
+        self, paper_catalog
+    ):
+        rewritten = apply_rule(
+            JoinToSubquery(),
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            paper_catalog,
+        )
+        assert rewritten is not None
+        assert rewritten.quantifier is Quantifier.DISTINCT
+
+    def test_all_projection_without_uniqueness_blocked(self, paper_catalog):
+        assert (
+            apply_rule(
+                JoinToSubquery(),
+                "SELECT ALL S.SNO FROM SUPPLIER S, PARTS P "
+                "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+                paper_catalog,
+            )
+            is None
+        )
+
+
+class TestOptimizer:
+    def test_relational_profile_chains_rules(self, paper_catalog):
+        result = Optimizer.for_relational(paper_catalog).optimize(
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' "
+            "INTERSECT "
+            "SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'"
+        )
+        rules = [step.rule for step in result.steps]
+        assert rules == ["intersect-to-exists", "subquery-to-join"]
+        assert result.changed
+
+    def test_navigational_profile_folds_joins(self, paper_catalog):
+        result = Optimizer.for_navigational(paper_catalog).optimize(
+            "SELECT ALL S.* FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.PNO = :PARTNO"
+        )
+        assert [step.rule for step in result.steps] == ["join-to-subquery"]
+        assert "EXISTS" in result.sql
+
+    def test_no_rewrites_reported(self, paper_catalog):
+        result = Optimizer.for_relational(paper_catalog).optimize(
+            "SELECT SNAME FROM SUPPLIER"
+        )
+        assert not result.changed
+        assert result.explain() == "(no rewrites applied)"
+
+    def test_trace_describes_steps(self, paper_catalog):
+        result = Optimizer.for_relational(paper_catalog).optimize(
+            "SELECT DISTINCT SNO FROM SUPPLIER"
+        )
+        text = result.explain()
+        assert "[distinct-elimination]" in text
+        assert "before:" in text and "after:" in text
+
+    def test_setop_operands_optimized(self, paper_catalog):
+        result = Optimizer.for_relational(paper_catalog).optimize(
+            "SELECT DISTINCT SNO FROM SUPPLIER UNION ALL "
+            "SELECT DISTINCT ANO FROM AGENTS"
+        )
+        assert isinstance(result.query, SetOperation)
+        rules = [step.rule for step in result.steps]
+        assert rules.count("distinct-elimination") == 2
+
+    def test_fixpoint_terminates(self, paper_catalog):
+        optimizer = Optimizer.for_navigational(paper_catalog, max_passes=3)
+        result = optimizer.optimize(
+            "SELECT ALL S.* FROM SUPPLIER S, PARTS P, AGENTS A "
+            "WHERE S.SNO = P.SNO AND P.PNO = :N AND A.ANO = :M "
+            "AND A.SNO = S.SNO"
+        )
+        # two foldable tables -> rule fires twice, then stops
+        assert len(
+            [s for s in result.steps if s.rule == "join-to-subquery"]
+        ) == 2
+
+
+class TestRenameAlias:
+    def test_rename_rewrites_all_references(self, paper_catalog):
+        query = parse_query(
+            "SELECT P.PNO FROM PARTS P WHERE P.COLOR = 'RED' ORDER BY PNO"
+        )
+        renamed = rename_alias(query, "P", "Q")
+        text = to_sql(renamed)
+        assert "PARTS Q" in text and "Q.COLOR" in text and "P." not in text
+
+    def test_rename_descends_into_subqueries(self, paper_catalog):
+        query = parse_query(
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO)"
+        )
+        renamed = rename_alias(query, "S", "SUP")
+        assert "SUP.SNO" in to_sql(renamed)
+
+    def test_shadowed_alias_not_renamed(self, paper_catalog):
+        query = parse_query(
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS S WHERE S.PNO = 1)"
+        )
+        renamed = rename_alias(query, "S", "SUP")
+        # the inner block re-declares S: its references stay put
+        inner = renamed.where.query
+        assert "PARTS S" in to_sql(inner)
+        assert "S.PNO = 1" in to_sql(inner)

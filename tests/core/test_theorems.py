@@ -1,0 +1,153 @@
+"""Theorem 2 (subquery uniqueness) and Theorem 3 (null-safe matching)."""
+
+import pytest
+
+from repro.analysis import Attribute
+from repro.core import (
+    UniquenessOptions,
+    correlation_predicate,
+    null_safe_equality,
+    projection_columns,
+    subquery_matches_at_most_one,
+)
+from repro.errors import UnsupportedQueryError
+from repro.sql import ColumnRef, Comparison, Or, parse_query, to_sql
+
+
+def check_theorem2(outer_sql, catalog, **options):
+    outer = parse_query(outer_sql)
+    from repro.sql import Exists, conjuncts
+
+    exists_atoms = [
+        atom
+        for atom in conjuncts(outer.where)
+        if isinstance(atom, Exists)
+    ]
+    assert len(exists_atoms) == 1, "test helper expects one EXISTS"
+    inner = exists_atoms[0].query
+    opts = UniquenessOptions(**options) if options else None
+    return subquery_matches_at_most_one(inner, outer, catalog, opts)
+
+
+class TestTheorem2:
+    def test_example7_at_most_one(self, paper_catalog):
+        result = check_theorem2(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S "
+            "WHERE S.SNAME = :SUPPLIER-NAME AND EXISTS "
+            "(SELECT * FROM PARTS P WHERE S.SNO = P.SNO AND P.PNO = :PART-NO)",
+            paper_catalog,
+        )
+        assert result.at_most_one
+
+    def test_example8_many_matches(self, paper_catalog):
+        # Many red parts per supplier: the inner key (SNO, PNO) is not
+        # fully bound.
+        result = check_theorem2(
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED')",
+            paper_catalog,
+        )
+        assert not result.at_most_one
+        assert "P" in result.reason
+
+    def test_candidate_key_binding_suffices(self, paper_catalog):
+        result = check_theorem2(
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS P WHERE P.OEM-PNO = :X AND P.SNO = S.SNO)",
+            paper_catalog,
+        )
+        assert result.at_most_one  # OEM-PNO is a candidate key
+
+    def test_transitive_binding_through_inner_equalities(self, paper_catalog):
+        result = check_theorem2(
+            "SELECT ALL A.ANO FROM AGENTS A WHERE EXISTS "
+            "(SELECT * FROM PARTS P "
+            "WHERE P.SNO = A.SNO AND P.PNO = P.OEM-PNO AND P.OEM-PNO = :N)",
+            paper_catalog,
+        )
+        assert result.at_most_one
+
+    def test_no_predicate_means_many(self, paper_catalog):
+        outer = parse_query(
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS P)"
+        )
+        from repro.sql import Exists
+
+        inner = outer.where.query if isinstance(outer.where, Exists) else None
+        result = subquery_matches_at_most_one(inner, outer, paper_catalog)
+        assert not result.at_most_one
+
+    def test_keyless_inner_table(self, paper_catalog):
+        from repro.catalog import Catalog
+
+        catalog = Catalog.from_ddl(
+            "CREATE TABLE R (A INT, PRIMARY KEY (A)); CREATE TABLE H (X INT)"
+        )
+        result = check_theorem2(
+            "SELECT ALL R.A FROM R WHERE EXISTS "
+            "(SELECT * FROM H WHERE H.X = R.A)",
+            catalog,
+        )
+        assert not result.at_most_one
+        assert "candidate key" in result.reason
+
+    def test_disjunctive_correlation_per_term(self, paper_catalog):
+        # (P.PNO = :A OR P.PNO = :B) is a same-column disjunction: dropped,
+        # so the key is not bound.
+        result = check_theorem2(
+            "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM PARTS P WHERE P.SNO = S.SNO "
+            "AND (P.PNO = :A OR P.PNO = :B))",
+            paper_catalog,
+        )
+        assert not result.at_most_one
+
+
+class TestTheorem3Predicates:
+    def test_nullable_pair_gets_null_test(self):
+        left = ColumnRef("S", "X")
+        right = ColumnRef("A", "X")
+        predicate = null_safe_equality(left, right, nullable=True)
+        assert isinstance(predicate, Or)
+        text = to_sql(predicate)
+        assert "IS NULL" in text and "S.X = A.X" in text
+
+    def test_non_nullable_pair_plain_equality(self):
+        predicate = null_safe_equality(
+            ColumnRef("S", "SNO"), ColumnRef("A", "SNO"), nullable=False
+        )
+        assert isinstance(predicate, Comparison)
+
+    def test_correlation_predicate_pairs_positionally(self, paper_catalog):
+        left = parse_query("SELECT SNO, SNAME FROM SUPPLIER")
+        right = parse_query("SELECT SNO, ANAME FROM AGENTS")
+        left_columns = projection_columns(left, paper_catalog)
+        right_columns = projection_columns(right, paper_catalog)
+        predicate = correlation_predicate(left_columns, right_columns)
+        text = to_sql(predicate)
+        # SUPPLIER.SNO is NOT NULL, so even though AGENTS.SNO is nullable
+        # the pair needs no null test (one NULL side can never match a
+        # non-nullable side); SNAME/ANAME are both nullable and do.
+        assert "SUPPLIER.SNO = AGENTS.SNO" in text
+        assert "SUPPLIER.SNO IS NULL" not in text
+        assert "SUPPLIER.SNAME IS NULL AND AGENTS.ANAME IS NULL" in text
+
+    def test_union_incompatible_rejected(self, paper_catalog):
+        left = parse_query("SELECT SNO, SNAME FROM SUPPLIER")
+        right = parse_query("SELECT SNO FROM AGENTS")
+        with pytest.raises(UnsupportedQueryError):
+            correlation_predicate(
+                projection_columns(left, paper_catalog),
+                projection_columns(right, paper_catalog),
+            )
+
+    def test_projection_columns_star(self, paper_catalog):
+        query = parse_query("SELECT * FROM AGENTS")
+        columns = projection_columns(query, paper_catalog)
+        assert [ref.column for ref, _ in columns] == [
+            "SNO", "ANO", "ANAME", "ACITY",
+        ]
+        nullables = {ref.column: nullable for ref, nullable in columns}
+        assert not nullables["ANO"]  # primary key
+        assert nullables["SNO"]

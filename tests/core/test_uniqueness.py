@@ -1,0 +1,357 @@
+"""Algorithm 1 behaviour, including the paper's worked examples."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core import UniquenessOptions, is_duplicate_free, test_uniqueness
+from repro.errors import UnsupportedQueryError
+
+
+def verdict(sql, catalog, **options):
+    opts = UniquenessOptions(**options) if options else None
+    return test_uniqueness(sql, catalog, opts)
+
+
+class TestPaperExamples:
+    def test_example1_distinct_unnecessary(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            paper_catalog,
+        )
+        assert result.unique
+
+    def test_example2_distinct_required(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            paper_catalog,
+        )
+        assert not result.unique
+        assert "S" in result.reason  # SUPPLIER's key is not bound
+
+    def test_example4_host_variable_binds_key(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME "
+            "FROM SUPPLIER S, PARTS P "
+            "WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+            paper_catalog,
+        )
+        assert result.unique
+
+    def test_example5_trace_matches_paper(self, paper_catalog):
+        # Example 5 traces Algorithm 1 on Example 4's query: V must grow
+        # from A = {S.SNO, SNAME, P.PNO, PNAME} to include P.SNO.
+        result = verdict(
+            "SELECT DISTINCT S.SNO, SNAME, P.PNO, PNAME "
+            "FROM SUPPLIER S, PARTS P "
+            "WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO",
+            paper_catalog,
+        )
+        assert len(result.terms) == 1
+        bound = {str(a) for a in result.terms[0].bound}
+        assert bound == {"S.SNO", "S.SNAME", "P.PNO", "P.PNAME", "P.SNO"}
+
+    def test_example6_nonkey_selection(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNO, PNO, PNAME, P.COLOR "
+            "FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNAME = :SUPPLIER-NAME AND S.SNO = P.SNO",
+            paper_catalog,
+        )
+        assert result.unique
+
+
+class TestCandidateKeys:
+    def test_unique_constraint_counts_as_key(self, paper_catalog):
+        # OEM-PNO is a candidate key of PARTS: binding it suffices.
+        result = verdict(
+            "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S, PARTS P "
+            "WHERE P.OEM-PNO = :X AND S.SNO = P.SNO",
+            paper_catalog,
+        )
+        assert result.unique
+
+    def test_keyless_table_fails(self):
+        catalog = Catalog.from_ddl(
+            "CREATE TABLE K (A INT, PRIMARY KEY (A));"
+            "CREATE TABLE HEAP (X INT)"
+        )
+        result = verdict(
+            "SELECT DISTINCT K.A, H.X FROM K, HEAP H WHERE K.A = H.X",
+            catalog,
+        )
+        assert not result.unique
+        assert "HEAP" in result.reason
+
+    def test_single_table_key_in_projection(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT SNO, SNAME FROM SUPPLIER", paper_catalog
+        )
+        assert result.unique
+
+    def test_single_table_key_missing(self, paper_catalog):
+        result = verdict("SELECT DISTINCT SNAME FROM SUPPLIER", paper_catalog)
+        assert not result.unique
+
+
+class TestDisjunctionHandling:
+    def test_same_column_disjunction_dropped(self, paper_catalog):
+        # X = 5 OR X = 10 binds nothing (the paper's line 8 example):
+        # two rows can pick different branches.
+        result = verdict(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S "
+            "WHERE S.SNO = 5 OR S.SNO = 10",
+            paper_catalog,
+        )
+        assert not result.unique
+        assert result.dropped_clauses
+
+    def test_in_list_treated_as_same_column_disjunction(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S WHERE S.SNO IN (5, 10)",
+            paper_catalog,
+        )
+        assert not result.unique
+
+    def test_cross_column_disjunction_checked_per_term(self, paper_catalog):
+        # (SNO = 1 OR SNAME = 'x'): the SNAME branch leaves SNO unbound.
+        result = verdict(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S "
+            "WHERE S.SNO = 1 OR S.SNAME = 'x'",
+            paper_catalog,
+        )
+        assert not result.unique
+        assert len(result.terms) >= 1
+
+    def test_cross_column_disjunction_can_succeed(self, paper_catalog):
+        # Keys are projected anyway; a kept disjunction must not break it.
+        result = verdict(
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S "
+            "WHERE S.SNAME = 'x' OR S.SCITY = 'y'",
+            paper_catalog,
+        )
+        assert result.unique
+        assert len(result.terms) == 2
+
+    def test_conservative_mode_drops_all_disjunctions(self, paper_catalog):
+        sql = (
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S "
+            "WHERE S.SNAME = 'x' OR S.SCITY = 'y'"
+        )
+        liberal = verdict(sql, paper_catalog)
+        conservative = verdict(
+            sql, paper_catalog, disjunction_handling="conservative"
+        )
+        # Both answer YES here (key projected), but the conservative mode
+        # must have dropped the clause rather than analyzed it.
+        assert liberal.unique and conservative.unique
+        assert conservative.dropped_clauses and not liberal.dropped_clauses
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            UniquenessOptions(disjunction_handling="yolo")
+
+
+class TestOptions:
+    def test_paper_strict_returns_no_on_empty_condition(self, paper_catalog):
+        sql = "SELECT DISTINCT SNO FROM SUPPLIER"
+        default = verdict(sql, paper_catalog)
+        strict = verdict(sql, paper_catalog, paper_strict=True)
+        assert default.unique
+        assert not strict.unique
+        assert "line 10" in strict.reason
+
+    def test_paper_strict_unaffected_when_conditions_survive(
+        self, paper_catalog
+    ):
+        sql = (
+            "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO"
+        )
+        assert verdict(sql, paper_catalog, paper_strict=True).unique
+
+    def test_is_null_binding_extension(self, paper_catalog):
+        # OEM-PNO IS NULL pins the candidate key to the single NULL value.
+        sql = (
+            "SELECT DISTINCT P.PNAME FROM PARTS P WHERE P.OEM-PNO IS NULL"
+        )
+        assert not verdict(sql, paper_catalog).unique
+        assert verdict(
+            sql, paper_catalog, treat_is_null_as_binding=True
+        ).unique
+
+    def test_clause_budget_gives_conservative_no(self, paper_catalog):
+        sql = "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE " + " AND ".join(
+            f"(S.SNO = {i} OR S.SNAME = 'n{i}')" for i in range(12)
+        )
+        result = verdict(sql, paper_catalog, clause_budget=16)
+        assert not result.unique
+        assert "budget" in result.reason
+
+
+class TestNonEqualityAtoms:
+    def test_range_predicate_binds_nothing(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNAME FROM SUPPLIER S "
+            "WHERE S.SNO BETWEEN 1 AND 1",
+            paper_catalog,
+        )
+        # Even though the range pins SNO to one value, Algorithm 1 only
+        # uses equality atoms (a documented source of conservatism).
+        assert not result.unique
+
+    def test_subquery_conjunct_dropped(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S "
+            "WHERE EXISTS (SELECT * FROM PARTS P WHERE P.SNO = S.SNO)",
+            paper_catalog,
+        )
+        assert result.unique  # key projected; EXISTS conjunct ignored
+
+
+class TestIsDuplicateFree:
+    def test_distinct_query_always(self, paper_catalog):
+        assert is_duplicate_free(
+            "SELECT DISTINCT SNAME FROM SUPPLIER", paper_catalog
+        )
+
+    def test_all_query_uses_algorithm1(self, paper_catalog):
+        assert is_duplicate_free("SELECT SNO FROM SUPPLIER", paper_catalog)
+        assert not is_duplicate_free(
+            "SELECT SNAME FROM SUPPLIER", paper_catalog
+        )
+
+    def test_distinct_set_operations(self, paper_catalog):
+        assert is_duplicate_free(
+            "SELECT SNAME FROM SUPPLIER INTERSECT SELECT ANAME FROM AGENTS",
+            paper_catalog,
+        )
+
+    def test_intersect_all_needs_one_unique_side(self, paper_catalog):
+        assert is_duplicate_free(
+            "SELECT SNAME FROM SUPPLIER INTERSECT ALL SELECT SNO FROM SUPPLIER",
+            paper_catalog,
+        )
+        assert not is_duplicate_free(
+            "SELECT SNAME FROM SUPPLIER INTERSECT ALL "
+            "SELECT ANAME FROM AGENTS",
+            paper_catalog,
+        )
+
+    def test_except_all_needs_left_unique(self, paper_catalog):
+        assert is_duplicate_free(
+            "SELECT SNO FROM SUPPLIER EXCEPT ALL SELECT ANO FROM AGENTS",
+            paper_catalog,
+        )
+        assert not is_duplicate_free(
+            "SELECT SNAME FROM SUPPLIER EXCEPT ALL SELECT SNO FROM SUPPLIER",
+            paper_catalog,
+        )
+
+    def test_union_all_never_provable(self, paper_catalog):
+        assert not is_duplicate_free(
+            "SELECT SNO FROM SUPPLIER UNION ALL SELECT ANO FROM AGENTS",
+            paper_catalog,
+        )
+
+    def test_setop_rejected_by_test_uniqueness(self, paper_catalog):
+        with pytest.raises(UnsupportedQueryError):
+            test_uniqueness(
+                "SELECT SNO FROM SUPPLIER UNION SELECT ANO FROM AGENTS",
+                paper_catalog,
+            )
+
+
+class TestExplain:
+    def test_explain_mentions_terms_and_decision(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'",
+            paper_catalog,
+        )
+        text = result.explain()
+        assert "YES" in text
+        assert "term E1" in text
+        assert "projection A" in text
+
+    def test_explain_shows_dropped_clauses(self, paper_catalog):
+        result = verdict(
+            "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.BUDGET > 5",
+            paper_catalog,
+        )
+        assert "dropped clause" in result.explain()
+
+    def test_result_is_truthy(self, paper_catalog):
+        assert verdict("SELECT DISTINCT SNO FROM SUPPLIER", paper_catalog)
+        assert not verdict(
+            "SELECT DISTINCT SNAME FROM SUPPLIER", paper_catalog
+        )
+
+
+class TestCheckConstraintExploitation:
+    """§8 extension: true-interpreted CHECK predicates (opt-in)."""
+
+    DDL = """
+    CREATE TABLE ORDERS (
+      OID INT, REGION VARCHAR(10) NOT NULL, NOTE VARCHAR(20),
+      PRIMARY KEY (OID),
+      CHECK (REGION = 'EU'));
+    CREATE TABLE HQ (
+      REGION VARCHAR(10) NOT NULL, CITY VARCHAR(20),
+      PRIMARY KEY (REGION));
+    """
+
+    SQL = (
+        "SELECT DISTINCT O.OID, H.CITY FROM ORDERS O, HQ H "
+        "WHERE O.REGION = H.REGION"
+    )
+
+    def catalog(self):
+        return Catalog.from_ddl(self.DDL)
+
+    def test_default_misses_the_constraint(self):
+        assert not verdict(self.SQL, self.catalog()).unique
+
+    def test_option_exploits_equality_check(self):
+        # CHECK (REGION = 'EU') on a NOT NULL column pins O.REGION, which
+        # chains to H.REGION — HQ's key — through the join predicate.
+        result = verdict(self.SQL, self.catalog(), use_check_constraints=True)
+        assert result.unique
+
+    def test_nullable_check_column_not_exploited(self):
+        catalog = Catalog.from_ddl(
+            """CREATE TABLE T (
+                 A INT, B VARCHAR(10),
+                 PRIMARY KEY (A),
+                 CHECK (B = 'x'));
+               CREATE TABLE U (
+                 B VARCHAR(10) NOT NULL, C INT,
+                 PRIMARY KEY (B));"""
+        )
+        # B is nullable: CHECK (B = 'x') is also satisfied by NULL, so it
+        # must NOT be treated as a binding — exploiting it would wrongly
+        # pin T.B (and through the join, U's key B).
+        result = verdict(
+            "SELECT DISTINCT T.A, U.C FROM T, U WHERE T.B = U.B",
+            catalog,
+            use_check_constraints=True,
+        )
+        assert not result.unique
+
+    def test_multi_column_check_conjunct_not_exploited(self):
+        catalog = Catalog.from_ddl(
+            """CREATE TABLE W (
+                 A INT, B INT NOT NULL, C INT,
+                 PRIMARY KEY (A),
+                 CHECK (B = 1 AND C >= 0))"""
+        )
+        # Only the B = 1 conjunct qualifies (C is nullable); it must be
+        # usable independently of the rest of the CHECK.
+        result = verdict(
+            "SELECT DISTINCT W.C FROM W WHERE W.A = W.B",
+            catalog,
+            use_check_constraints=True,
+        )
+        # B = 1 binds B; A = B chains to the key A.
+        assert result.unique

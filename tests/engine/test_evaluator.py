@@ -1,0 +1,143 @@
+"""Three-valued predicate evaluation."""
+
+import pytest
+
+from repro.engine import Evaluator, RelSchema, Scope
+from repro.engine.schema import ColumnInfo
+from repro.errors import (
+    AmbiguousColumnError,
+    ExecutionError,
+    MissingHostVariableError,
+    UnknownColumnError,
+)
+from repro.sql import parse_condition
+from repro.types import FALSE, NULL, TRUE, UNKNOWN
+
+
+SCHEMA = RelSchema(
+    [
+        ColumnInfo("T", "A"),
+        ColumnInfo("T", "B"),
+        ColumnInfo("S", "C"),
+    ]
+)
+
+
+def scope(a, b, c):
+    return Scope(SCHEMA, (a, b, c))
+
+
+def evaluate(text, row=(1, 2, 3), params=None):
+    return Evaluator(params=params).predicate(
+        parse_condition(text), scope(*row)
+    )
+
+
+class TestComparisons:
+    def test_true_false(self):
+        assert evaluate("T.A = 1") is TRUE
+        assert evaluate("T.A = 2") is FALSE
+
+    def test_null_comparison_unknown(self):
+        assert evaluate("T.A = 1", row=(NULL, 2, 3)) is UNKNOWN
+        assert evaluate("T.A <> 1", row=(NULL, 2, 3)) is UNKNOWN
+
+    def test_column_to_column(self):
+        assert evaluate("T.A = S.C", row=(3, 0, 3)) is TRUE
+
+    def test_unqualified_resolution(self):
+        assert evaluate("B = 2") is TRUE
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            evaluate("T.NOPE = 1")
+
+    def test_ambiguous_column_raises(self):
+        ambiguous = RelSchema([ColumnInfo("T", "X"), ColumnInfo("S", "X")])
+        with pytest.raises(AmbiguousColumnError):
+            Evaluator().predicate(
+                parse_condition("X = 1"), Scope(ambiguous, (1, 2))
+            )
+
+
+class TestConnectives:
+    def test_and_short_circuit_false(self):
+        assert evaluate("T.A = 99 AND T.B = 2") is FALSE
+
+    def test_unknown_propagates_through_and(self):
+        assert evaluate("T.A = 1 AND S.C = 1", row=(1, 2, NULL)) is UNKNOWN
+
+    def test_or_true_wins_over_unknown(self):
+        assert evaluate("T.A = 1 OR S.C = 1", row=(1, 2, NULL)) is TRUE
+
+    def test_not_unknown_is_unknown(self):
+        assert evaluate("NOT S.C = 1", row=(1, 2, NULL)) is UNKNOWN
+
+
+class TestSpecialPredicates:
+    def test_is_null(self):
+        assert evaluate("S.C IS NULL", row=(1, 2, NULL)) is TRUE
+        assert evaluate("S.C IS NOT NULL", row=(1, 2, NULL)) is FALSE
+        assert evaluate("S.C IS NULL") is FALSE
+
+    def test_between(self):
+        assert evaluate("T.B BETWEEN 1 AND 3") is TRUE
+        assert evaluate("T.B BETWEEN 3 AND 9") is FALSE
+        assert evaluate("T.B NOT BETWEEN 3 AND 9") is TRUE
+        assert evaluate("S.C BETWEEN 1 AND 9", row=(1, 2, NULL)) is UNKNOWN
+
+    def test_in_list(self):
+        assert evaluate("T.B IN (1, 2, 3)") is TRUE
+        assert evaluate("T.B IN (8, 9)") is FALSE
+        assert evaluate("T.B NOT IN (8, 9)") is TRUE
+
+    def test_in_list_with_null_member_unknown_when_no_match(self):
+        # 2 IN (8, NULL) is UNKNOWN (the NULL could be 2).
+        assert evaluate("T.B IN (8, NULL)") is UNKNOWN
+        # 2 IN (2, NULL) is TRUE.
+        assert evaluate("T.B IN (2, NULL)") is TRUE
+
+    def test_null_literal_condition_is_unknown(self):
+        assert evaluate("T.A = 1 AND S.C = NULL") is UNKNOWN
+
+
+class TestHostVariables:
+    def test_bound_host_var(self):
+        assert evaluate("T.A = :X", params={"X": 1}) is TRUE
+
+    def test_host_var_names_case_insensitive(self):
+        assert evaluate("T.A = :x", params={"x": 1}) is TRUE
+
+    def test_missing_host_var_raises(self):
+        with pytest.raises(MissingHostVariableError):
+            evaluate("T.A = :MISSING")
+
+    def test_null_host_var_gives_unknown(self):
+        assert evaluate("T.A = :X", params={"X": NULL}) is UNKNOWN
+
+
+class TestErrors:
+    def test_subquery_without_runner_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate("EXISTS (SELECT * FROM T)")
+
+    def test_qualifies_is_false_interpreted(self):
+        evaluator = Evaluator()
+        assert evaluator.qualifies(parse_condition("T.A = 1"), scope(1, 2, 3))
+        assert not evaluator.qualifies(
+            parse_condition("S.C = 1"), scope(1, 2, NULL)
+        )
+
+    def test_qualifies_counts_predicate_evals(self):
+        evaluator = Evaluator()
+        evaluator.qualifies(parse_condition("T.A = 1"), scope(1, 2, 3))
+        assert evaluator.stats.predicate_evals == 1
+
+
+class TestOuterScopes:
+    def test_inner_frame_shadows_outer(self):
+        outer = Scope(RelSchema([ColumnInfo("O", "X")]), (10,))
+        inner = outer.child(RelSchema([ColumnInfo("I", "X")]), (20,))
+        evaluator = Evaluator()
+        assert evaluator.predicate(parse_condition("X = 20"), inner) is TRUE
+        assert evaluator.predicate(parse_condition("O.X = 10"), inner) is TRUE

@@ -1,0 +1,76 @@
+"""Foreign-key (inclusion dependency) enforcement on insert."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ConstraintViolation
+from repro.types import NULL
+
+
+DDL = """
+CREATE TABLE PARENT (K INT, V INT, PRIMARY KEY (K));
+CREATE TABLE CHILD (
+  ID INT, FK INT,
+  PRIMARY KEY (ID),
+  FOREIGN KEY (FK) REFERENCES PARENT (K));
+INSERT INTO PARENT VALUES (1, 10), (2, 20);
+"""
+
+
+@pytest.fixture()
+def db():
+    return Database.from_script(DDL)
+
+
+class TestEnforcement:
+    def test_matching_reference_accepted(self, db):
+        db.insert("CHILD", (100, 1))
+
+    def test_dangling_reference_rejected(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.insert("CHILD", (100, 99))
+
+    def test_null_fk_exempt(self, db):
+        # SQL simple match: a NULL component exempts the row.
+        db.insert("CHILD", (100, NULL))
+
+    def test_rejected_insert_leaves_no_trace(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.insert("CHILD", (100, 99))
+        # the key slot must be reusable: the failed row was rolled back
+        db.insert("CHILD", (100, 1))
+        assert len(db.table("CHILD")) == 1
+
+    def test_script_inserts_enforced(self):
+        with pytest.raises(ConstraintViolation):
+            Database.from_script(DDL + "INSERT INTO CHILD VALUES (1, 42);")
+
+    def test_fk_without_explicit_ref_columns_uses_primary_key(self):
+        database = Database.from_script(
+            """CREATE TABLE P2 (K INT, PRIMARY KEY (K));
+               CREATE TABLE C2 (ID INT, FK INT, PRIMARY KEY (ID),
+                                FOREIGN KEY (FK) REFERENCES P2);
+               INSERT INTO P2 VALUES (7);"""
+        )
+        database.insert("C2", (1, 7))
+        with pytest.raises(ConstraintViolation):
+            database.insert("C2", (2, 8))
+
+    def test_reference_to_missing_table_unenforced(self):
+        # a dangling REFERENCES target degrades to unenforced, not error
+        database = Database.from_script(
+            """CREATE TABLE LONELY (ID INT, FK INT, PRIMARY KEY (ID),
+                                    FOREIGN KEY (FK) REFERENCES NOWHERE);"""
+        )
+        database.insert("LONELY", (1, 99))
+
+    def test_non_key_reference_falls_back_to_scan(self):
+        database = Database.from_script(
+            """CREATE TABLE P3 (K INT, V INT, PRIMARY KEY (K));
+               CREATE TABLE C3 (ID INT, FK INT, PRIMARY KEY (ID),
+                                FOREIGN KEY (FK) REFERENCES P3 (V));
+               INSERT INTO P3 VALUES (1, 50);"""
+        )
+        database.insert("C3", (1, 50))
+        with pytest.raises(ConstraintViolation):
+            database.insert("C3", (2, 51))

@@ -1,0 +1,81 @@
+"""The Result container and its comparison semantics."""
+
+import pytest
+
+from repro.engine import Result
+from repro.types import NULL
+
+
+class TestEquality:
+    def test_multiset_equality_ignores_order(self):
+        a = Result(["X"], [(1,), (2,), (1,)])
+        b = Result(["X"], [(1,), (1,), (2,)])
+        assert a == b
+
+    def test_counts_matter(self):
+        a = Result(["X"], [(1,), (1,)])
+        b = Result(["X"], [(1,)])
+        assert a != b
+
+    def test_column_names_matter_for_eq(self):
+        a = Result(["X"], [(1,)])
+        b = Result(["Y"], [(1,)])
+        assert a != b
+        assert a.same_rows(b)  # ... but not for same_rows
+
+    def test_nulls_compare_equal(self):
+        a = Result(["X"], [(NULL,)])
+        b = Result(["X"], [(NULL,)])
+        assert a == b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Result(["X"], []))
+
+    def test_eq_against_other_types(self):
+        assert Result(["X"], []) != 42
+
+
+class TestAccessors:
+    def test_len_and_iter(self):
+        result = Result(["X"], [(1,), (2,)])
+        assert len(result) == 2
+        assert list(result) == [(1,), (2,)]
+
+    def test_column_values(self):
+        result = Result(["A", "B"], [(1, "x"), (2, "y")])
+        assert result.column_values("B") == ["x", "y"]
+        with pytest.raises(ValueError):
+            result.column_values("NOPE")
+
+    def test_has_duplicates(self):
+        assert Result(["X"], [(1,), (1,)]).has_duplicates()
+        assert not Result(["X"], [(1,), (2,)]).has_duplicates()
+
+    def test_sorted_rows_nulls_first(self):
+        result = Result(["X"], [(2,), (NULL,), (1,)])
+        assert result.sorted_rows()[0] == (NULL,)
+
+    def test_repr(self):
+        assert "2 rows" in repr(Result(["A", "B"], [(1, 2), (3, 4)]))
+
+
+class TestToTable:
+    def test_renders_header_and_rows(self):
+        text = Result(["ID", "NAME"], [(1, "ann")]).to_table()
+        lines = text.splitlines()
+        assert "ID" in lines[0] and "NAME" in lines[0]
+        assert "'ann'" in lines[2]
+
+    def test_truncation_note(self):
+        result = Result(["X"], [(i,) for i in range(30)])
+        text = result.to_table(limit=5)
+        assert "(30 rows total)" in text
+        assert text.count("\n") < 12
+
+    def test_no_limit(self):
+        result = Result(["X"], [(i,) for i in range(30)])
+        assert "rows total" not in result.to_table(limit=None)
+
+    def test_null_rendering(self):
+        assert "NULL" in Result(["X"], [(NULL,)]).to_table()

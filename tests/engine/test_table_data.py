@@ -1,0 +1,104 @@
+"""Constraint enforcement on insert."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ConstraintViolation
+from repro.types import NULL
+
+
+DDL = """
+CREATE TABLE T (
+  A INT, B INT, C VARCHAR(10),
+  PRIMARY KEY (A),
+  UNIQUE (B),
+  CHECK (A BETWEEN 1 AND 9),
+  CHECK (B <> 0 OR C = 'zero'));
+"""
+
+
+@pytest.fixture()
+def db():
+    return Database.from_script(DDL)
+
+
+class TestNotNull:
+    def test_primary_key_rejects_null(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", (NULL, 1, "x"))
+
+    def test_unique_column_accepts_null(self, db):
+        db.insert("T", (1, NULL, "x"))
+
+
+class TestCheckConstraints:
+    def test_violating_row_rejected(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", (99, 1, "x"))
+
+    def test_unknown_check_passes(self, db):
+        # B is NULL, so (B <> 0 OR C = 'zero') is UNKNOWN: SQL2 only
+        # rejects a definite FALSE.
+        db.insert("T", (1, NULL, "x"))
+
+    def test_disjunctive_check(self, db):
+        db.insert("T", (1, 0, "zero"))
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", (2, 0, "nope"))
+
+
+class TestKeyUniqueness:
+    def test_duplicate_primary_key_rejected(self, db):
+        db.insert("T", (1, 1, "x"))
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", (1, 2, "y"))
+
+    def test_duplicate_candidate_key_rejected(self, db):
+        db.insert("T", (1, 5, "x"))
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", (2, 5, "y"))
+
+    def test_null_is_a_single_special_key_value(self, db):
+        # SQL2 (as the paper adopts it): at most one row may carry a NULL
+        # candidate key.
+        db.insert("T", (1, NULL, "x"))
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", (2, NULL, "y"))
+
+
+class TestLoadingApi:
+    def test_wrong_arity_rejected(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", (1, 2))
+
+    def test_mapping_insert_defaults_to_null(self, db):
+        row = db.insert("T", {"A": 1, "C": "x"})
+        assert row == (1, NULL, "x")
+
+    def test_mapping_insert_rejects_unknown_column(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.insert("T", {"A": 1, "NOPE": 2})
+
+    def test_enforce_false_bypasses_validation(self, db):
+        table = db.table("T")
+        table.insert((1, 1, "x"))
+        table.insert((1, 1, "x"), enforce=False)  # deliberate duplicate
+        assert len(table) == 2
+
+    def test_clear_resets_indexes(self, db):
+        db.insert("T", (1, 1, "x"))
+        db.table("T").clear()
+        db.insert("T", (1, 1, "x"))  # no phantom duplicate error
+        assert len(db.table("T")) == 1
+
+    def test_run_script_inserts(self):
+        database = Database.from_script(
+            DDL + "INSERT INTO T VALUES (1, 1, 'x'), (2, 2, 'y');"
+        )
+        assert database.row_counts() == {"T": 2}
+
+    def test_insert_with_column_list_script(self):
+        database = Database.from_script(
+            DDL + "INSERT INTO T (A, C) VALUES (3, 'z');"
+        )
+        assert database.table("T").rows[0] == (3, NULL, "z")

@@ -1,0 +1,93 @@
+"""Derived FDs and keys of query blocks."""
+
+from repro.analysis import Attribute
+from repro.fd import (
+    derived_fds,
+    derived_keys,
+    is_duplicate_free_fd,
+    key_dependencies,
+    product_attributes,
+)
+from repro.sql import parse_query
+
+
+class TestKeyDependencies:
+    def test_each_candidate_key_contributes(self, paper_catalog):
+        deps = key_dependencies(paper_catalog.table("PARTS"), "P")
+        assert len(deps) == 2  # primary (SNO, PNO) and UNIQUE (OEM-PNO)
+        lhs_sets = {frozenset(str(a) for a in dep.lhs) for dep in deps}
+        assert frozenset({"P.SNO", "P.PNO"}) in lhs_sets
+        assert frozenset({"P.OEM-PNO"}) in lhs_sets
+
+
+class TestDerivedFds:
+    def test_equality_conjuncts_add_fds(self, paper_catalog):
+        query = parse_query(
+            "SELECT S.SNO FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'"
+        )
+        fds = derived_fds(query, paper_catalog)
+        color = Attribute("P", "COLOR")
+        assert color in fds.closure([])  # constant
+        sno_s, sno_p = Attribute("S", "SNO"), Attribute("P", "SNO")
+        assert sno_p in fds.closure([sno_s])
+
+    def test_disjunctive_predicate_contributes_nothing(self, paper_catalog):
+        query = parse_query(
+            "SELECT S.SNO FROM SUPPLIER S WHERE SCITY = 'x' OR SCITY = 'y'"
+        )
+        fds = derived_fds(query, paper_catalog)
+        assert Attribute("S", "SCITY") not in fds.closure([])
+
+
+class TestDerivedKeys:
+    def test_example1_key(self, paper_catalog):
+        # Example 1: (SNO, PNO) keys the derived table.
+        query = parse_query(
+            "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'"
+        )
+        keys = derived_keys(query, paper_catalog)
+        assert frozenset({Attribute("S", "SNO"), Attribute("P", "PNO")}) in keys
+
+    def test_example3_pno_keys_derived_table(self, paper_catalog):
+        # Example 3's claim: PNO alone is a key of the derived table.
+        query = parse_query(
+            "SELECT ALL S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE P.SNO = :SUPPLIER-NO AND S.SNO = P.SNO"
+        )
+        keys = derived_keys(query, paper_catalog)
+        assert frozenset({Attribute("P", "PNO")}) in keys
+
+    def test_example2_has_no_key(self, paper_catalog):
+        query = parse_query(
+            "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'"
+        )
+        assert derived_keys(query, paper_catalog) == []
+
+
+class TestDuplicateFreedom:
+    def test_agrees_with_paper_examples(self, paper_catalog):
+        unique = parse_query(
+            "SELECT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO"
+        )
+        duplicated = parse_query(
+            "SELECT S.SNAME, P.PNO FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO"
+        )
+        assert is_duplicate_free_fd(unique, paper_catalog)
+        assert not is_duplicate_free_fd(duplicated, paper_catalog)
+
+    def test_keyless_table_is_never_duplicate_free(self):
+        from repro.catalog import Catalog
+
+        catalog = Catalog.from_ddl("CREATE TABLE HEAP (X INT, Y INT)")
+        query = parse_query("SELECT X, Y FROM HEAP")
+        assert not is_duplicate_free_fd(query, catalog)
+
+    def test_product_attributes(self, paper_catalog):
+        query = parse_query("SELECT S.SNO FROM SUPPLIER S, AGENTS A")
+        attrs = product_attributes(query, paper_catalog)
+        assert len(attrs) == 9

@@ -1,0 +1,105 @@
+"""FD sets: closure, implication, candidate keys."""
+
+from repro.analysis import Attribute
+from repro.fd import FDSet, FunctionalDependency
+
+import pytest
+
+
+A = Attribute("R", "A")
+B = Attribute("R", "B")
+C = Attribute("R", "C")
+D = Attribute("R", "D")
+
+
+def fd(lhs, rhs):
+    return FunctionalDependency.of(lhs, rhs)
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert FDSet().closure([A]) == {A}
+
+    def test_single_step(self):
+        fds = FDSet([fd([A], [B])])
+        assert fds.closure([A]) == {A, B}
+
+    def test_transitive(self):
+        fds = FDSet([fd([A], [B]), fd([B], [C])])
+        assert fds.closure([A]) == {A, B, C}
+
+    def test_composite_lhs_needs_all_attributes(self):
+        fds = FDSet([fd([A, B], [C])])
+        assert fds.closure([A]) == {A}
+        assert fds.closure([A, B]) == {A, B, C}
+
+    def test_constant_dependency(self):
+        fds = FDSet()
+        fds.add_constant(C)
+        assert fds.closure([]) == {C}
+        assert fds.closure([A]) == {A, C}
+
+    def test_equivalence_is_bidirectional(self):
+        fds = FDSet()
+        fds.add_equivalence(A, B)
+        assert fds.closure([A]) == {A, B}
+        assert fds.closure([B]) == {A, B}
+
+
+class TestImplication:
+    def test_implied_fd(self):
+        fds = FDSet([fd([A], [B]), fd([B], [C])])
+        assert fds.implies(fd([A], [C]))
+
+    def test_not_implied(self):
+        fds = FDSet([fd([A], [B])])
+        assert not fds.implies(fd([B], [A]))
+
+    def test_trivial_fds_not_stored(self):
+        fds = FDSet([fd([A, B], [A])])
+        assert len(fds) == 0
+
+    def test_duplicates_not_stored(self):
+        fds = FDSet([fd([A], [B]), fd([A], [B])])
+        assert len(fds) == 1
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency(frozenset({A}), frozenset())
+
+
+class TestKeys:
+    def test_is_superkey(self):
+        fds = FDSet([fd([A], [B, C])])
+        assert fds.is_superkey([A], [A, B, C])
+        assert not fds.is_superkey([B], [A, B, C])
+
+    def test_candidate_keys_minimal(self):
+        fds = FDSet([fd([A], [B, C, D]), fd([B, C], [A])])
+        keys = fds.candidate_keys([A, B, C, D])
+        assert frozenset({A}) in keys
+        assert frozenset({B, C}) in keys
+        # no superset of {A} reported
+        assert all(not (frozenset({A}) < key) for key in keys)
+
+    def test_candidate_keys_within_projection(self):
+        fds = FDSet([fd([A], [B, C, D])])
+        keys = fds.candidate_keys([A, B, C, D], within=[B, C])
+        assert keys == []  # B,C alone determine nothing
+
+    def test_empty_set_is_key_when_all_constant(self):
+        fds = FDSet()
+        fds.add_constant(A)
+        fds.add_constant(B)
+        keys = fds.candidate_keys([A, B])
+        assert keys == [frozenset()]
+
+    def test_restricted_to(self):
+        fds = FDSet([fd([A], [B]), fd([C], [D])])
+        restricted = fds.restricted_to([A, B])
+        assert len(restricted) == 1
+
+    def test_describe(self):
+        fds = FDSet([fd([A], [B])])
+        assert "->" in fds.describe()
+        assert FDSet().describe() == "(no dependencies)"

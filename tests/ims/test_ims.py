@@ -1,0 +1,177 @@
+"""IMS simulator: hierarchy, storage, DL/I calls."""
+
+import pytest
+
+from repro.errors import ImsError
+from repro.ims import (
+    SSA,
+    STATUS_END,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    Dli,
+    ImsDatabase,
+    define_hierarchy,
+)
+from repro.ims.segments import Hierarchy, SegmentType
+
+
+@pytest.fixture()
+def db():
+    hierarchy = define_hierarchy(
+        "SUPPLIER",
+        ["SNO", "SNAME"],
+        "SNO",
+        [
+            ("PARTS", ["PNO", "PNAME", "COLOR"], "PNO"),
+            ("AGENT", ["ANO", "ACITY"], "ANO"),
+        ],
+    )
+    database = ImsDatabase(hierarchy)
+    for sno in (3, 1, 2):  # out of order on purpose
+        root = database.insert_root((sno, f"s{sno}"))
+        for pno in (20, 10):
+            database.insert_child(root, "PARTS", (pno, f"p{pno}", "RED"))
+        database.insert_child(root, "AGENT", (sno * 100, "Ottawa"))
+    return database
+
+
+class TestHierarchyDefinition:
+    def test_segment_lookup(self, db):
+        assert db.hierarchy.segment_type("parts").name == "PARTS"
+        with pytest.raises(ImsError):
+            db.hierarchy.segment_type("NOPE")
+
+    def test_key_field_must_exist(self):
+        with pytest.raises(ImsError):
+            SegmentType("X", ["A"], key_field="B")
+
+    def test_root_must_be_parentless(self):
+        root = SegmentType("R", ["K"], "K")
+        child = SegmentType("C", ["K"], "K", parent=root)
+        with pytest.raises(ImsError):
+            Hierarchy(child)
+
+    def test_duplicate_segment_names_rejected(self):
+        with pytest.raises(ImsError):
+            define_hierarchy("R", ["K"], "K", [("R", ["K"], "K")])
+
+
+class TestStorage:
+    def test_roots_key_sequenced(self, db):
+        assert [root.key for root in db.roots] == [1, 2, 3]
+
+    def test_duplicate_root_key_rejected(self, db):
+        with pytest.raises(ImsError):
+            db.insert_root((1, "dup"))
+
+    def test_twins_key_sequenced(self, db):
+        twins = db.roots[0].twins("PARTS")
+        assert [twin.key for twin in twins] == [10, 20]
+
+    def test_primary_index_lookup(self, db):
+        segment, position = db.find_root(2)
+        assert segment is not None and segment.key == 2 and position == 1
+        missing, _ = db.find_root(99)
+        assert missing is None
+
+    def test_hierarchic_order_is_preorder(self, db):
+        names = [s.segment_type.name for s in db.hierarchic_order()]
+        assert names[:4] == ["SUPPLIER", "PARTS", "PARTS", "AGENT"]
+
+    def test_segment_count(self, db):
+        assert db.segment_count() == 3 * 4
+        assert db.segment_count("PARTS") == 6
+
+    def test_segment_accessors(self, db):
+        root = db.roots[0]
+        assert root.field("SNAME") == "s1"
+        assert root.as_dict()["SNO"] == 1
+
+
+class TestDliCalls:
+    def test_gu_by_key_uses_index(self, db):
+        dli = Dli(db)
+        status, segment = dli.gu(SSA("SUPPLIER", "SNO", "=", 2))
+        assert status == STATUS_OK and segment.key == 2
+        assert dli.stats.index_lookups == 1
+        assert dli.stats.segments_examined["SUPPLIER"] == 0
+
+    def test_gu_missing_key(self, db):
+        status, segment = Dli(db).gu(SSA("SUPPLIER", "SNO", "=", 42))
+        assert status == STATUS_NOT_FOUND and segment is None
+
+    def test_gu_nonkey_scans(self, db):
+        dli = Dli(db)
+        status, segment = dli.gu(SSA("SUPPLIER", "SNAME", "=", "s3"))
+        assert status == STATUS_OK and segment.key == 3
+        assert dli.stats.segments_examined["SUPPLIER"] == 3
+
+    def test_gn_sweeps_roots_then_gb(self, db):
+        dli = Dli(db)
+        seen = []
+        status, segment = dli.gu(SSA("SUPPLIER"))
+        while status == STATUS_OK:
+            seen.append(segment.key)
+            status, segment = dli.gn(SSA("SUPPLIER"))
+        assert seen == [1, 2, 3]
+        assert status == STATUS_END
+
+    def test_gnp_requires_parentage(self, db):
+        with pytest.raises(ImsError):
+            Dli(db).gnp(SSA("PARTS"))
+
+    def test_gnp_iterates_twins(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        keys = []
+        status, child = dli.gnp(SSA("PARTS"))
+        while status == STATUS_OK:
+            keys.append(child.key)
+            status, child = dli.gnp(SSA("PARTS"))
+        assert keys == [10, 20]
+
+    def test_gnp_key_qualification_halts_early(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        status, child = dli.gnp(SSA("PARTS", "PNO", "=", 10))
+        assert status == STATUS_OK and child.key == 10
+        # second call stops at key 20 > 10 without scanning further
+        status, child = dli.gnp(SSA("PARTS", "PNO", "=", 10))
+        assert status == STATUS_NOT_FOUND
+        assert dli.stats.segments_examined["PARTS"] == 2
+
+    def test_gnp_nonkey_qualification_scans_all(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        status, child = dli.gnp(SSA("PARTS", "COLOR", "=", "BLUE"))
+        assert status == STATUS_NOT_FOUND
+        assert dli.stats.segments_examined["PARTS"] == 2
+
+    def test_gnp_resets_with_new_parent(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        dli.gnp(SSA("PARTS"))
+        dli.gn(SSA("SUPPLIER"))  # parent is now supplier 2
+        status, child = dli.gnp(SSA("PARTS"))
+        assert status == STATUS_OK and child.key == 10
+
+    def test_call_counters(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        dli.gnp(SSA("PARTS"))
+        dli.gnp(SSA("AGENT"))
+        assert dli.stats.calls_to("SUPPLIER", "GU") == 1
+        assert dli.stats.calls_to("PARTS") == 1
+        assert dli.stats.total_calls() == 3
+        assert "GU SUPPLIER=1" in dli.stats.describe()
+
+    def test_gu_on_child_unsupported(self, db):
+        with pytest.raises(ImsError):
+            Dli(db).gu(SSA("PARTS", "PNO", "=", 10))
+
+    def test_ssa_operators(self, db):
+        dli = Dli(db)
+        status, segment = dli.gu(SSA("SUPPLIER", "SNO", ">=", 2))
+        assert status == STATUS_OK and segment.key == 2
+        with pytest.raises(ImsError):
+            SSA("SUPPLIER", "SNO", "~", 1).matches(segment)

@@ -1,0 +1,107 @@
+"""Multi-level hierarchies: grandchild storage and GNP descent."""
+
+import pytest
+
+from repro.errors import ImsError
+from repro.ims import (
+    SSA,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    Dli,
+    ImsDatabase,
+)
+from repro.ims.segments import Hierarchy, SegmentType
+
+
+@pytest.fixture()
+def db():
+    """SUPPLIER -> PARTS -> LOTS, plus AGENT under the root."""
+    root = SegmentType("SUPPLIER", ["SNO", "SNAME"], "SNO")
+    parts = root.add_child("PARTS", ["PNO", "COLOR"], "PNO")
+    parts.add_child("LOTS", ["LNO", "QTY"], "LNO")
+    root.add_child("AGENT", ["ANO"], "ANO")
+    database = ImsDatabase(Hierarchy(root))
+
+    for sno in (1, 2):
+        supplier = database.insert_root((sno, f"s{sno}"))
+        for pno in (10, 20):
+            part = database.insert_child(supplier, "PARTS", (pno, "RED"))
+            for lno in (1, 2, 3):
+                database.insert_child(part, "LOTS", (lno, sno * pno * lno))
+        database.insert_child(supplier, "AGENT", (sno * 100,))
+    return database
+
+
+class TestStorage:
+    def test_three_level_hierarchic_order(self, db):
+        names = [s.segment_type.name for s in db.hierarchic_order()]
+        # root, then each part followed by its lots, then the agent
+        assert names[:9] == [
+            "SUPPLIER",
+            "PARTS", "LOTS", "LOTS", "LOTS",
+            "PARTS", "LOTS", "LOTS", "LOTS",
+        ]
+        assert names[9] == "AGENT"
+
+    def test_descendants_collects_grandchildren(self, db):
+        root = db.roots[0]
+        lots = db.descendants(root, "LOTS")
+        assert len(lots) == 6
+        # hierarchic order: part 10's lots before part 20's
+        assert [lot.field("QTY") for lot in lots[:3]] == [10, 20, 30]
+
+    def test_segment_count_by_type(self, db):
+        assert db.segment_count("LOTS") == 12
+        assert db.segment_count() == 2 * (1 + 2 + 6 + 1)
+
+    def test_is_descendant_of(self, db):
+        lots = db.hierarchy.segment_type("LOTS")
+        root = db.hierarchy.root
+        parts = db.hierarchy.segment_type("PARTS")
+        assert lots.is_descendant_of(root)
+        assert lots.is_descendant_of(parts)
+        assert not parts.is_descendant_of(lots)
+
+
+class TestGnpDescent:
+    def test_gnp_reaches_grandchildren(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        quantities = []
+        status, lot = dli.gnp(SSA("LOTS"))
+        while status == STATUS_OK:
+            quantities.append(lot.field("QTY"))
+            status, lot = dli.gnp(SSA("LOTS"))
+        assert quantities == [10, 20, 30, 20, 40, 60]
+
+    def test_gnp_grandchild_qualification(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 2))
+        status, lot = dli.gnp(SSA("LOTS", "QTY", "=", 120))
+        assert status == STATUS_OK and lot.field("LNO") == 3
+        status, _ = dli.gnp(SSA("LOTS", "QTY", "=", 120))
+        assert status == STATUS_NOT_FOUND
+
+    def test_gnp_within_mid_level_parent(self, db):
+        # Establish parentage at a PARTS segment via GNP, then descend.
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        status, part = dli.gnp(SSA("PARTS", "PNO", "=", 20))
+        assert status == STATUS_OK
+        # GNP parentage here remains the root (set by GU/GN), so LOTS
+        # under the whole supplier are visible; resume after part 10's.
+        status, lot = dli.gnp(SSA("LOTS"))
+        assert status == STATUS_OK
+
+    def test_unrelated_segment_rejected(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        with pytest.raises(ImsError):
+            dli.gnp(SSA("NOPE"))
+
+    def test_grandchild_counters(self, db):
+        dli = Dli(db)
+        dli.gu(SSA("SUPPLIER", "SNO", "=", 1))
+        dli.gnp(SSA("LOTS", "QTY", "=", 60))
+        assert dli.stats.calls_to("LOTS", "GNP") == 1
+        assert dli.stats.segments_examined["LOTS"] == 6

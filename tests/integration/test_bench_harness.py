@@ -1,0 +1,64 @@
+"""The benchmark reporting harness."""
+
+import pytest
+
+from repro.bench import ExperimentReport, geometric_sweep, speedup, timed
+
+
+class TestExperimentReport:
+    def make(self):
+        return ExperimentReport(
+            experiment="X", claim="c", columns=["a", "bee"]
+        )
+
+    def test_render_aligns_columns(self):
+        report = self.make()
+        report.add_row(1, "long-value")
+        report.add_row(22, "v")
+        text = report.render()
+        lines = text.splitlines()
+        assert lines[0] == "== X =="
+        assert lines[1] == "claim: c"
+        header, rule, first, second = lines[2:6]
+        assert header.index("|") == rule.index("+") == first.index("|")
+
+    def test_row_arity_checked(self):
+        report = self.make()
+        with pytest.raises(ValueError):
+            report.add_row(1)
+
+    def test_floats_formatted_compactly(self):
+        report = self.make()
+        report.add_row(0.123456789, 2)
+        assert "0.1235" in report.render()
+
+    def test_notes_rendered(self):
+        report = self.make()
+        report.note("footnote")
+        assert "note: footnote" in report.render()
+
+    def test_show_registers_for_replay(self, capsys):
+        from repro.bench import RENDERED_REPORTS
+
+        before = len(RENDERED_REPORTS)
+        report = self.make()
+        report.show()
+        assert len(RENDERED_REPORTS) == before + 1
+        assert "== X ==" in capsys.readouterr().out
+        RENDERED_REPORTS.pop()
+
+
+class TestHelpers:
+    def test_timed_returns_result_and_duration(self):
+        result, elapsed = timed(lambda: 41 + 1)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_geometric_sweep(self):
+        assert geometric_sweep(10, 80) == [10, 20, 40, 80]
+        assert geometric_sweep(10, 100) == [10, 20, 40, 80, 100]
+        assert geometric_sweep(5, 5) == [5]

@@ -1,0 +1,141 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+EX1 = (
+    "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P "
+    "WHERE S.SNO = P.SNO AND P.COLOR = 'RED'"
+)
+
+
+class TestCheck:
+    def test_yes_exit_code_zero(self, capsys):
+        code = main(["check", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "YES" in out
+
+    def test_no_exit_code_one(self, capsys):
+        code = main(["check", "SELECT DISTINCT SNAME FROM SUPPLIER"])
+        assert code == 1
+        assert "decision: NO" in capsys.readouterr().out
+
+    def test_custom_schema_file(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text("CREATE TABLE T (A INT, PRIMARY KEY (A))")
+        code = main(
+            ["check", "--schema", str(schema), "SELECT DISTINCT A FROM T"]
+        )
+        assert code == 0
+
+    def test_check_constraint_flag(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text(
+            "CREATE TABLE T (A INT, B INT NOT NULL, PRIMARY KEY (A), "
+            "CHECK (B = 1));"
+            "CREATE TABLE U (B INT NOT NULL, C INT, PRIMARY KEY (B))"
+        )
+        sql = "SELECT DISTINCT U.C FROM T, U WHERE T.A = T.B AND T.B = U.B"
+        assert main(["check", "--schema", str(schema), sql]) == 1
+        assert (
+            main(
+                ["check", "--schema", str(schema),
+                 "--use-check-constraints", sql]
+            )
+            == 0
+        )
+
+
+class TestOptimize:
+    def test_relational_profile(self, capsys):
+        code = main(["optimize", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distinct-elimination" in out
+        assert "SELECT S.SNO" in out
+
+    def test_navigational_profile(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--profile",
+                "navigational",
+                "SELECT ALL S.* FROM SUPPLIER S, PARTS P "
+                "WHERE S.SNO = P.SNO AND P.PNO = :PARTNO",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "join-to-subquery" in out
+        assert "EXISTS" in out
+
+
+class TestRun:
+    def test_demo_database(self, capsys):
+        code = main(["run", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "row(s);" in out
+        assert "distinct-elimination" in out
+
+    def test_no_optimize_flag(self, capsys):
+        code = main(["run", "--no-optimize", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distinct-elimination" not in out
+
+    def test_plan_flag(self, capsys):
+        code = main(["run", "--plan", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "physical plan:" in out
+        assert "HashJoin" in out
+
+    def test_script_and_params(self, tmp_path, capsys):
+        script = tmp_path / "db.sql"
+        script.write_text(
+            "CREATE TABLE T (A INT, B VARCHAR(5), PRIMARY KEY (A));"
+            "INSERT INTO T VALUES (1, 'x'), (2, 'y');"
+        )
+        code = main(
+            [
+                "run",
+                "--script",
+                str(script),
+                "--param",
+                "WANTED=2",
+                "SELECT A, B FROM T WHERE A = :WANTED",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'y'" in out and "1 row(s)" in out
+
+    def test_param_types(self, tmp_path, capsys):
+        script = tmp_path / "db.sql"
+        script.write_text(
+            "CREATE TABLE T (A INT, PRIMARY KEY (A)); INSERT INTO T VALUES (1);"
+        )
+        code = main(
+            ["run", "--script", str(script), "--param", "X=NULL",
+             "SELECT A FROM T WHERE A = :X"]
+        )
+        assert code == 0
+        assert "0 row(s)" in capsys.readouterr().out
+
+    def test_malformed_param_is_an_error(self, capsys):
+        code = main(["run", "--param", "oops", "SELECT SNO FROM SUPPLIER"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDemo:
+    def test_walks_all_examples(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Example 1:" in out
+        assert "Example 11:" in out
+        assert "join-to-subquery" in out

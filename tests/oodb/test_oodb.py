@@ -1,0 +1,170 @@
+"""Object store and the Example 11 navigation strategies."""
+
+import pytest
+
+from repro.errors import OodbError
+from repro.oodb import (
+    ObjectStats,
+    ObjectStore,
+    OoClass,
+    forward_join,
+    full_scan_join,
+    selective_exists,
+)
+from repro.workloads import SupplierScale, build_object_store, generate
+
+
+@pytest.fixture()
+def store():
+    return build_object_store(
+        generate(SupplierScale(suppliers=30, parts_per_supplier=5))
+    )
+
+
+class TestModel:
+    def test_key_attribute_must_exist(self):
+        with pytest.raises(OodbError):
+            OoClass("C", ["A"], key_attribute="B")
+
+    def test_reference_target_must_be_defined(self):
+        s = ObjectStore()
+        with pytest.raises(OodbError):
+            s.define_class(OoClass("C", ["A"], references={"R": "MISSING"}))
+
+    def test_duplicate_class_rejected(self):
+        s = ObjectStore()
+        s.define_class(OoClass("C", ["A"]))
+        with pytest.raises(OodbError):
+            s.define_class(OoClass("C", ["A"]))
+
+    def test_missing_attributes_rejected(self):
+        s = ObjectStore()
+        s.define_class(OoClass("C", ["A", "B"]))
+        with pytest.raises(OodbError):
+            s.create("C", {"A": 1})
+
+    def test_unknown_reference_rejected(self):
+        s = ObjectStore()
+        s.define_class(OoClass("C", ["A"]))
+        obj = s.create("C", {"A": 1})
+        with pytest.raises(OodbError):
+            s.create("C", {"A": 2}, refs={"NOPE": obj.oid})
+
+
+class TestStore:
+    def test_deref_counts_fetch(self, store):
+        stats = store.stats
+        stats.reset()
+        oids = store.index_lookup("SUPPLIER", "SNO", 1)
+        assert len(oids) == 1
+        store.deref(oids[0])
+        assert stats.fetches_of("SUPPLIER") == 1
+        assert stats.pointer_derefs == 1
+        assert stats.index_lookups == 1
+
+    def test_scan_counts_every_object(self, store):
+        store.stats.reset()
+        count = sum(1 for _ in store.scan("PARTS"))
+        assert count == store.extent_size("PARTS")
+        assert store.stats.fetches_of("PARTS") == count
+
+    def test_index_range(self, store):
+        oids = store.index_range("SUPPLIER", "SNO", 10, 20)
+        assert len(oids) == 11
+
+    def test_index_built_retroactively(self, store):
+        store.create_index("SUPPLIER", "SCITY")
+        assert store.has_index("SUPPLIER", "SCITY")
+        assert store.index_lookup("SUPPLIER", "SCITY", "Toronto")
+
+    def test_missing_index_raises(self, store):
+        with pytest.raises(OodbError):
+            store.index_lookup("PARTS", "PNAME", "x")
+
+    def test_dangling_oid(self, store):
+        from repro.oodb import Oid
+
+        with pytest.raises(OodbError):
+            store.deref(Oid("SUPPLIER", 999_999))
+
+    def test_child_parent_pointer(self, store):
+        part_oid = store.index_lookup("PARTS", "PNO", 1)[0]
+        part = store.deref(part_oid)
+        parent = store.deref(part.ref("SUPPLIER"))
+        assert parent.oid.class_name == "SUPPLIER"
+
+    def test_stats_describe(self, store):
+        store.stats.reset()
+        store.index_lookup("SUPPLIER", "SNO", 1)
+        assert "index_lookups=1" in store.stats.describe()
+
+
+class TestExample11Strategies:
+    """Both navigations must produce the same suppliers."""
+
+    def run_both(self, store, lo, hi, pno):
+        in_range = lambda s: lo <= s.get("SNO") <= hi
+
+        store.stats = ObjectStats()
+        forward = forward_join(
+            store, "PARTS", "PNO", pno, "SUPPLIER", in_range
+        )
+        forward_stats = store.stats
+
+        store.stats = ObjectStats()
+        rewritten = selective_exists(
+            store, "SUPPLIER", "SNO", lo, hi, "PARTS", "PNO", pno, "SUPPLIER"
+        )
+        rewritten_stats = store.stats
+        return forward, forward_stats, rewritten, rewritten_stats
+
+    def test_strategies_agree(self, store):
+        forward, _, rewritten, _ = self.run_both(store, 10, 20, 2)
+        assert sorted(o.get("SNO") for o in forward) == sorted(
+            o.get("SNO") for o in rewritten
+        )
+        assert len(forward) == 11
+
+    def test_selective_range_fetches_fewer_suppliers(self, store):
+        # 30 suppliers all supply part 2; range 10..12 keeps 3.
+        _, forward_stats, _, rewritten_stats = self.run_both(store, 10, 12, 2)
+        # forward dereferences every part's parent: 30 supplier fetches
+        assert forward_stats.fetches_of("SUPPLIER") == 30
+        # rewritten fetches only the ranged suppliers
+        assert rewritten_stats.fetches_of("SUPPLIER") == 3
+
+    def test_full_scan_baseline_agrees(self, store):
+        in_range = lambda s: 10 <= s.get("SNO") <= 20
+        store.stats = ObjectStats()
+        scanned = full_scan_join(
+            store, "SUPPLIER", in_range, "PARTS", "PNO", 2, "SUPPLIER"
+        )
+        assert len(scanned) == 11
+        # the baseline touches the entire PARTS extent
+        assert store.stats.fetches_of("PARTS") == store.extent_size("PARTS")
+
+    def test_exists_semantics_deduplicates(self, store):
+        # PNO=2 appears once per supplier, so join and exists agree on
+        # cardinality here; a supplier with two matching parts would
+        # still appear once under selective_exists.
+        data = generate(SupplierScale(suppliers=3, parts_per_supplier=2))
+        small = build_object_store(data)
+        supplier_oid = small.index_lookup("SUPPLIER", "SNO", 1)[0]
+        small.create(
+            "PARTS",
+            {"PNO": 77, "PNAME": "x", "OEM-PNO": 999, "COLOR": "RED"},
+            refs={"SUPPLIER": supplier_oid},
+        )
+        small.create(
+            "PARTS",
+            {"PNO": 77, "PNAME": "y", "OEM-PNO": 998, "COLOR": "RED"},
+            refs={"SUPPLIER": supplier_oid},
+        )
+        result = selective_exists(
+            small, "SUPPLIER", "SNO", 1, 3, "PARTS", "PNO", 77, "SUPPLIER"
+        )
+        assert len(result) == 1  # one supplier, despite two matching parts
+        joined = forward_join(
+            small, "PARTS", "PNO", 77, "SUPPLIER", lambda s: True
+        )
+        assert len(joined) == 2  # the ALL join keeps both pairs

@@ -1,0 +1,152 @@
+"""Expression-tree utilities: building, traversal, substitution."""
+
+import pytest
+
+from repro.sql import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    HostVar,
+    InList,
+    Literal,
+    Not,
+    Or,
+    column_refs,
+    conjoin,
+    conjuncts,
+    contains_subquery,
+    disjoin,
+    disjuncts,
+    host_vars,
+    parse_condition,
+)
+from repro.sql.expressions import FALSE_LITERAL, TRUE_LITERAL, Exists
+
+
+A = ColumnRef("T", "A")
+B = ColumnRef("T", "B")
+EQ1 = Comparison("=", A, Literal(1))
+EQ2 = Comparison("=", B, Literal(2))
+EQ3 = Comparison("=", A, B)
+
+
+class TestBuilders:
+    def test_conjoin_flattens_nested_ands(self):
+        combined = conjoin([And((EQ1, EQ2)), EQ3])
+        assert isinstance(combined, And)
+        assert len(combined.operands) == 3
+
+    def test_conjoin_drops_true(self):
+        assert conjoin([TRUE_LITERAL, EQ1]) == EQ1
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]) == TRUE_LITERAL
+
+    def test_disjoin_flattens_and_unwraps(self):
+        assert disjoin([EQ1]) == EQ1
+        combined = disjoin([Or((EQ1, EQ2)), EQ3])
+        assert len(combined.operands) == 3
+
+    def test_disjoin_empty_is_false(self):
+        assert disjoin([]) == FALSE_LITERAL
+
+    def test_invalid_comparison_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("LIKE", A, Literal("x"))
+
+
+class TestDecomposition:
+    def test_conjuncts_of_nested_and(self):
+        expr = parse_condition("A = 1 AND (B = 2 AND C = 3)")
+        assert len(conjuncts(expr)) == 3
+
+    def test_conjuncts_of_none(self):
+        assert conjuncts(None) == []
+
+    def test_disjuncts(self):
+        expr = parse_condition("A = 1 OR B = 2 OR C = 3")
+        assert len(disjuncts(expr)) == 3
+
+    def test_conjuncts_of_single_atom(self):
+        assert conjuncts(EQ1) == [EQ1]
+
+
+class TestTraversal:
+    def test_column_refs_in_order(self):
+        expr = parse_condition("T.A = 1 AND S.B = T.C")
+        refs = column_refs(expr)
+        assert [(r.qualifier, r.column) for r in refs] == [
+            ("T", "A"), ("S", "B"), ("T", "C"),
+        ]
+
+    def test_host_vars(self):
+        expr = parse_condition("A = :X AND B = :Y")
+        assert [hv.name for hv in host_vars(expr)] == ["X", "Y"]
+
+    def test_contains_subquery(self):
+        assert contains_subquery(
+            parse_condition("EXISTS (SELECT * FROM T)")
+        )
+        assert contains_subquery(
+            parse_condition("A = 1 AND X IN (SELECT B FROM T)")
+        )
+        assert not contains_subquery(parse_condition("A = 1"))
+
+
+class TestSubstitution:
+    def test_replace_column_ref(self):
+        expr = And((EQ1, EQ3))
+        replaced = expr.replace({A: ColumnRef("U", "A")})
+        refs = column_refs(replaced)
+        assert all(r.qualifier in ("U", "T") for r in refs)
+        assert ColumnRef("U", "A") in refs
+        assert B in refs
+
+    def test_replace_whole_node(self):
+        expr = And((EQ1, EQ2))
+        replaced = expr.replace({EQ1: EQ3})
+        assert replaced == And((EQ3, EQ2))
+
+    def test_transform_bottom_up(self):
+        expr = Not(Not(EQ1))
+
+        def strip_double_not(node):
+            if isinstance(node, Not) and isinstance(node.operand, Not):
+                return node.operand.operand
+            return None
+
+        assert expr.transform(strip_double_not) == EQ1
+
+
+class TestNegationAndSugar:
+    def test_comparison_negate_flips_operator(self):
+        assert Comparison("<", A, B).negate() == Comparison(">=", A, B)
+        assert EQ1.negate().op == "<>"
+
+    def test_flipped_swaps_operands(self):
+        flipped = Comparison("<", A, B).flipped()
+        assert flipped == Comparison(">", B, A)
+
+    def test_not_negate_unwraps(self):
+        assert Not(EQ1).negate() == EQ1
+
+    def test_between_expand(self):
+        between = Between(A, Literal(1), Literal(9))
+        expanded = between.expand()
+        assert isinstance(expanded, And)
+        assert expanded.operands[0].op == ">="
+
+    def test_in_list_expand(self):
+        expr = InList(A, (Literal(1), Literal(2)))
+        expanded = expr.expand()
+        assert isinstance(expanded, Or)
+        assert all(op.op == "=" for op in expanded.operands)
+
+    def test_negated_in_list_expand_wraps_not(self):
+        expanded = InList(A, (Literal(1),), negated=True).expand()
+        assert isinstance(expanded, Not)
+
+    def test_exists_negate(self):
+        exists = Exists(query=object())
+        assert exists.negate().negated

@@ -1,0 +1,104 @@
+"""Lexer behaviour: token kinds, tricky identifiers, errors."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql import TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("select Select SELECT")
+        assert all(t.value == "SELECT" for t in tokens[:-1])
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_upper_cased(self):
+        assert values("supplier Parts") == ["SUPPLIER", "PARTS"]
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_punctuation_and_operators(self):
+        assert values("( ) , . * ; = <> <= >= < >") == [
+            "(", ")", ",", ".", "*", ";", "=", "<>", "<=", ">=", "<", ">",
+        ]
+
+    def test_bang_equals_normalizes(self):
+        assert values("a != b") == ["A", "<>", "B"]
+
+
+class TestIdentifiers:
+    def test_hyphenated_identifier(self):
+        # The paper's schema has the column OEM-PNO.
+        assert values("OEM-PNO") == ["OEM-PNO"]
+
+    def test_hyphen_before_comment_not_swallowed(self):
+        assert values("X --comment\n Y") == ["X", "Y"]
+
+    def test_delimited_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "WEIRD NAME"
+
+    def test_underscore_identifier(self):
+        assert values("_tmp x_1") == ["_TMP", "X_1"]
+
+
+class TestLiterals:
+    def test_integer_and_float(self):
+        tokens = tokenize("42 3.25")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.25 and isinstance(tokens[1].value, float)
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "it's"
+
+    def test_string_preserves_case(self):
+        assert tokenize("'Toronto'")[0].value == "Toronto"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+
+class TestHostVariables:
+    def test_simple_host_var(self):
+        tokens = tokenize(":PARTNO")
+        assert tokens[0].type is TokenType.HOST_VAR
+        assert tokens[0].value == "PARTNO"
+
+    def test_hyphenated_host_var(self):
+        assert tokenize(":SUPPLIER-NO")[0].value == "SUPPLIER-NO"
+
+    def test_colon_without_name_raises(self):
+        with pytest.raises(LexerError):
+            tokenize(": 5")
+
+
+class TestCommentsAndErrors:
+    def test_line_comment_skipped(self):
+        assert values("a -- rest of line\n b") == ["A", "B"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* anything\n at all */ b") == ["A", "B"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* no end")
+
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a\n  @")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3

@@ -1,0 +1,251 @@
+"""Parser behaviour for the SQL2 subset."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import (
+    Between,
+    CheckClause,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    Exists,
+    ForeignKeyClause,
+    HostVar,
+    InList,
+    InSubquery,
+    Insert,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    PrimaryKeyClause,
+    Quantifier,
+    SelectQuery,
+    SetOpKind,
+    SetOperation,
+    Star,
+    UniqueClause,
+    parse,
+    parse_condition,
+    parse_query,
+    parse_script,
+)
+from repro.types import NULL
+
+
+class TestSelect:
+    def test_minimal_select(self):
+        query = parse_query("SELECT * FROM T")
+        assert isinstance(query, SelectQuery)
+        assert query.quantifier is Quantifier.ALL
+        assert isinstance(query.select_list[0], Star)
+        assert query.tables[0].name == "T"
+        assert query.where is None
+
+    def test_distinct_and_explicit_all(self):
+        assert parse_query("SELECT DISTINCT A FROM T").distinct
+        assert not parse_query("SELECT ALL A FROM T").distinct
+
+    def test_aliases(self):
+        query = parse_query("SELECT S.X AS Y FROM SUPPLIER S, PARTS AS P")
+        item = query.select_list[0]
+        assert item.alias == "Y"
+        assert query.tables[0].alias == "S"
+        assert query.tables[1].alias == "P"
+        assert query.tables[1].effective_name == "P"
+
+    def test_qualified_star(self):
+        query = parse_query("SELECT S.*, P.X FROM S, P")
+        star = query.select_list[0]
+        assert isinstance(star, Star) and star.qualifier == "S"
+
+    def test_order_by(self):
+        query = parse_query("SELECT A, B FROM T ORDER BY A DESC, B")
+        assert not query.order_by[0].ascending
+        assert query.order_by[1].ascending
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM T extra garbage (")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT A WHERE A = 1")
+
+
+class TestConditions:
+    def test_and_or_precedence(self):
+        condition = parse_condition("A = 1 OR B = 2 AND C = 3")
+        assert isinstance(condition, Or)
+        # AND binds tighter: the OR's second operand is the conjunction.
+        assert len(condition.operands) == 2
+
+    def test_parentheses_override(self):
+        condition = parse_condition("(A = 1 OR B = 2) AND C = 3")
+        from repro.sql import And
+
+        assert isinstance(condition, And)
+
+    def test_not(self):
+        condition = parse_condition("NOT A = 1")
+        assert isinstance(condition, Not)
+
+    def test_between(self):
+        condition = parse_condition("SNO BETWEEN 1 AND 499")
+        assert isinstance(condition, Between)
+        assert condition.low == Literal(1)
+        assert condition.high == Literal(499)
+
+    def test_not_between(self):
+        assert parse_condition("X NOT BETWEEN 1 AND 2").negated
+
+    def test_in_list(self):
+        condition = parse_condition("SCITY IN ('Chicago', 'New York')")
+        assert isinstance(condition, InList)
+        assert len(condition.items) == 2
+
+    def test_in_subquery(self):
+        condition = parse_condition("SNO IN (SELECT SNO FROM PARTS)")
+        assert isinstance(condition, InSubquery)
+
+    def test_not_in(self):
+        assert parse_condition("X NOT IN (1, 2)").negated
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse_condition("X IS NULL").negated
+        assert parse_condition("X IS NOT NULL").negated
+
+    def test_exists(self):
+        condition = parse_condition("EXISTS (SELECT * FROM T)")
+        assert isinstance(condition, Exists) and not condition.negated
+
+    def test_not_exists(self):
+        condition = parse_condition("NOT EXISTS (SELECT * FROM T)")
+        assert isinstance(condition, Not)
+        assert isinstance(condition.operand, Exists)
+
+    def test_host_variable_comparison(self):
+        condition = parse_condition("P.SNO = :SUPPLIER-NO")
+        assert isinstance(condition, Comparison)
+        assert condition.right == HostVar("SUPPLIER-NO")
+
+    def test_null_literal(self):
+        condition = parse_condition("X = NULL")
+        assert condition.right == Literal(NULL)
+
+    def test_comparison_requires_operand(self):
+        with pytest.raises(ParseError):
+            parse_condition("X =")
+
+    def test_bare_column_is_not_a_condition(self):
+        with pytest.raises(ParseError):
+            parse_condition("X")
+
+
+class TestSetOperations:
+    def test_intersect(self):
+        query = parse_query("SELECT A FROM R INTERSECT SELECT A FROM S")
+        assert isinstance(query, SetOperation)
+        assert query.kind is SetOpKind.INTERSECT
+        assert not query.all
+
+    def test_intersect_all(self):
+        query = parse_query("SELECT A FROM R INTERSECT ALL SELECT A FROM S")
+        assert query.all
+
+    def test_except_and_union(self):
+        assert (
+            parse_query("SELECT A FROM R EXCEPT SELECT A FROM S").kind
+            is SetOpKind.EXCEPT
+        )
+        assert (
+            parse_query("SELECT A FROM R UNION ALL SELECT A FROM S").kind
+            is SetOpKind.UNION
+        )
+
+    def test_intersect_binds_tighter_than_union(self):
+        query = parse_query(
+            "SELECT A FROM R UNION SELECT A FROM S INTERSECT SELECT A FROM T"
+        )
+        assert query.kind is SetOpKind.UNION
+        assert isinstance(query.right, SetOperation)
+        assert query.right.kind is SetOpKind.INTERSECT
+
+    def test_left_associativity(self):
+        query = parse_query(
+            "SELECT A FROM R EXCEPT SELECT A FROM S EXCEPT SELECT A FROM T"
+        )
+        assert isinstance(query.left, SetOperation)
+
+    def test_parenthesized_query_expression(self):
+        query = parse_query(
+            "SELECT A FROM R EXCEPT (SELECT A FROM S UNION SELECT A FROM T)"
+        )
+        assert isinstance(query.right, SetOperation)
+        assert query.right.kind is SetOpKind.UNION
+
+
+class TestDdl:
+    def test_create_table_with_constraints(self):
+        statement = parse(
+            """CREATE TABLE PARTS (
+                 SNO INT, PNO INT, PNAME VARCHAR(30), OEM-PNO INT,
+                 PRIMARY KEY (SNO, PNO),
+                 UNIQUE (OEM-PNO),
+                 CHECK (SNO BETWEEN 1 AND 499),
+                 FOREIGN KEY (SNO) REFERENCES SUPPLIER (SNO))"""
+        )
+        assert isinstance(statement, CreateTable)
+        assert [c.name for c in statement.columns] == [
+            "SNO", "PNO", "PNAME", "OEM-PNO",
+        ]
+        kinds = [type(c) for c in statement.constraints]
+        assert kinds == [
+            PrimaryKeyClause, UniqueClause, CheckClause, ForeignKeyClause,
+        ]
+
+    def test_inline_column_constraints(self):
+        statement = parse(
+            "CREATE TABLE T (A INT PRIMARY KEY, B INT NOT NULL, "
+            "C INT UNIQUE, D INT CHECK (D > 0))"
+        )
+        assert statement.columns[0].not_null  # PRIMARY KEY implies NOT NULL
+        assert statement.columns[1].not_null
+        assert isinstance(statement.constraints[0], PrimaryKeyClause)
+        assert isinstance(statement.constraints[1], UniqueClause)
+        assert statement.columns[3].check is not None
+
+    def test_varchar_length(self):
+        statement = parse("CREATE TABLE T (A VARCHAR(30))")
+        assert statement.columns[0].type_name == "VARCHAR"
+        assert statement.columns[0].length == 30
+
+    def test_unknown_type_name_allowed(self):
+        statement = parse("CREATE TABLE T (A DECIMAL(9))")
+        assert statement.columns[0].type_name == "DECIMAL"
+
+
+class TestInsertAndScripts:
+    def test_insert_multiple_rows(self):
+        statement = parse("INSERT INTO T VALUES (1, 'a', NULL), (2, 'b', 3)")
+        assert isinstance(statement, Insert)
+        assert statement.rows[0] == (1, "a", NULL)
+        assert statement.columns is None
+
+    def test_insert_with_column_list(self):
+        statement = parse("INSERT INTO T (A, B) VALUES (TRUE, FALSE)")
+        assert statement.columns == ("A", "B")
+        assert statement.rows[0] == (True, False)
+
+    def test_insert_rejects_expression_values(self):
+        with pytest.raises(ParseError):
+            parse("INSERT INTO T VALUES (A)")
+
+    def test_script_with_semicolons(self):
+        statements = parse_script(
+            "CREATE TABLE T (A INT); INSERT INTO T VALUES (1);;"
+            "SELECT * FROM T"
+        )
+        assert len(statements) == 3
+        assert isinstance(statements[2], SelectQuery)

@@ -1,0 +1,79 @@
+"""Printer round-trips: parse → print → parse yields the same AST."""
+
+import pytest
+
+from repro.sql import parse, parse_condition, to_sql
+
+ROUND_TRIP_QUERIES = [
+    "SELECT * FROM T",
+    "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO",
+    "SELECT A AS B FROM T WHERE A = 1 AND (B = 2 OR C = 3)",
+    "SELECT A FROM T WHERE A BETWEEN 1 AND 10",
+    "SELECT A FROM T WHERE A NOT BETWEEN 1 AND 10",
+    "SELECT A FROM T WHERE A IN (1, 2, 3)",
+    "SELECT A FROM T WHERE A NOT IN ('x', 'y')",
+    "SELECT A FROM T WHERE A IS NULL",
+    "SELECT A FROM T WHERE A IS NOT NULL",
+    "SELECT A FROM T WHERE NOT A = 1",
+    "SELECT A FROM T WHERE EXISTS (SELECT * FROM S WHERE S.X = T.A)",
+    "SELECT A FROM T WHERE NOT EXISTS (SELECT * FROM S)",
+    "SELECT A FROM T WHERE A IN (SELECT B FROM S)",
+    "SELECT A FROM T WHERE A = :HOST-VAR",
+    "SELECT S.* FROM S, T ORDER BY A DESC",
+    "SELECT A FROM R INTERSECT SELECT A FROM S",
+    "SELECT A FROM R INTERSECT ALL SELECT A FROM S",
+    "SELECT A FROM R EXCEPT ALL SELECT A FROM S",
+    "SELECT A FROM R UNION SELECT A FROM S",
+    "SELECT A FROM R UNION (SELECT A FROM S INTERSECT SELECT A FROM T)",
+    "SELECT A FROM T WHERE A = NULL",
+    "CREATE TABLE T (A INT NOT NULL, B VARCHAR(30), PRIMARY KEY (A), "
+    "UNIQUE (B), CHECK (A > 0), FOREIGN KEY (B) REFERENCES S (B))",
+    "INSERT INTO T VALUES (1, 'it''s', NULL)",
+    "INSERT INTO T (A, B) VALUES (1, 2), (3, 4)",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_round_trip(sql):
+    first = parse(sql)
+    printed = to_sql(first)
+    second = parse(printed)
+    assert first == second, f"round trip changed AST:\n{sql}\n{printed}"
+
+
+CONDITION_ROUND_TRIPS = [
+    "A = 1",
+    "A = 1 AND B = 2 AND C = 3",
+    "A = 1 OR B = 2",
+    "(A = 1 OR B = 2) AND C = 3",
+    "NOT (A = 1 AND B = 2)",
+    "A <> B",
+    "BUDGET <> 0 OR STATUS = 'Inactive'",
+]
+
+
+@pytest.mark.parametrize("text", CONDITION_ROUND_TRIPS)
+def test_condition_round_trip(text):
+    first = parse_condition(text)
+    assert parse_condition(to_sql(first)) == first
+
+
+def test_or_inside_and_is_parenthesized():
+    condition = parse_condition("(A = 1 OR B = 2) AND C = 3")
+    assert to_sql(condition) == "(A = 1 OR B = 2) AND C = 3"
+
+
+def test_and_inside_or_needs_no_parentheses():
+    condition = parse_condition("A = 1 AND B = 2 OR C = 3")
+    assert to_sql(condition) == "A = 1 AND B = 2 OR C = 3"
+
+
+def test_distinct_rendered():
+    assert to_sql(parse("SELECT DISTINCT A FROM T")).startswith(
+        "SELECT DISTINCT"
+    )
+
+
+def test_nested_setop_parenthesized():
+    sql = "SELECT A FROM R UNION (SELECT A FROM S EXCEPT SELECT A FROM T)"
+    assert parse(to_sql(parse(sql))) == parse(sql)

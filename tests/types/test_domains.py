@@ -1,0 +1,97 @@
+"""Domain abstraction: membership, sampling, intersection."""
+
+from repro.types import NULL, Domain
+from repro.types.domains import DomainMap
+
+
+class TestMembership:
+    def test_open_domain_contains_everything(self):
+        domain = Domain()
+        assert domain.contains(42)
+        assert domain.contains("x")
+        assert domain.contains(NULL)
+
+    def test_not_nullable_excludes_null(self):
+        assert not Domain(nullable=False).contains(NULL)
+
+    def test_enumeration_membership(self):
+        domain = Domain.enumeration(["a", "b"])
+        assert domain.contains("a")
+        assert not domain.contains("c")
+
+    def test_integer_range_membership(self):
+        domain = Domain.integer_range(1, 10)
+        assert domain.contains(1)
+        assert domain.contains(10)
+        assert not domain.contains(0)
+        assert not domain.contains(11)
+
+    def test_half_open_bounds(self):
+        assert Domain(low=5).contains(1_000_000)
+        assert not Domain(low=5).contains(4)
+        assert not Domain(high=5).contains(6)
+
+
+class TestSampling:
+    def test_enumeration_sample_respects_limit(self):
+        domain = Domain.enumeration([1, 2, 3, 4], nullable=False)
+        assert domain.sample(2) == [1, 2]
+
+    def test_nullable_sample_includes_null(self):
+        samples = Domain.integer_range(1, 9).sample(2)
+        assert samples[-1] is NULL or samples[-1] == NULL
+
+    def test_range_sample_starts_at_low(self):
+        assert Domain.integer_range(7, 20, nullable=False).sample(3) == [7, 8, 9]
+
+    def test_open_string_domain_fabricates_values(self):
+        samples = Domain(type_name="VARCHAR", nullable=False).sample(2)
+        assert samples == ["v0", "v1"]
+
+    def test_open_int_domain_fabricates_values(self):
+        samples = Domain(type_name="INT", nullable=False).sample(3)
+        assert samples == [0, 1, 2]
+
+
+class TestIntersection:
+    def test_range_intersection(self):
+        merged = Domain.integer_range(1, 10).intersect(Domain.integer_range(5, 20))
+        assert merged.low == 5 and merged.high == 10
+
+    def test_enumeration_intersection(self):
+        left = Domain.enumeration([1, 2, 3])
+        right = Domain.enumeration([2, 3, 4])
+        assert left.intersect(right).values == (2, 3)
+
+    def test_enumeration_with_range(self):
+        merged = Domain.enumeration([1, 5, 50]).intersect(
+            Domain.integer_range(1, 10)
+        )
+        assert merged.values == (1, 5)
+
+    def test_nullability_intersects(self):
+        merged = Domain(nullable=True).intersect(Domain(nullable=False))
+        assert not merged.nullable
+
+    def test_finiteness(self):
+        assert Domain.enumeration([1]).is_finite()
+        assert Domain.integer_range(0, 3).is_finite()
+        assert not Domain().is_finite()
+
+
+class TestDomainMap:
+    def test_column_default_is_open(self):
+        mapping = DomainMap()
+        assert mapping.column_domain("R", "X").contains(123)
+
+    def test_narrow_host_var_intersects(self):
+        mapping = DomainMap()
+        mapping.narrow_host_var("H", Domain.integer_range(1, 10))
+        mapping.narrow_host_var("H", Domain.integer_range(5, 20))
+        domain = mapping.host_var_domain("H")
+        assert domain.low == 5 and domain.high == 10
+
+    def test_set_and_get_column(self):
+        mapping = DomainMap()
+        mapping.set_column("R", "X", Domain.enumeration([1]))
+        assert mapping.column_domain("R", "X").values == (1,)

@@ -1,0 +1,82 @@
+"""Kleene three-valued logic truth tables and interpretations."""
+
+import pytest
+
+from repro.types import FALSE, TRUE, UNKNOWN, Tristate, all3, any3
+
+
+class TestConnectives:
+    def test_and_truth_table(self):
+        assert (TRUE & TRUE) is TRUE
+        assert (TRUE & FALSE) is FALSE
+        assert (TRUE & UNKNOWN) is UNKNOWN
+        assert (FALSE & UNKNOWN) is FALSE
+        assert (UNKNOWN & UNKNOWN) is UNKNOWN
+        assert (FALSE & FALSE) is FALSE
+
+    def test_or_truth_table(self):
+        assert (TRUE | FALSE) is TRUE
+        assert (TRUE | UNKNOWN) is TRUE
+        assert (FALSE | UNKNOWN) is UNKNOWN
+        assert (UNKNOWN | UNKNOWN) is UNKNOWN
+        assert (FALSE | FALSE) is FALSE
+
+    def test_not_truth_table(self):
+        assert ~TRUE is FALSE
+        assert ~FALSE is TRUE
+        assert ~UNKNOWN is UNKNOWN
+
+    def test_double_negation(self):
+        for value in (TRUE, FALSE, UNKNOWN):
+            assert ~~value is value
+
+    def test_de_morgan(self):
+        values = (TRUE, FALSE, UNKNOWN)
+        for a in values:
+            for b in values:
+                assert ~(a & b) is (~a | ~b)
+                assert ~(a | b) is (~a & ~b)
+
+
+class TestInterpretations:
+    def test_false_interpretation(self):
+        assert TRUE.false_interpreted()
+        assert not UNKNOWN.false_interpreted()
+        assert not FALSE.false_interpreted()
+
+    def test_true_interpretation(self):
+        assert TRUE.true_interpreted()
+        assert UNKNOWN.true_interpreted()
+        assert not FALSE.true_interpreted()
+
+    def test_no_implicit_bool(self):
+        with pytest.raises(TypeError):
+            bool(UNKNOWN)
+        with pytest.raises(TypeError):
+            if TRUE:  # pragma: no cover
+                pass
+
+    def test_of_lifts_optional_bool(self):
+        assert Tristate.of(True) is TRUE
+        assert Tristate.of(False) is FALSE
+        assert Tristate.of(None) is UNKNOWN
+
+
+class TestAggregates:
+    def test_all3_empty_is_true(self):
+        assert all3([]) is TRUE
+
+    def test_all3_short_circuits_on_false(self):
+        assert all3([TRUE, FALSE, UNKNOWN]) is FALSE
+
+    def test_all3_unknown_dominates_true(self):
+        assert all3([TRUE, UNKNOWN, TRUE]) is UNKNOWN
+
+    def test_any3_empty_is_false(self):
+        assert any3([]) is FALSE
+
+    def test_any3_true_wins(self):
+        assert any3([FALSE, UNKNOWN, TRUE]) is TRUE
+
+    def test_any3_unknown_dominates_false(self):
+        assert any3([FALSE, UNKNOWN]) is UNKNOWN
