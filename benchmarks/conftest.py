@@ -38,9 +38,9 @@ def bench_store(bench_data):
     return build_object_store(bench_data)
 
 
-def pytest_terminal_summary(terminalreporter):
-    """Replay every experiment report after the benchmark table."""
-    from repro.bench import RENDERED_REPORTS
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every experiment report and write BENCH_<slug>.json files."""
+    from repro.bench import RENDERED_REPORTS, write_reports
 
     if not RENDERED_REPORTS:
         return
@@ -49,3 +49,5 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_line("")
         for line in rendered.splitlines():
             terminalreporter.write_line(line)
+    for path in write_reports(str(config.rootpath)):
+        terminalreporter.write_line(f"wrote {path}")

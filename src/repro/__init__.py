@@ -23,6 +23,12 @@ Quickstart::
     rows = execute(rewritten.query, db)
 """
 
+from .cache import (
+    cache_stats,
+    caches_enabled,
+    clear_all_caches,
+    set_caches_enabled,
+)
 from .catalog import Catalog, CatalogBuilder, TableSchema
 from .core import (
     ExactOptions,
@@ -68,11 +74,15 @@ __all__ = [
     "TableSchema",
     "UniquenessOptions",
     "UniquenessResult",
+    "cache_stats",
+    "caches_enabled",
     "check_theorem1",
+    "clear_all_caches",
     "execute",
     "execute_planned",
     "is_duplicate_free",
     "optimize",
+    "set_caches_enabled",
     "parse",
     "parse_query",
     "parse_script",

@@ -16,6 +16,7 @@ back to a conservative answer.
 
 from __future__ import annotations
 
+from ..cache import MISSING, LRUCache
 from ..errors import ReproError
 from ..sql.expressions import (
     And,
@@ -39,6 +40,33 @@ DEFAULT_CLAUSE_BUDGET = 512
 
 class NormalFormOverflow(ReproError):
     """Raised when CNF/DNF distribution exceeds the clause budget."""
+
+
+# Expression trees are immutable (frozen dataclasses), so a conversion
+# keyed on (expr, budget) can never go stale.  Overflows are cached too
+# — re-distributing an exploding predicate just to re-raise is the most
+# expensive possible miss.
+_OVERFLOW = object()
+_cnf_cache = LRUCache("cnf", maxsize=1024)
+_dnf_cache = LRUCache("dnf", maxsize=1024)
+
+
+def _cached_conversion(
+    cache: LRUCache, expr: Expr, budget: int, over_or: bool
+) -> list[list[Expr]]:
+    key = (expr, budget)
+    cached = cache.get(key)
+    if cached is _OVERFLOW:
+        raise NormalFormOverflow(f"normal form exceeds {budget} clauses")
+    if cached is MISSING:
+        try:
+            cached = _dedup(_distribute(to_nnf(expr), over_or, budget))
+        except NormalFormOverflow:
+            cache.put(key, _OVERFLOW)
+            raise
+        cache.put(key, cached)
+    # Fresh outer/inner lists: callers may consume their copy destructively.
+    return [list(group) for group in cached]
 
 
 def expand_sugar(expr: Expr) -> Expr:
@@ -89,18 +117,14 @@ def to_cnf_clauses(
     Raises:
         NormalFormOverflow: if distribution would exceed *budget* clauses.
     """
-    nnf = to_nnf(expr)
-    clauses = _distribute(nnf, over_or=True, budget=budget)
-    return _dedup(clauses)
+    return _cached_conversion(_cnf_cache, expr, budget, over_or=True)
 
 
 def to_dnf_terms(
     expr: Expr, budget: int = DEFAULT_CLAUSE_BUDGET
 ) -> list[list[Expr]]:
     """DNF as a list of terms, each term a list of atoms (conjuncts)."""
-    nnf = to_nnf(expr)
-    terms = _distribute(nnf, over_or=False, budget=budget)
-    return _dedup(terms)
+    return _cached_conversion(_dnf_cache, expr, budget, over_or=False)
 
 
 def _distribute(expr: Expr, over_or: bool, budget: int) -> list[list[Expr]]:

@@ -2,16 +2,20 @@
 
 from .harness import (
     RENDERED_REPORTS,
+    REPORTS,
     ExperimentReport,
     geometric_sweep,
     speedup,
     timed,
+    write_reports,
 )
 
 __all__ = [
     "ExperimentReport",
     "RENDERED_REPORTS",
+    "REPORTS",
     "geometric_sweep",
     "speedup",
     "timed",
+    "write_reports",
 ]

@@ -7,6 +7,8 @@ of each claimed effect is visible directly in the bench log.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -14,13 +16,19 @@ from typing import Any, Callable, Sequence
 
 @dataclass
 class ExperimentReport:
-    """A printable result table for one experiment."""
+    """A printable result table for one experiment.
+
+    Set *slug* to control the ``BENCH_<slug>.json`` file this table is
+    written to; by default it derives from the experiment name's leading
+    token ("E10: ..." -> ``BENCH_e10.json``).
+    """
 
     experiment: str
     claim: str
     columns: list[str]
     rows: list[list[Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    slug: str | None = None
 
     def add_row(self, *values: Any) -> None:
         """Append one data row (must match the column count)."""
@@ -62,15 +70,59 @@ class ExperimentReport:
 
         pytest captures stdout, so the benchmark conftest replays every
         registered report in the terminal summary — the experiment
-        tables always appear in the bench log.
+        tables always appear in the bench log — and serializes it to
+        ``BENCH_<slug>.json`` via :func:`write_reports`.
         """
         rendered = self.render()
         RENDERED_REPORTS.append(rendered)
+        REPORTS.append(self)
         print("\n" + rendered)
+
+    def effective_slug(self) -> str:
+        """The JSON file slug: explicit, else from the leading token."""
+        if self.slug:
+            return self.slug
+        token = self.experiment.split()[0].lower().rstrip(":")
+        cleaned = "".join(ch for ch in token if ch.isalnum() or ch in "-_")
+        return cleaned or "report"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of the table."""
+        return {
+            "experiment": self.experiment,
+            "claim": self.claim,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
 
 #: Reports rendered during this process, replayed by the bench conftest.
 RENDERED_REPORTS: list[str] = []
+
+#: The report objects themselves, consumed by :func:`write_reports`.
+REPORTS: list[ExperimentReport] = []
+
+
+def write_reports(directory: str = ".") -> list[str]:
+    """Serialize every shown report to ``BENCH_<slug>.json`` files.
+
+    Reports sharing a slug land in the same file (a benchmark module may
+    print several tables).  Returns the written paths.
+    """
+    grouped: dict[str, list[dict[str, Any]]] = {}
+    for report in REPORTS:
+        grouped.setdefault(report.effective_slug(), []).append(report.to_dict())
+    paths = []
+    for slug, tables in sorted(grouped.items()):
+        path = os.path.join(directory, f"BENCH_{slug}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"slug": slug, "tables": tables}, handle, indent=2, default=str
+            )
+            handle.write("\n")
+        paths.append(path)
+    return paths
 
 
 def _fmt(value: Any) -> str:

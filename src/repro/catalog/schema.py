@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator
 
 from ..errors import CatalogError, UnknownTableError
@@ -28,8 +29,14 @@ class Catalog:
     :meth:`from_ddl`.
     """
 
+    #: Process-wide id source so fingerprints never collide across
+    #: catalog instances (object ids can be recycled by the allocator).
+    _tokens = itertools.count(1)
+
     def __init__(self) -> None:
         self._tables: dict[str, TableSchema] = {}
+        self._token = next(Catalog._tokens)
+        self._version = 0
 
     # ------------------------------------------------------------------
     # registration and lookup
@@ -37,6 +44,7 @@ class Catalog:
     def register(self, schema: TableSchema) -> TableSchema:
         """Add *schema*; replaces any table of the same name."""
         self._tables[schema.name.upper()] = schema
+        self._version += 1
         return schema
 
     def drop(self, name: str) -> None:
@@ -44,6 +52,20 @@ class Catalog:
         if name.upper() not in self._tables:
             raise UnknownTableError(name)
         del self._tables[name.upper()]
+        self._version += 1
+
+    def fingerprint(self) -> tuple[int, int]:
+        """A hashable token identifying this catalog *at this schema
+        version*.
+
+        Every DDL action (:meth:`register`, :meth:`drop`, and therefore
+        :meth:`execute_ddl`) bumps the version, so any cache keyed on
+        the fingerprint is invalidated by schema change without the
+        cache ever being told.  Registered :class:`TableSchema` objects
+        are treated as immutable — mutating one in place bypasses this
+        contract (re-register instead).
+        """
+        return (self._token, self._version)
 
     def table(self, name: str) -> TableSchema:
         """Look up a table schema by (case-insensitive) name."""

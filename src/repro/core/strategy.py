@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cache import MISSING, LRUCache
 from ..engine.cost import CostModel, PlanEstimate
 from ..engine.database import Database
 from ..engine.planner import Planner, PlannerOptions
@@ -64,6 +65,12 @@ class StrategyChoice:
         return "\n".join(lines)
 
 
+#: Strategy verdicts keyed (database fingerprint, query text, options).
+#: The fingerprint covers both DDL and data mutation — cost estimates
+#: depend on live cardinalities, so data changes must re-select.
+_strategy_cache = LRUCache("strategy", maxsize=256)
+
+
 class StrategySelector:
     """Scores rewrite variants and picks the cheapest plan."""
 
@@ -75,18 +82,32 @@ class StrategySelector:
     ) -> None:
         self.database = database
         self.optimizer = Optimizer.for_relational(database.catalog, options)
-        self.planner = Planner(database.catalog, planner_options)
+        self.planner = Planner(
+            database.catalog, planner_options, database=database
+        )
         self.cost_model = CostModel(database)
+        self._options_key = (options, planner_options)
 
     def choose(self, query: Query | str) -> StrategyChoice:
         """Pick the cheapest among the original and every rewrite stage.
 
         Candidates are the original query and the query *after* each
         applied rewrite step — so a partially-rewritten form can win
-        when the cost model says the final form overshoots.
+        when the cost model says the final form overshoots.  Verdicts
+        are cached on the database fingerprint; cached
+        :class:`StrategyChoice` objects are shared, treat them as
+        read-only.
         """
         if isinstance(query, str):
             query = parse_query(query)
+        cache_key = (
+            self.database.fingerprint(),
+            to_sql(query),
+            self._options_key,
+        )
+        cached = _strategy_cache.get(cache_key)
+        if cached is not MISSING:
+            return cached
         outcome = self.optimizer.optimize(query)
 
         forms: list[tuple[str, Query]] = [("original", query)]
@@ -105,6 +126,8 @@ class StrategySelector:
             candidates.append(StrategyCandidate(label, form, estimate))
 
         best = min(candidates, key=lambda candidate: candidate.estimate.cost)
-        return StrategyChoice(
+        choice = StrategyChoice(
             query=best.query, estimate=best.estimate, candidates=candidates
         )
+        _strategy_cache.put(cache_key, choice)
+        return choice

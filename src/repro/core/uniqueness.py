@@ -28,11 +28,13 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from ..cache import MISSING, LRUCache
 from ..catalog.schema import Catalog
 from ..errors import UnsupportedQueryError
 from ..sql.ast import Query, SelectQuery, SetOperation, SetOpKind
 from ..sql.expressions import Expr
 from ..sql.parser import parse_query
+from ..sql.printer import to_sql
 from ..analysis.attributes import Attribute, AttributeSet
 from ..analysis.binding import projection_attributes, qualify_query_predicate
 from ..analysis.closure import bound_closure
@@ -139,6 +141,13 @@ class UniquenessResult:
         return "\n".join(lines)
 
 
+#: Algorithm 1 verdicts, keyed (catalog fingerprint, query text, options).
+#: DDL bumps the catalog fingerprint, so re-registering a table — even
+#: under the same name with different keys — can never serve a stale
+#: verdict.  Cached results are shared: treat them as read-only.
+_uniqueness_cache = LRUCache("uniqueness", maxsize=512)
+
+
 def test_uniqueness(
     query: SelectQuery | str,
     catalog: Catalog,
@@ -149,6 +158,16 @@ def test_uniqueness(
     The quantifier of *query* is ignored — the test asks whether the
     projection is duplicate-free *without* duplicate elimination.
     """
+    options = options or UniquenessOptions()
+
+    # SQL text keys directly (equal text parses equally), so a warm hit
+    # skips parsing as well as the analysis; ASTs key on their rendering.
+    text = query if isinstance(query, str) else to_sql(query)
+    key = (catalog.fingerprint(), text, options)
+    cached = _uniqueness_cache.get(key)
+    if cached is not MISSING:
+        return cached
+
     if isinstance(query, str):
         parsed = parse_query(query)
         if not isinstance(parsed, SelectQuery):
@@ -157,8 +176,17 @@ def test_uniqueness(
                 "is_duplicate_free for query expressions"
             )
         query = parsed
-    options = options or UniquenessOptions()
+    result = _test_uniqueness(query, catalog, options)
+    _uniqueness_cache.put(key, result)
+    return result
 
+
+def _test_uniqueness(
+    query: SelectQuery,
+    catalog: Catalog,
+    options: UniquenessOptions,
+) -> UniquenessResult:
+    """The uncached Algorithm 1 body."""
     # Theorem 1's precondition: every table contributes a candidate key.
     keyless = [
         table_ref.name

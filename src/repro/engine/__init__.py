@@ -1,9 +1,11 @@
 """Multiset execution engine with three-valued logic."""
 
+from .compile import compile_filter, compile_predicate, set_compilation_enabled
 from .cost import CostModel, PlanEstimate
 from .database import Database
 from .evaluator import Evaluator
 from .executor import Executor, execute
+from .plan_cache import GLOBAL_PLAN_CACHE, PlanCache
 from .planner import Planner, PlannerOptions, execute_plan, execute_planned
 from .result import Result
 from .schema import ColumnInfo, RelSchema, Scope
@@ -13,6 +15,8 @@ from .table_data import TableData
 __all__ = [
     "ColumnInfo",
     "CostModel",
+    "GLOBAL_PLAN_CACHE",
+    "PlanCache",
     "PlanEstimate",
     "Database",
     "Evaluator",
@@ -24,7 +28,10 @@ __all__ = [
     "Scope",
     "Stats",
     "TableData",
+    "compile_filter",
+    "compile_predicate",
     "execute",
     "execute_plan",
     "execute_planned",
+    "set_compilation_enabled",
 ]

@@ -1,0 +1,312 @@
+"""Predicate compilation: lowering an ``Expr`` tree into a row closure.
+
+The interpretive :class:`~repro.engine.evaluator.Evaluator` pays, for
+*every row*, a :class:`~repro.engine.schema.Scope` allocation, a chain
+of ``isinstance`` dispatches, and — worst — a linear scan over the
+schema for every column reference (``RelSchema.try_index_of``).  On a
+filter over a large input that dispatch dominates the wall clock.
+
+This module performs that work *once* per (expression, schema) pair and
+returns a plain Python closure over the row tuple:
+
+* column references are resolved to tuple indices at compile time,
+* host variables and literals are folded to constants (and constant
+  subtrees are evaluated during compilation — ``5 = 5`` compiles to the
+  constant ``TRUE``),
+* ``AND``/``OR`` keep the evaluator's three-valued short-circuit
+  semantics (``FALSE`` absorbs conjunctions, ``TRUE`` disjunctions),
+* everything the interpreter would have to defer — subqueries,
+  correlated (outer-scope) column references, missing host variables,
+  ambiguous names — aborts compilation, and the caller falls back to
+  the interpretive path, so behaviour is *identical* by construction.
+
+Compiled subexpressions are total functions: any input that would make
+the interpreter raise (unknown column, non-scalar operand, missing host
+variable) is rejected at compile time instead, which is what makes
+constant folding across siblings sound.
+
+The global :func:`set_compilation_enabled` switch exists so benchmarks
+and property tests can A/B the compiled and interpretive paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import AmbiguousColumnError
+from ..sql.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    HostVar,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from ..types.tristate import FALSE, TRUE, UNKNOWN, Tristate
+from ..types.values import SqlValue, compare_where, is_null
+from .schema import RelSchema
+
+#: A compiled predicate: row tuple -> three-valued truth value.
+PredicateFn = Callable[[Sequence[SqlValue]], Tristate]
+#: A compiled scalar operand: row tuple -> SQL value.
+ScalarFn = Callable[[Sequence[SqlValue]], SqlValue]
+
+_enabled = True
+
+
+def set_compilation_enabled(enabled: bool) -> bool:
+    """Toggle predicate compilation process-wide; returns the previous
+    setting.  With compilation off every operator uses the interpretive
+    evaluator, which is the reference semantics."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+def compilation_enabled() -> bool:
+    """Whether operators may use compiled predicates."""
+    return _enabled
+
+
+class CannotCompile(Exception):
+    """Internal control flow: the expression needs the interpreter."""
+
+
+def compile_predicate(
+    expr: Expr,
+    schema: RelSchema,
+    params: dict[str, SqlValue] | None = None,
+) -> PredicateFn | None:
+    """Compile a search condition against a fixed row schema.
+
+    Returns ``None`` when the expression cannot be compiled (contains a
+    subquery, an outer-scope or ambiguous column reference, or an
+    unbound host variable); callers then fall back to the interpretive
+    evaluator, which reproduces the exact error/semantics lazily.
+    """
+    if not _enabled:
+        return None
+    try:
+        fn, const = _predicate(expr, schema, params or {})
+    except CannotCompile:
+        return None
+    if const is not None:
+        return lambda row: const
+    return fn
+
+
+def compile_filter(
+    expr: Expr | None,
+    schema: RelSchema,
+    params: dict[str, SqlValue] | None = None,
+) -> Callable[[Sequence[SqlValue]], bool] | None:
+    """Compile a WHERE-clause row test (the false-interpretation ⌊P⌋).
+
+    The returned closure maps a row tuple to a plain bool: keep the row
+    only when the predicate is definitely TRUE.  Returns ``None`` when
+    *expr* is ``None`` (nothing to test) or uncompilable.
+    """
+    if expr is None:
+        return None
+    predicate = compile_predicate(expr, schema, params)
+    if predicate is None:
+        return None
+    return lambda row: predicate(row) is TRUE
+
+
+# ----------------------------------------------------------------------
+# scalar operands
+
+def _scalar(
+    expr: Expr, schema: RelSchema, params: dict[str, SqlValue]
+) -> tuple[ScalarFn | None, object]:
+    """Compile a scalar operand; returns ``(fn, const)``.
+
+    Exactly one of the pair is meaningful: a constant-folded operand
+    comes back as ``(None, value)``, a row-dependent one as
+    ``(fn, _DYNAMIC)``.
+    """
+    if isinstance(expr, Literal):
+        return None, expr.value
+    if isinstance(expr, HostVar):
+        if expr.name not in params:
+            raise CannotCompile(f"unbound host variable :{expr.name}")
+        return None, params[expr.name]
+    if isinstance(expr, ColumnRef):
+        try:
+            index = schema.try_index_of(expr.qualifier, expr.column)
+        except AmbiguousColumnError as exc:
+            raise CannotCompile(str(exc)) from None
+        if index is None:
+            raise CannotCompile(f"outer reference {expr!r}")
+        return (lambda row: row[index]), _DYNAMIC
+    raise CannotCompile(f"{type(expr).__name__} is not a scalar operand")
+
+
+#: Marker: the scalar/predicate depends on the row.
+_DYNAMIC = object()
+
+
+# ----------------------------------------------------------------------
+# predicates
+
+def _predicate(
+    expr: Expr, schema: RelSchema, params: dict[str, SqlValue]
+) -> tuple[PredicateFn | None, Tristate | None]:
+    """Compile a condition; returns ``(fn, const)`` with ``const`` set
+    (and ``fn`` None) when the whole subtree folded to a constant."""
+    if isinstance(expr, Literal):
+        if is_null(expr.value):
+            return None, UNKNOWN
+        if isinstance(expr.value, bool):
+            return None, (TRUE if expr.value else FALSE)
+        raise CannotCompile(f"literal {expr.value!r} is not a condition")
+    if isinstance(expr, Comparison):
+        return _comparison(expr, schema, params)
+    if isinstance(expr, And):
+        return _connective(expr.operands, schema, params, conjunctive=True)
+    if isinstance(expr, Or):
+        return _connective(expr.operands, schema, params, conjunctive=False)
+    if isinstance(expr, Not):
+        fn, const = _predicate(expr.operand, schema, params)
+        if const is not None:
+            return None, ~const
+        return (lambda row: ~fn(row)), None
+    if isinstance(expr, IsNull):
+        return _is_null(expr, schema, params)
+    if isinstance(expr, Between):
+        return _between(expr, schema, params)
+    if isinstance(expr, InList):
+        return _in_list(expr, schema, params)
+    # Exists / InSubquery / anything exotic: interpreter territory.
+    raise CannotCompile(f"cannot compile {type(expr).__name__}")
+
+
+def _comparison(
+    expr: Comparison, schema: RelSchema, params: dict[str, SqlValue]
+) -> tuple[PredicateFn | None, Tristate | None]:
+    op = expr.op
+    left_fn, left_const = _scalar(expr.left, schema, params)
+    right_fn, right_const = _scalar(expr.right, schema, params)
+    if left_fn is None and right_fn is None:
+        return None, compare_where(op, left_const, right_const)
+    if left_fn is None:
+        lv = left_const
+        return (lambda row: compare_where(op, lv, right_fn(row))), None
+    if right_fn is None:
+        rv = right_const
+        return (lambda row: compare_where(op, left_fn(row), rv)), None
+    return (lambda row: compare_where(op, left_fn(row), right_fn(row))), None
+
+
+def _connective(
+    operands: Sequence[Expr],
+    schema: RelSchema,
+    params: dict[str, SqlValue],
+    conjunctive: bool,
+) -> tuple[PredicateFn | None, Tristate | None]:
+    """Shared AND/OR compilation with constant folding.
+
+    Constant operands fold into an accumulator; an absorbing constant
+    (FALSE for AND, TRUE for OR) decides the whole connective because
+    compiled siblings can never raise.  The runtime closure keeps the
+    evaluator's short-circuit behaviour over the remaining parts.
+    """
+    absorbing = FALSE if conjunctive else TRUE
+    identity = TRUE if conjunctive else FALSE
+    folded = identity
+    parts: list[PredicateFn] = []
+    for operand in operands:
+        fn, const = _predicate(operand, schema, params)
+        if const is not None:
+            folded = (folded & const) if conjunctive else (folded | const)
+            if folded is absorbing:
+                return None, absorbing
+        else:
+            parts.append(fn)
+    if not parts:
+        return None, folded
+    if len(parts) == 1 and folded is identity:
+        return parts[0], None
+
+    if conjunctive:
+        def fn(row, _parts=tuple(parts), _seed=folded):
+            result = _seed
+            for part in _parts:
+                result = result & part(row)
+                if result is FALSE:
+                    return FALSE
+            return result
+    else:
+        def fn(row, _parts=tuple(parts), _seed=folded):
+            result = _seed
+            for part in _parts:
+                result = result | part(row)
+                if result is TRUE:
+                    return TRUE
+            return result
+
+    return fn, None
+
+
+def _is_null(
+    expr: IsNull, schema: RelSchema, params: dict[str, SqlValue]
+) -> tuple[PredicateFn | None, Tristate | None]:
+    fn, const = _scalar(expr.operand, schema, params)
+    negated = expr.negated
+    if fn is None:
+        outcome = is_null(const) != negated
+        return None, (TRUE if outcome else FALSE)
+    return (
+        lambda row: TRUE if (is_null(fn(row)) != negated) else FALSE
+    ), None
+
+
+def _between(
+    expr: Between, schema: RelSchema, params: dict[str, SqlValue]
+) -> tuple[PredicateFn | None, Tristate | None]:
+    operand_fn, operand_const = _scalar(expr.operand, schema, params)
+    low_fn, low_const = _scalar(expr.low, schema, params)
+    high_fn, high_const = _scalar(expr.high, schema, params)
+    negated = expr.negated
+
+    def fn(row):
+        value = operand_const if operand_fn is None else operand_fn(row)
+        low = low_const if low_fn is None else low_fn(row)
+        high = high_const if high_fn is None else high_fn(row)
+        result = compare_where(">=", value, low) & compare_where(
+            "<=", value, high
+        )
+        return ~result if negated else result
+
+    if operand_fn is None and low_fn is None and high_fn is None:
+        return None, fn(())
+    return fn, None
+
+
+def _in_list(
+    expr: InList, schema: RelSchema, params: dict[str, SqlValue]
+) -> tuple[PredicateFn | None, Tristate | None]:
+    operand_fn, operand_const = _scalar(expr.operand, schema, params)
+    items = [_scalar(item, schema, params) for item in expr.items]
+    negated = expr.negated
+
+    def fn(row):
+        value = operand_const if operand_fn is None else operand_fn(row)
+        result = FALSE
+        for item_fn, item_const in items:
+            item = item_const if item_fn is None else item_fn(row)
+            result = result | compare_where("=", value, item)
+            if result is TRUE:
+                break
+        return ~result if negated else result
+
+    if operand_fn is None and all(item_fn is None for item_fn, _ in items):
+        return None, fn(())
+    return fn, None

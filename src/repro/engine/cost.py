@@ -39,6 +39,7 @@ from .operators import (
     HashDistinct,
     HashJoin,
     HashSemiJoin,
+    IndexScan,
     NestedLoopJoin,
     PlanNode,
     Project,
@@ -79,6 +80,15 @@ class CostModel:
         if isinstance(plan, SeqScan):
             rows = float(len(self.database.table(plan.table_name)))
             return PlanEstimate(rows, rows)
+        if isinstance(plan, IndexScan):
+            table_rows = float(len(self.database.table(plan.table_name)))
+            rows = max(
+                table_rows * EQUALITY_SELECTIVITY ** len(plan.key_columns), 1.0
+            )
+            if plan.residual is not None:
+                rows *= self.predicate_selectivity(plan.residual)
+            # A hash probe touches only the matched rows, not the table.
+            return PlanEstimate(rows, rows + 1.0)
         if isinstance(plan, Filter):
             child = self.estimate(plan.child)
             selectivity = self.predicate_selectivity(plan.predicate)

@@ -154,6 +154,19 @@ class Database:
 
     # ------------------------------------------------------------------
 
+    def fingerprint(self) -> tuple[tuple[int, int], int]:
+        """Hashable token covering schema *and* data versions.
+
+        Cache keys built on this are invalidated by any DDL (the catalog
+        fingerprint moves) and by any row mutation (per-table data
+        versions only ever grow, so their sum is monotonic and cannot
+        alias an earlier state).
+        """
+        return (
+            self.catalog.fingerprint(),
+            sum(data.version for data in self._data.values()),
+        )
+
     def row_counts(self) -> dict[str, int]:
         """Stored row count per table."""
         return {name: len(self._data[name]) for name in sorted(self._data)}

@@ -19,7 +19,7 @@ import itertools
 from collections import Counter
 from typing import Iterable, Iterator, Sequence
 
-from ..errors import ExecutionError, UnknownTableError
+from ..errors import ExecutionError, ReproError, UnknownTableError
 from ..sql.ast import (
     Query,
     SelectItem,
@@ -28,7 +28,14 @@ from ..sql.ast import (
     SetOpKind,
     Star,
 )
-from ..sql.expressions import ColumnRef, Expr
+from ..sql.expressions import (
+    ColumnRef,
+    Comparison,
+    Expr,
+    HostVar,
+    Literal,
+    conjuncts,
+)
 from ..sql.parser import parse_query
 from ..types.values import SqlValue, row_sort_key, sort_key
 from .database import Database
@@ -39,17 +46,34 @@ from .schema import ColumnInfo, RelSchema, Scope
 from .stats import Stats
 
 
+#: Sentinel: a conjunct operand that cannot serve as an index probe.
+_NO_PROBE = object()
+
+
 class Executor:
-    """Executes queries against a :class:`Database`."""
+    """Executes queries against a :class:`Database`.
+
+    With ``use_indexes`` (the default), single-table SELECT blocks whose
+    WHERE carries a top-level ``column = constant-or-outer-reference``
+    conjunct on an auto-indexed column are evaluated over the hash
+    index's matching bucket instead of the full table.  Correlated
+    EXISTS/IN subqueries — re-executed once per outer candidate row —
+    are exactly this shape, so each re-execution becomes an O(1) probe.
+    The *full* WHERE still runs over the candidates, so results are
+    identical to the scan; only the rows that could never qualify (they
+    fail the probed equality) are skipped.
+    """
 
     def __init__(
         self,
         database: Database,
         params: dict[str, SqlValue] | None = None,
         stats: Stats | None = None,
+        use_indexes: bool = True,
     ) -> None:
         self.database = database
         self.stats = stats or Stats()
+        self.use_indexes = use_indexes
         self.evaluator = Evaluator(
             params=params, stats=self.stats, subquery_runner=self._run_subquery
         )
@@ -97,8 +121,14 @@ class Executor:
 
         names, indices = self._projection(query, merged)
 
+        candidates = None
+        if self.use_indexes and len(frames) == 1 and query.where is not None:
+            candidates = self._index_candidates(query, outer)
+        if candidates is None:
+            candidates = self._product_rows(frames)
+
         output: list[tuple] = []
-        for combined in self._product_rows(frames):
+        for combined in candidates:
             scope = Scope(merged, combined, outer=outer)
             if not self.evaluator.qualifies(query.where, scope):
                 continue
@@ -129,6 +159,83 @@ class Executor:
             rel = RelSchema.for_table(name, schema.column_names)
             frames.append((rel, self.database.table(table_ref.name).rows))
         return frames
+
+    def _index_candidates(
+        self, query: SelectQuery, outer: Scope | None
+    ) -> Iterator[tuple] | None:
+        """Candidate rows for a single-table block via a hash-index probe.
+
+        Returns None when no WHERE conjunct is usable (the caller scans).
+        Usable means a top-level ``column = operand`` where the column is
+        auto-indexed (key or FK column of the one FROM table) and the
+        operand is a literal, a bound host variable, or an outer-scope
+        column reference.  Soundness: the conjunct is AND-ed into WHERE,
+        so every qualifying row must carry the probed value — restricting
+        the scan to the index bucket (and still applying the full WHERE)
+        cannot change the result.  A NULL probe matches nothing, exactly
+        as the equality would.
+        """
+        table_ref = query.tables[0]
+        alias = table_ref.effective_name
+        data = self.database.table(table_ref.name)
+        indexable = data.indexable_columns()
+        if not indexable:
+            return None
+        inner_columns = set(data.schema.column_names)
+        for conjunct in conjuncts(query.where):
+            if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+                continue
+            for ref, operand in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(ref, ColumnRef):
+                    continue
+                if ref.qualifier is not None and ref.qualifier != alias:
+                    continue
+                if ref.column not in indexable:
+                    continue
+                value = self._probe_value(operand, alias, inner_columns, outer)
+                if value is _NO_PROBE:
+                    continue
+                self.stats.index_probes += 1
+                matches = data.index_lookup((ref.column,), (value,))
+                self.stats.index_rows += len(matches)
+                return iter(matches)
+        return None
+
+    def _probe_value(
+        self,
+        operand: Expr,
+        alias: str,
+        inner_columns: set[str],
+        outer: Scope | None,
+    ):
+        """Evaluate a probe operand without any inner row, or _NO_PROBE.
+
+        Anything that *might* reference the inner table, or that fails to
+        evaluate (unknown column, unbound host variable), falls back to
+        the scan path — which reproduces the identical error, if any.
+        """
+        if isinstance(operand, Literal):
+            return operand.value
+        if isinstance(operand, HostVar):
+            if operand.name not in self.evaluator.params:
+                return _NO_PROBE
+            return self.evaluator.params[operand.name]
+        if isinstance(operand, ColumnRef):
+            if operand.qualifier is None:
+                if operand.column in inner_columns:
+                    return _NO_PROBE  # resolves to the inner table
+            elif operand.qualifier == alias:
+                return _NO_PROBE
+            if outer is None:
+                return _NO_PROBE
+            try:
+                return outer.resolve(operand)
+            except ReproError:
+                return _NO_PROBE
+        return _NO_PROBE
 
     def _product_rows(
         self, frames: list[tuple[RelSchema, list[tuple]]]
@@ -279,6 +386,9 @@ def execute(
     database: Database,
     params: dict[str, SqlValue] | None = None,
     stats: Stats | None = None,
+    use_indexes: bool = True,
 ) -> Result:
     """One-shot convenience wrapper around :class:`Executor`."""
-    return Executor(database, params=params, stats=stats).execute(query)
+    return Executor(
+        database, params=params, stats=stats, use_indexes=use_indexes
+    ).execute(query)

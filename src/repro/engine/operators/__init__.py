@@ -4,7 +4,7 @@ from .base import ExecContext, PlanNode
 from .filter import Filter
 from .joins import HashJoin, HashSemiJoin, NestedLoopJoin, SortMergeJoin
 from .project import HashDistinct, Project, Sort, SortDistinct
-from .scan import SeqScan
+from .scan import IndexScan, SeqScan
 from .setops import SortSetOp
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "HashDistinct",
     "HashJoin",
     "HashSemiJoin",
+    "IndexScan",
     "NestedLoopJoin",
     "PlanNode",
     "Project",

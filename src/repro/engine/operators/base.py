@@ -27,12 +27,15 @@ class ExecContext:
         database: "Database",
         params: dict[str, SqlValue] | None = None,
         stats: Stats | None = None,
+        use_indexes: bool = True,
     ) -> None:
         from ..executor import Executor  # deferred to break the cycle
 
         self.database = database
         self.stats = stats or Stats()
-        self._interpreter = Executor(database, params=params, stats=self.stats)
+        self._interpreter = Executor(
+            database, params=params, stats=self.stats, use_indexes=use_indexes
+        )
         self.evaluator = self._interpreter.evaluator
 
 

@@ -6,6 +6,7 @@ from typing import Iterator
 
 from ...sql.expressions import Expr
 from ...sql.printer import to_sql
+from ..compile import compile_filter
 from ..schema import Scope
 from .base import ExecContext, PlanNode
 
@@ -13,9 +14,11 @@ from .base import ExecContext, PlanNode
 class Filter(PlanNode):
     """Keeps rows whose predicate is definitely TRUE (⌊P⌋ semantics).
 
-    Predicates may contain correlated subqueries; the shared evaluator
-    re-executes them per input row through the reference interpreter,
-    counting each invocation.
+    Simple predicates are compiled once per execution into a row closure
+    (no per-row Scope allocation or recursive dispatch); predicates the
+    compiler rejects — subqueries, outer references — run through the
+    shared evaluator, which re-executes correlated subqueries per input
+    row through the reference interpreter, counting each invocation.
     """
 
     def __init__(self, child: PlanNode, predicate: Expr) -> None:
@@ -27,6 +30,20 @@ class Filter(PlanNode):
         return (self.child,)
 
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        compiled = None
+        if outer is None:
+            compiled = compile_filter(
+                self.predicate, self.schema, ctx.evaluator.params
+            )
+        stats = ctx.stats
+        if compiled is not None:
+            stats.predicates_compiled += 1
+            for row in self.child.rows(ctx, outer):
+                stats.predicate_evals += 1
+                stats.compiled_evals += 1
+                if compiled(row):
+                    yield row
+            return
         for row in self.child.rows(ctx, outer):
             scope = Scope(self.schema, row, outer=outer)
             if ctx.evaluator.qualifies(self.predicate, scope):

@@ -4,17 +4,57 @@ All joins use WHERE-clause equality for their keys: a NULL key never
 matches anything (``NULL = NULL`` is UNKNOWN).  Hash and sort-merge
 joins therefore drop NULL-keyed rows on both sides, matching what the
 nested-loop join's predicate evaluation would do.
+
+Join predicates and residuals are compiled to row closures when
+possible (see :mod:`repro.engine.compile`); predicates containing
+subqueries or outer references fall back to the shared evaluator.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator, Sequence
 
 from ...sql.expressions import Expr
 from ...sql.printer import to_sql
-from ...types.values import is_null, row_sort_key
+from ...types.values import SqlValue, is_null, row_sort_key
+from ..compile import compile_filter
 from ..schema import Scope
 from .base import ExecContext, PlanNode
+
+
+def _residual_test(
+    node: PlanNode,
+    predicate: Expr | None,
+    ctx: ExecContext,
+    outer: Scope | None,
+) -> Callable[[Sequence[SqlValue]], bool] | None:
+    """A per-row test for a join residual, or None when there is none.
+
+    Compiles the predicate when possible (counting the compilation);
+    otherwise returns an evaluator-backed closure with identical
+    semantics.
+    """
+    if predicate is None:
+        return None
+    compiled = None
+    if outer is None:
+        compiled = compile_filter(predicate, node.schema, ctx.evaluator.params)
+    stats = ctx.stats
+    if compiled is not None:
+        stats.predicates_compiled += 1
+
+        def test(row):
+            stats.predicate_evals += 1
+            stats.compiled_evals += 1
+            return compiled(row)
+
+        return test
+
+    def test(row):
+        scope = Scope(node.schema, row, outer=outer)
+        return ctx.evaluator.qualifies(predicate, scope)
+
+    return test
 
 
 class NestedLoopJoin(PlanNode):
@@ -37,14 +77,13 @@ class NestedLoopJoin(PlanNode):
 
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
         inner = list(self.right.rows(ctx, outer))
+        qualifies = _residual_test(self, self.predicate, ctx, outer)
         for left_row in self.left.rows(ctx, outer):
             for right_row in inner:
                 ctx.stats.rows_joined += 1
                 combined = left_row + right_row
-                if self.predicate is not None:
-                    scope = Scope(self.schema, combined, outer=outer)
-                    if not ctx.evaluator.qualifies(self.predicate, scope):
-                        continue
+                if qualifies is not None and not qualifies(combined):
+                    continue
                 yield combined
 
     def label(self) -> str:
@@ -54,12 +93,17 @@ class NestedLoopJoin(PlanNode):
 
 
 class HashJoin(PlanNode):
-    """Equi-join via a hash table built on the right input.
+    """Equi-join via a hash table built on one input.
 
     A key position may be marked *null-safe* (the ≐ operator, SQL's
     IS NOT DISTINCT FROM): NULL keys then match NULL keys instead of
     matching nothing.  The planner emits null-safe keys for the
     correlation predicates Theorem 3 generates.
+
+    The build side defaults to the right input; the planner flips it
+    (``build_left=True``) when the cost model estimates the left input
+    is smaller, so the hash table is built on the cheaper side.  Output
+    is a multiset either way — only enumeration order changes.
     """
 
     def __init__(
@@ -70,6 +114,7 @@ class HashJoin(PlanNode):
         right_keys: list[int],
         residual: Expr | None = None,
         null_safe: list[bool] | None = None,
+        build_left: bool = False,
     ) -> None:
         if len(left_keys) != len(right_keys) or not left_keys:
             raise ValueError("hash join requires matching, non-empty key lists")
@@ -81,6 +126,7 @@ class HashJoin(PlanNode):
         self.null_safe = null_safe or [False] * len(left_keys)
         if len(self.null_safe) != len(left_keys):
             raise ValueError("null_safe flags must match the key lists")
+        self.build_left = build_left
         self.schema = left.schema.concat(right.schema)
 
     def children(self) -> tuple[PlanNode, ...]:
@@ -94,26 +140,35 @@ class HashJoin(PlanNode):
         )
 
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        if self.build_left:
+            build, probe = self.left, self.right
+            build_keys, probe_keys = self.left_keys, self.right_keys
+        else:
+            build, probe = self.right, self.left
+            build_keys, probe_keys = self.right_keys, self.left_keys
+
         buckets: dict[tuple, list[tuple]] = {}
-        for right_row in self.right.rows(ctx, outer):
-            key_values = [right_row[i] for i in self.right_keys]
+        for build_row in build.rows(ctx, outer):
+            key_values = [build_row[i] for i in build_keys]
             if not self._usable(key_values):
                 continue  # a NULL key can never satisfy '='
             ctx.stats.hash_builds += 1
-            buckets.setdefault(row_sort_key(key_values), []).append(right_row)
+            buckets.setdefault(row_sort_key(key_values), []).append(build_row)
 
-        for left_row in self.left.rows(ctx, outer):
-            key_values = [left_row[i] for i in self.left_keys]
+        qualifies = _residual_test(self, self.residual, ctx, outer)
+        for probe_row in probe.rows(ctx, outer):
+            key_values = [probe_row[i] for i in probe_keys]
             if not self._usable(key_values):
                 continue
             ctx.stats.hash_probes += 1
-            for right_row in buckets.get(row_sort_key(key_values), ()):
+            for build_row in buckets.get(row_sort_key(key_values), ()):
                 ctx.stats.rows_joined += 1
-                combined = left_row + right_row
-                if self.residual is not None:
-                    scope = Scope(self.schema, combined, outer=outer)
-                    if not ctx.evaluator.qualifies(self.residual, scope):
-                        continue
+                if self.build_left:
+                    combined = build_row + probe_row
+                else:
+                    combined = probe_row + build_row
+                if qualifies is not None and not qualifies(combined):
+                    continue
                 yield combined
 
     def label(self) -> str:
@@ -121,7 +176,8 @@ class HashJoin(PlanNode):
             f"{self.left.schema.columns[l].name}={self.right.schema.columns[r].name}"
             for l, r in zip(self.left_keys, self.right_keys)
         )
-        return f"HashJoin({keys})"
+        side = ", build=left" if self.build_left else ""
+        return f"HashJoin({keys}{side})"
 
 
 class SortMergeJoin(PlanNode):
@@ -154,6 +210,7 @@ class SortMergeJoin(PlanNode):
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
         left_rows = self._sorted_input(ctx, self.left, self.left_keys, outer)
         right_rows = self._sorted_input(ctx, self.right, self.right_keys, outer)
+        qualifies = _residual_test(self, self.residual, ctx, outer)
 
         i = j = 0
         while i < len(left_rows) and j < len(right_rows):
@@ -174,10 +231,8 @@ class SortMergeJoin(PlanNode):
                     for _, match in right_rows[j:j_end]:
                         ctx.stats.rows_joined += 1
                         combined = current_left + match
-                        if self.residual is not None:
-                            scope = Scope(self.schema, combined, outer=outer)
-                            if not ctx.evaluator.qualifies(self.residual, scope):
-                                continue
+                        if qualifies is not None and not qualifies(combined):
+                            continue
                         yield combined
                     i += 1
                 j = j_end

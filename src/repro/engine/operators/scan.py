@@ -1,9 +1,13 @@
-"""Base-table scan."""
+"""Base-table access paths: sequential scan and hash-index scan."""
 
 from __future__ import annotations
 
 from typing import Iterator
 
+from ...errors import ExecutionError, MissingHostVariableError
+from ...sql.expressions import Expr, HostVar, Literal
+from ...sql.printer import to_sql
+from ..compile import compile_filter
 from ..schema import RelSchema, Scope
 from .base import ExecContext, PlanNode
 
@@ -25,3 +29,95 @@ class SeqScan(PlanNode):
         if self.alias != self.table_name:
             return f"SeqScan({self.table_name} AS {self.alias})"
         return f"SeqScan({self.table_name})"
+
+
+class IndexScan(PlanNode):
+    """Hash-index probe of a stored table: ``key_columns = key_exprs``.
+
+    Replaces SeqScan + Filter when the planner finds top-level equality
+    conjuncts on auto-indexed columns (key or FOREIGN KEY columns) whose
+    comparands are constants or host variables.  Any remaining local
+    conjuncts become the *residual*, applied to the matched rows.
+
+    A NULL probe value yields no rows — the replaced WHERE equality is
+    never TRUE against NULL, so the plans are equivalent.  Matched rows
+    come back in insertion order, the order SeqScan would emit them in.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        alias: str,
+        column_names: list[str],
+        key_columns: tuple[str, ...],
+        key_exprs: tuple[Expr, ...],
+        residual: Expr | None = None,
+    ) -> None:
+        if len(key_columns) != len(key_exprs) or not key_columns:
+            raise ValueError("index scan requires matching, non-empty key lists")
+        self.table_name = table_name
+        self.alias = alias
+        self.key_columns = key_columns
+        self.key_exprs = key_exprs
+        self.residual = residual
+        self.schema = RelSchema.for_table(alias, column_names)
+
+    def _probe_values(self, ctx: ExecContext) -> tuple:
+        values = []
+        for expr in self.key_exprs:
+            if isinstance(expr, Literal):
+                values.append(expr.value)
+            elif isinstance(expr, HostVar):
+                if expr.name not in ctx.evaluator.params:
+                    raise MissingHostVariableError(expr.name)
+                values.append(ctx.evaluator.params[expr.name])
+            else:
+                raise ExecutionError(
+                    f"index key {type(expr).__name__} is not a constant operand"
+                )
+        return tuple(values)
+
+    def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        data = ctx.database.table(self.table_name)
+        ctx.stats.index_probes += 1
+        matches = data.index_lookup(self.key_columns, self._probe_values(ctx))
+        ctx.stats.index_rows += len(matches)
+
+        if self.residual is None:
+            for row in matches:
+                ctx.stats.rows_scanned += 1
+                yield row
+            return
+
+        compiled = None
+        if outer is None:
+            compiled = compile_filter(
+                self.residual, self.schema, ctx.evaluator.params
+            )
+        stats = ctx.stats
+        if compiled is not None:
+            stats.predicates_compiled += 1
+            for row in matches:
+                stats.rows_scanned += 1
+                stats.predicate_evals += 1
+                stats.compiled_evals += 1
+                if compiled(row):
+                    yield row
+            return
+        for row in matches:
+            stats.rows_scanned += 1
+            scope = Scope(self.schema, row, outer=outer)
+            if ctx.evaluator.qualifies(self.residual, scope):
+                yield row
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{column} = {to_sql(expr)}"
+            for column, expr in zip(self.key_columns, self.key_exprs)
+        )
+        name = self.table_name
+        if self.alias != self.table_name:
+            name = f"{self.table_name} AS {self.alias}"
+        if self.residual is not None:
+            return f"IndexScan({name}: {keys}; {to_sql(self.residual)})"
+        return f"IndexScan({name}: {keys})"

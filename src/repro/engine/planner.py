@@ -17,17 +17,20 @@ flattening, ...) happen *before* planning, in :mod:`repro.core.rewrite`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..catalog.schema import Catalog
-from ..errors import ExecutionError
+from ..catalog.table import TableSchema
+from ..errors import ExecutionError, ReproError
 from ..sql.ast import Query, SelectQuery, SetOperation
 from ..sql.expressions import (
     And,
     ColumnRef,
     Comparison,
     Expr,
+    HostVar,
     IsNull,
+    Literal,
     Or,
     column_refs,
     conjoin,
@@ -35,6 +38,7 @@ from ..sql.expressions import (
     contains_subquery,
 )
 from ..sql.parser import parse_query
+from ..sql.printer import to_sql
 from ..types.values import SqlValue
 from .database import Database
 from .operators import (
@@ -42,6 +46,7 @@ from .operators import (
     Filter,
     HashDistinct,
     HashJoin,
+    IndexScan,
     NestedLoopJoin,
     PlanNode,
     Project,
@@ -51,6 +56,7 @@ from .operators import (
     SortMergeJoin,
     SortSetOp,
 )
+from .plan_cache import GLOBAL_PLAN_CACHE, PlanCache
 from .projection import resolve_projection
 from .result import Result
 from .stats import Stats
@@ -63,10 +69,13 @@ class PlannerOptions:
     Attributes:
         join_method: 'hash', 'merge', or 'nested' for equi-joins.
         distinct_method: 'sort' (the paper's cost model) or 'hash'.
+        index_scans: turn ``col = constant`` predicates on key/FK
+            columns into hash-index probes instead of SeqScan+Filter.
     """
 
     join_method: str = "hash"
     distinct_method: str = "sort"
+    index_scans: bool = True
 
     def __post_init__(self) -> None:
         if self.join_method not in ("hash", "merge", "nested"):
@@ -76,13 +85,23 @@ class PlannerOptions:
 
 
 class Planner:
-    """Compiles query ASTs to physical plans against a catalog."""
+    """Compiles query ASTs to physical plans against a catalog.
+
+    When a :class:`Database` is supplied, the planner additionally uses
+    live cardinalities to pick the hash-join build side; without one,
+    planning is purely catalog-driven (build side defaults to the right
+    input, matching direct operator construction).
+    """
 
     def __init__(
-        self, catalog: Catalog, options: PlannerOptions | None = None
+        self,
+        catalog: Catalog,
+        options: PlannerOptions | None = None,
+        database: Database | None = None,
     ) -> None:
         self.catalog = catalog
         self.options = options or PlannerOptions()
+        self.database = database
 
     # ------------------------------------------------------------------
 
@@ -123,12 +142,15 @@ class Planner:
             else:
                 joinable.append((frozenset(tables), conjunct))
 
-        # Push single-table conjuncts below the joins.
+        # Push single-table conjuncts below the joins; where they probe
+        # an auto-indexed column with a constant, use the hash index.
         planned: dict[str, PlanNode] = {}
         for alias, scan in scans.items():
-            node: PlanNode = scan
-            if local[alias]:
-                node = Filter(node, conjoin(local[alias]))
+            node: PlanNode | None = self._index_access(scan, local[alias])
+            if node is None:
+                node = scan
+                if local[alias]:
+                    node = Filter(node, conjoin(local[alias]))
             planned[alias] = node
 
         # Left-deep join tree in FROM-clause order.
@@ -184,6 +206,90 @@ class Planner:
                 schema.name, alias, schema.column_names
             )
         return scans
+
+    def _index_access(
+        self, scan: SeqScan, local: list[Expr]
+    ) -> IndexScan | None:
+        """An IndexScan replacing SeqScan+Filter, or None if ineligible.
+
+        Eligible conjuncts have the shape ``column = constant`` (literal
+        or host variable) on a key or FOREIGN KEY column.  Preference:
+        a fully-covered candidate key (a composite probe returning at
+        most one row), else a single indexable column.  Everything not
+        consumed by the probe stays as the residual, so the plan filters
+        exactly the conjuncts the Filter would have.
+        """
+        if not self.options.index_scans or not local:
+            return None
+        schema = self.catalog.table(scan.table_name)
+        indexable: set[str] = set()
+        for key in schema.candidate_keys:
+            indexable.update(key.columns)
+        for fk in schema.foreign_keys:
+            indexable.update(fk.columns)
+        if not indexable:
+            return None
+
+        probes: dict[str, tuple[Expr, Expr]] = {}  # column -> (conjunct, const)
+        for conjunct in local:
+            found = self._constant_equality(conjunct, scan, schema)
+            if found is None:
+                continue
+            column, const = found
+            if column in indexable and column not in probes:
+                probes[column] = (conjunct, const)
+        if not probes:
+            return None
+
+        key_columns: tuple[str, ...] | None = None
+        for key in schema.candidate_keys:
+            if all(column in probes for column in key.columns):
+                key_columns = key.columns
+                break
+        if key_columns is None:
+            for column in schema.column_names:  # deterministic pick
+                if column in probes:
+                    key_columns = (column,)
+                    break
+        assert key_columns is not None
+
+        consumed = {id(probes[column][0]) for column in key_columns}
+        key_exprs = tuple(probes[column][1] for column in key_columns)
+        residual = [conjunct for conjunct in local if id(conjunct) not in consumed]
+        return IndexScan(
+            schema.name,
+            scan.alias,
+            schema.column_names,
+            key_columns,
+            key_exprs,
+            conjoin(residual) if residual else None,
+        )
+
+    @staticmethod
+    def _constant_equality(
+        conjunct: Expr, scan: SeqScan, schema: TableSchema
+    ) -> tuple[str, Expr] | None:
+        """Match ``column = constant`` against *scan*'s table.
+
+        Returns (column name, constant expression) or None.  NULL
+        literals still match: the index probe returns no rows, exactly
+        what evaluating ``column = NULL`` row-by-row would keep.
+        """
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            return None
+        for ref, const in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if not isinstance(ref, ColumnRef):
+                continue
+            if not isinstance(const, (Literal, HostVar)):
+                continue
+            if ref.qualifier is not None and ref.qualifier != scan.alias:
+                continue
+            if ref.column in schema.column_names:
+                return ref.column, const
+        return None
 
     def _qualifier_columns(
         self, scans: dict[str, SeqScan]
@@ -254,8 +360,31 @@ class Planner:
                 left, right, left_keys, right_keys, residual_pred, null_safe
             )
         return HashJoin(
-            left, right, left_keys, right_keys, residual_pred, null_safe
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual_pred,
+            null_safe,
+            build_left=self._build_left(left, right),
         )
+
+    def _build_left(self, left: PlanNode, right: PlanNode) -> bool:
+        """Build the hash table on the left when it is estimated smaller.
+
+        Requires a database (for cardinalities); without one — or when
+        the cost model cannot estimate an input — keep the default
+        build-on-right, which matches direct operator construction.
+        """
+        if self.database is None:
+            return False
+        from .cost import CostModel  # deferred: cost imports operators
+
+        model = CostModel(self.database)
+        try:
+            return model.estimate(left).rows < model.estimate(right).rows
+        except ReproError:
+            return False
 
     def _equi_keys(
         self,
@@ -357,9 +486,15 @@ def execute_plan(
     database: Database,
     params: dict[str, SqlValue] | None = None,
     stats: Stats | None = None,
+    use_indexes: bool = True,
 ) -> Result:
-    """Run a physical plan to completion."""
-    ctx = ExecContext(database, params=params, stats=stats)
+    """Run a physical plan to completion.
+
+    *use_indexes* governs the correlated-subquery index probes of the
+    embedded reference interpreter (plan-level IndexScan choices were
+    already fixed at planning time).
+    """
+    ctx = ExecContext(database, params=params, stats=stats, use_indexes=use_indexes)
     rows = list(plan.rows(ctx))
     ctx.stats.rows_output += len(rows)
     return Result(plan.schema.output_names(), rows)
@@ -371,7 +506,32 @@ def execute_planned(
     params: dict[str, SqlValue] | None = None,
     stats: Stats | None = None,
     options: PlannerOptions | None = None,
+    use_indexes: bool = True,
+    plan_cache: PlanCache | None = None,
 ) -> Result:
-    """Plan and execute *query* with the physical engine."""
-    planner = Planner(database.catalog, options)
-    return execute_plan(planner.plan(query), database, params=params, stats=stats)
+    """Plan and execute *query* with the physical engine.
+
+    Plans are served from *plan_cache* (the process-wide cache by
+    default) keyed on the database fingerprint, the query text, and the
+    planner options — DDL or data mutation moves the fingerprint, so a
+    stale plan can never be reused.  Host-variable bindings do not enter
+    the key: cached plans resolve them at execution time.
+    """
+    options = options or PlannerOptions()
+    if not use_indexes and options.index_scans:
+        options = replace(options, index_scans=False)
+    stats = stats if stats is not None else Stats()
+    cache = plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
+    sql_text = query if isinstance(query, str) else to_sql(query)
+    key = (database.fingerprint(), sql_text, options)
+    plan = cache.lookup(key)
+    if plan is None:
+        stats.plan_cache_misses += 1
+        planner = Planner(database.catalog, options, database=database)
+        plan = planner.plan(query)
+        cache.store(key, plan)
+    else:
+        stats.plan_cache_hits += 1
+    return execute_plan(
+        plan, database, params=params, stats=stats, use_indexes=use_indexes
+    )

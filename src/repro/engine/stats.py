@@ -28,6 +28,16 @@ class Stats:
         subquery_executions: number of times a correlated subquery was
             (re-)executed — the cost of a naive nested-loop strategy.
         rows_output: rows in the final result.
+        predicates_compiled: predicates lowered to row closures (once
+            per operator execution, not per row).
+        compiled_evals: rows evaluated through a compiled predicate
+            instead of the recursive interpreter.
+        index_probes: hash-index lookups that replaced a full table
+            scan (IndexScan keys and correlated subquery probes).
+        index_rows: rows returned by those index probes — compare with
+            ``rows_scanned`` to see the scan work avoided.
+        plan_cache_hits: physical plans served from the plan cache.
+        plan_cache_misses: plans built because the cache had no entry.
     """
 
     rows_scanned: int = 0
@@ -40,6 +50,12 @@ class Stats:
     hash_probes: int = 0
     subquery_executions: int = 0
     rows_output: int = 0
+    predicates_compiled: int = 0
+    compiled_evals: int = 0
+    index_probes: int = 0
+    index_rows: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

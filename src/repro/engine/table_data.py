@@ -30,9 +30,67 @@ class TableData:
         self._key_indexes: list[dict[tuple, tuple]] = [
             {} for _ in schema.candidate_keys
         ]
+        # General hash indexes, built lazily per column tuple and then
+        # maintained incrementally: canonical key -> rows in insertion
+        # order (non-unique columns map to multi-row buckets).
+        self._hash_indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
+        #: Monotonic data version; bumped by every mutation so cached
+        #: artifacts keyed on a database fingerprint go stale correctly.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # hash indexes (equality access paths)
+
+    def indexable_columns(self) -> set[str]:
+        """Columns the engine auto-indexes: key and FOREIGN KEY columns.
+
+        These are the probe targets the paper's workloads hit — key
+        lookups from ``col = const`` predicates and FK correlation
+        probes from ``EXISTS`` / ``IN`` subqueries.
+        """
+        columns: set[str] = set()
+        for key in self.schema.candidate_keys:
+            columns.update(key.columns)
+        for fk in self.schema.foreign_keys:
+            columns.update(fk.columns)
+        return columns
+
+    def hash_index(self, columns: tuple[str, ...]) -> dict[tuple, list[tuple]]:
+        """The hash index over *columns*, built on first use.
+
+        The build is a single O(n) pass; afterwards the index is
+        maintained incrementally by insert/remove/clear, so repeated
+        probes (a correlated subquery per outer row, a templated query
+        per batch item) amortize it away.
+        """
+        index = self._hash_indexes.get(columns)
+        if index is None:
+            positions = [self.schema.column_index(name) for name in columns]
+            index = {}
+            for row in self.rows:
+                key = row_sort_key(tuple(row[p] for p in positions))
+                index.setdefault(key, []).append(row)
+            self._hash_indexes[columns] = index
+        return index
+
+    def index_lookup(
+        self, columns: tuple[str, ...], values: tuple
+    ) -> list[tuple]:
+        """Rows whose *columns* equal *values*, via the hash index.
+
+        NULL probe values return no rows: a WHERE-clause equality with
+        NULL is never TRUE (callers relying on ≐ must test separately).
+        """
+        if any(is_null(value) for value in values):
+            return []
+        return self.hash_index(columns).get(row_sort_key(values), [])
+
+    def has_hash_index(self, columns: tuple[str, ...]) -> bool:
+        """Whether an index over *columns* has been materialized."""
+        return columns in self._hash_indexes
 
     # ------------------------------------------------------------------
     # loading
@@ -96,10 +154,13 @@ class TableData:
         return count
 
     def clear(self) -> None:
-        """Delete every row (and reset the key indexes)."""
+        """Delete every row (and reset the key and hash indexes)."""
         self.rows.clear()
         for index in self._key_indexes:
             index.clear()
+        for hash_index in self._hash_indexes.values():
+            hash_index.clear()
+        self.version += 1
 
     def has_key_value(
         self, columns: tuple[str, ...], values: tuple
@@ -115,10 +176,18 @@ class TableData:
         return None
 
     def remove_last(self) -> tuple:
-        """Undo the most recent insert (row and key-index entries)."""
+        """Undo the most recent insert (row and all index entries)."""
         row = self.rows.pop()
         for key, index in zip(self.schema.candidate_keys, self._key_indexes):
             index.pop(self._key_tuple(key.columns, row), None)
+        for columns, hash_index in self._hash_indexes.items():
+            key = self._key_tuple(columns, row)
+            bucket = hash_index.get(key)
+            if bucket:
+                bucket.pop()
+                if not bucket:
+                    del hash_index[key]
+        self.version += 1
         return row
 
     # ------------------------------------------------------------------
@@ -162,6 +231,9 @@ class TableData:
     def _index_row(self, row: tuple) -> None:
         for key, index in zip(self.schema.candidate_keys, self._key_indexes):
             index[self._key_tuple(key.columns, row)] = row
+        for columns, hash_index in self._hash_indexes.items():
+            hash_index.setdefault(self._key_tuple(columns, row), []).append(row)
+        self.version += 1
 
     def _key_tuple(self, columns: tuple[str, ...], row: tuple) -> tuple:
         values = tuple(row[self.schema.column_index(name)] for name in columns)

@@ -12,14 +12,22 @@ from itertools import combinations
 from typing import Iterable, Iterator
 
 from ..analysis.attributes import Attribute, AttributeSet, attribute_set
+from ..cache import caches_enabled
 from .dependency import FunctionalDependency
 
 
 class FDSet:
-    """A mutable collection of functional dependencies."""
+    """A mutable collection of functional dependencies.
+
+    Closures are memoized per instance — :meth:`candidate_keys` calls
+    :meth:`closure` once per subset of the pool, and the derivation
+    pipeline re-asks about the same projection lists repeatedly.  The
+    memo is dropped whenever the FD set gains a dependency.
+    """
 
     def __init__(self, fds: Iterable[FunctionalDependency] = ()) -> None:
         self._fds: list[FunctionalDependency] = []
+        self._closure_memo: dict[AttributeSet, AttributeSet] = {}
         for fd in fds:
             self.add(fd)
 
@@ -27,6 +35,7 @@ class FDSet:
         """Add an FD (trivial and duplicate FDs are ignored)."""
         if not fd.is_trivial() and fd not in self._fds:
             self._fds.append(fd)
+            self._closure_memo.clear()
 
     def add_constant(self, attribute: Attribute) -> None:
         """Record that *attribute* is constant (``∅ -> attribute``)."""
@@ -47,7 +56,13 @@ class FDSet:
 
     def closure(self, attributes: Iterable[Attribute]) -> AttributeSet:
         """Attribute-set closure: everything determined by *attributes*."""
-        closed: set[Attribute] = set(attributes)
+        start = frozenset(attributes)
+        memoize = caches_enabled()
+        if memoize:
+            cached = self._closure_memo.get(start)
+            if cached is not None:
+                return cached
+        closed: set[Attribute] = set(start)
         changed = True
         while changed:
             changed = False
@@ -55,7 +70,10 @@ class FDSet:
                 if fd.lhs <= closed and not fd.rhs <= closed:
                     closed |= fd.rhs
                     changed = True
-        return frozenset(closed)
+        result = frozenset(closed)
+        if memoize:
+            self._closure_memo[start] = result
+        return result
 
     def implies(self, fd: FunctionalDependency) -> bool:
         """Whether this FD set logically implies *fd*."""

@@ -14,6 +14,7 @@ from repro.engine.operators import (
     Filter,
     HashDistinct,
     HashJoin,
+    IndexScan,
     NestedLoopJoin,
     Project,
     SeqScan,
@@ -91,9 +92,30 @@ class TestOperatorChoice:
         )
 
     def test_single_table_filter_pushdown(self, db):
+        # B is not indexed, so the local conjunct is a Filter pushed
+        # below the join, directly over the R scan.
+        plan = plan_for(db, "SELECT A, C FROM R, S WHERE R.A = S.C AND R.B = 10")
+        join = nodes_of(plan, HashJoin)[0]
+        left_filters = nodes_of(join.left, Filter)
+        assert left_filters and "R.B = 10" in left_filters[0].label()
+
+    def test_key_equality_becomes_index_scan(self, db):
+        # A is R's primary key: the local conjunct turns into a hash
+        # index probe instead of SeqScan+Filter.
         plan = plan_for(db, "SELECT A, C FROM R, S WHERE R.B = S.D AND R.A = 1")
         join = nodes_of(plan, HashJoin)[0]
-        # The filter sits below the join, directly over the R scan.
+        scans = nodes_of(join.left, IndexScan)
+        assert scans and scans[0].key_columns == ("A",)
+        assert not nodes_of(join.left, Filter)
+
+    def test_index_scans_can_be_disabled(self, db):
+        plan = plan_for(
+            db,
+            "SELECT A, C FROM R, S WHERE R.B = S.D AND R.A = 1",
+            index_scans=False,
+        )
+        assert not nodes_of(plan, IndexScan)
+        join = nodes_of(plan, HashJoin)[0]
         left_filters = nodes_of(join.left, Filter)
         assert left_filters and "R.A = 1" in left_filters[0].label()
 
