@@ -51,7 +51,26 @@ from .engine import (
     execute,
     execute_planned,
 )
-from .errors import ReproError
+from .errors import (
+    ExecutionError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceError,
+    RewriteMismatchError,
+    RowBudgetExceeded,
+    TransientImsError,
+)
+from .resilience import (
+    FAULTS,
+    ExecutionGuard,
+    FaultInjector,
+    FaultSpec,
+    ResourceBudget,
+    RetryPolicy,
+    call_with_retry,
+)
+from .resilience.guarded import GuardedOutcome, run_guarded
 from .sql import parse, parse_query, parse_script, to_sql
 from .types import NULL
 
@@ -62,26 +81,42 @@ __all__ = [
     "CatalogBuilder",
     "Database",
     "ExactOptions",
+    "ExecutionError",
+    "ExecutionGuard",
     "Executor",
+    "FAULTS",
+    "FaultInjector",
+    "FaultSpec",
+    "GuardedOutcome",
     "NULL",
     "OptimizeResult",
     "Optimizer",
     "Planner",
     "PlannerOptions",
+    "QueryCancelled",
+    "QueryTimeout",
     "ReproError",
+    "ResourceBudget",
+    "ResourceError",
     "Result",
+    "RetryPolicy",
+    "RewriteMismatchError",
+    "RowBudgetExceeded",
     "Stats",
     "TableSchema",
+    "TransientImsError",
     "UniquenessOptions",
     "UniquenessResult",
     "cache_stats",
     "caches_enabled",
+    "call_with_retry",
     "check_theorem1",
     "clear_all_caches",
     "execute",
     "execute_planned",
     "is_duplicate_free",
     "optimize",
+    "run_guarded",
     "set_caches_enabled",
     "parse",
     "parse_query",

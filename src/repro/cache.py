@@ -24,7 +24,9 @@ the LRU naturally.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterator
+
+from .resilience.faults import FAULTS, SITE_FINGERPRINT
 
 #: Sentinel distinguishing "no cached value" from a cached ``None``.
 MISSING = object()
@@ -100,6 +102,19 @@ class LRUCache:
         """Drop every entry (counters are kept)."""
         self._data.clear()
 
+    def evict_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose *key* satisfies *predicate*.
+
+        Safe mode uses this to purge poisoned entries: a corrupted
+        verdict or plan is keyed on (fingerprint, query text, ...), so
+        evicting by query text removes it for every fingerprint.
+        Returns the number of entries dropped.
+        """
+        doomed = [key for key in self._data if predicate(key)]
+        for key in doomed:
+            del self._data[key]
+        return len(doomed)
+
     def reset_counters(self) -> None:
         """Zero the hit/miss counters."""
         self.hits = 0
@@ -131,3 +146,38 @@ def clear_all_caches(reset_counters: bool = False) -> None:
 def cache_stats() -> dict[str, dict[str, int]]:
     """Hit/miss/occupancy counters for every registered cache, by name."""
     return {cache.name: cache.stats() for cache in _registry}
+
+
+def evict_by_text(text: str) -> int:
+    """Evict, from every registered cache, entries keyed on *text*.
+
+    The analysis/plan/strategy caches all key on
+    ``(fingerprint, query text, options)``; this drops any entry whose
+    second component equals *text*, across every fingerprint.  Returns
+    the total number of entries evicted.
+    """
+
+    def matches(key: object) -> bool:
+        return isinstance(key, tuple) and len(key) >= 2 and key[1] == text
+
+    return sum(cache.evict_where(matches) for cache in _registry)
+
+
+def safe_fingerprint(source: Any) -> Hashable | None:
+    """*source*.fingerprint(), or None when computing it fails.
+
+    Fail-closed contract: a ``None`` fingerprint means the caller must
+    skip its cache entirely — neither serve a cached value (it could be
+    stale for the current, unknowable state) nor store a new one (it
+    would be keyed on a lie).  Guard errors must not be swallowed into a
+    cache skip, so resource errors propagate.
+    """
+    from .errors import ResourceError
+
+    try:
+        FAULTS.check(SITE_FINGERPRINT)
+        return source.fingerprint()
+    except ResourceError:
+        raise
+    except Exception:
+        return None

@@ -6,7 +6,9 @@ Usage::
     python -m repro optimize [--schema DDL.sql | --paper]
                              [--profile relational|navigational] "SELECT ..."
     python -m repro run      [--script DB.sql | --demo] [--plan]
-                             [--param NAME=VALUE ...] "SELECT ..."
+                             [--timeout SECONDS] [--row-budget N]
+                             [--safe-mode] [--param NAME=VALUE ...]
+                             "SELECT ..."
     python -m repro demo
 
 * ``check`` runs Algorithm 1 and prints the paper-style trace.
@@ -14,7 +16,15 @@ Usage::
 * ``run`` executes a query — against a script-built database
   (``--script`` containing CREATE TABLE / INSERT statements) or the
   bundled demo instance — optionally showing the physical plan.
+  ``--timeout`` and ``--row-budget`` set per-query resource budgets;
+  ``--safe-mode`` cross-checks uniqueness-based rewrites against the
+  unrewritten plan and quarantines any rule caught changing the result.
 * ``demo`` walks through the paper's worked examples.
+
+Exit codes: 0 success (for ``check``: verdict YES), 1 ``check`` verdict
+NO, 2 generic library error, 3 other resource-budget error, 4 query
+timeout, 5 row budget exceeded, 6 query cancelled, 7 transient IMS
+failure with retries exhausted, 8 safe-mode rewrite mismatch.
 """
 
 from __future__ import annotations
@@ -26,7 +36,18 @@ from typing import Sequence
 from .catalog import Catalog
 from .core import Optimizer, UniquenessOptions, test_uniqueness
 from .engine import Database, Planner, Stats, execute_planned
-from .errors import ReproError
+from .errors import (
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceError,
+    RewriteMismatchError,
+    RowBudgetExceeded,
+    TransientImsError,
+)
+from .resilience import ResourceBudget
+from .resilience.guarded import run_guarded
+from .sql import parse_query
 from .types import NULL, SqlValue
 from .workloads import (
     PAPER_QUERIES,
@@ -108,6 +129,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute the query as written, skipping the rewrite rules",
     )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="abort the query after this many seconds (exit code 4)",
+    )
+    run.add_argument(
+        "--row-budget",
+        type=int,
+        metavar="N",
+        help="abort after processing this many rows (exit code 5)",
+    )
+    run.add_argument(
+        "--safe-mode",
+        action="store_true",
+        help="cross-check rewrites against the unrewritten plan; on a "
+        "mismatch quarantine the rules and serve the verified result",
+    )
     run.add_argument("sql", help="the query to execute")
 
     commands.add_parser("demo", help="walk through the paper's examples")
@@ -168,7 +207,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """``repro run``: optimize (unless told not to) and execute."""
+    """``repro run``: optimize (unless told not to) and execute, guarded."""
     if args.script:
         with open(args.script) as handle:
             database = Database.from_script(handle.read())
@@ -178,25 +217,54 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     params = _parse_params(args.param)
 
-    query: object = args.sql
-    if not args.no_optimize:
-        outcome = Optimizer.for_relational(database.catalog).optimize(args.sql)
-        if outcome.changed:
-            print(outcome.explain())
-            print()
-        query = outcome.query
+    budget = None
+    if args.timeout is not None or args.row_budget is not None:
+        budget = ResourceBudget(
+            timeout=args.timeout, row_budget=args.row_budget
+        )
 
+    if args.no_optimize:
+        query = parse_query(args.sql)
+        if args.plan:
+            plan = Planner(database.catalog).plan(query)
+            print("physical plan:")
+            print(plan.explain(indent=1))
+            print()
+        stats = Stats()
+        result = execute_planned(
+            query,
+            database,
+            params=params,
+            stats=stats,
+            guard=budget.guard() if budget is not None else None,
+        )
+        print(result.to_table())
+        print()
+        print(f"-- {len(result)} row(s); {stats.describe()}")
+        return 0
+
+    outcome = run_guarded(
+        args.sql,
+        database,
+        params=params,
+        budget=budget,
+        safe_mode=args.safe_mode,
+    )
+    if outcome.rewritten and not outcome.mismatch:
+        print(f"-- rewritten via {', '.join(outcome.rules)}")
+        print(f"-- {outcome.sql}")
+        print()
     if args.plan:
-        plan = Planner(database.catalog).plan(query)
+        plan = Planner(database.catalog).plan(parse_query(outcome.sql))
         print("physical plan:")
         print(plan.explain(indent=1))
         print()
-
-    stats = Stats()
-    result = execute_planned(query, database, params=params, stats=stats)
-    print(result.to_table())
+    print(outcome.result.to_table())
     print()
-    print(f"-- {len(result)} row(s); {stats.describe()}")
+    print(f"-- {len(outcome.result)} row(s); {outcome.stats.describe()}")
+    if outcome.mismatch:
+        print(f"warning: {outcome.describe()}", file=sys.stderr)
+        return 8
     return 0
 
 
@@ -222,6 +290,25 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit-code taxonomy, matched subclass-first (see module docstring).
+_ERROR_EXIT_CODES: list[tuple[type[ReproError], int]] = [
+    (QueryTimeout, 4),
+    (RowBudgetExceeded, 5),
+    (QueryCancelled, 6),
+    (ResourceError, 3),
+    (TransientImsError, 7),
+    (RewriteMismatchError, 8),
+]
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Map a typed error to its CLI exit code (2 for the base class)."""
+    for cls, code in _ERROR_EXIT_CODES:
+        if isinstance(error, cls):
+            return code
+    return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_arg_parser()
@@ -236,7 +323,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return handlers[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return exit_code_for(error)
     except BrokenPipeError:
         # stdout was closed early (e.g. piped into `head`): exit quietly
         return 0

@@ -8,7 +8,10 @@ from .engine import (
     Optimizer,
     navigational_rules,
     optimize,
+    quarantine_rule,
+    quarantined_rules,
     relational_rules,
+    unquarantine_all,
 )
 from .join_elimination import JoinElimination
 from .join_to_subquery import JoinToSubquery
@@ -31,6 +34,9 @@ __all__ = [
     "SubqueryToJoin",
     "navigational_rules",
     "optimize",
+    "quarantine_rule",
+    "quarantined_rules",
     "relational_rules",
     "rename_alias",
+    "unquarantine_all",
 ]

@@ -16,6 +16,30 @@ from .join_to_subquery import JoinToSubquery
 from .setop_to_exists import ExceptToNotExists, IntersectToExists
 from .subquery_to_join import InToExists, SubqueryToJoin
 
+#: Rules safe mode has caught changing a result, by name → reason.
+#: Every optimizer in the process skips a quarantined rule until
+#: :func:`unquarantine_all` lifts the quarantine (or the process ends).
+_quarantined: dict[str, str] = {}
+
+
+def quarantine_rule(name: str, reason: str = "") -> None:
+    """Disable the rewrite rule called *name* process-wide.
+
+    Safe mode calls this when a cross-check shows the rule changed a
+    query's result multiset (e.g. an unsound uniqueness verdict let
+    DISTINCT elimination drop a needed duplicate-removal step)."""
+    _quarantined[name] = reason
+
+
+def quarantined_rules() -> dict[str, str]:
+    """Currently quarantined rule names mapped to their reasons."""
+    return dict(_quarantined)
+
+
+def unquarantine_all() -> None:
+    """Lift every quarantine (tests and operator intervention)."""
+    _quarantined.clear()
+
 
 @dataclass
 class OptimizeResult:
@@ -115,6 +139,8 @@ class Optimizer:
                 changed = True
 
         for rule in self.rules:
+            if rule.name in _quarantined:
+                continue
             outcome = rule.apply(query, self.ctx)
             if outcome is None:
                 continue

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..cache import MISSING, LRUCache
+from ..cache import MISSING, LRUCache, safe_fingerprint
 from ..engine.cost import CostModel, PlanEstimate
 from ..engine.database import Database
 from ..engine.planner import Planner, PlannerOptions
@@ -100,14 +100,13 @@ class StrategySelector:
         """
         if isinstance(query, str):
             query = parse_query(query)
-        cache_key = (
-            self.database.fingerprint(),
-            to_sql(query),
-            self._options_key,
-        )
-        cached = _strategy_cache.get(cache_key)
-        if cached is not MISSING:
-            return cached
+        cache_key = None
+        fingerprint = safe_fingerprint(self.database)
+        if fingerprint is not None:
+            cache_key = (fingerprint, to_sql(query), self._options_key)
+            cached = _strategy_cache.get(cache_key)
+            if cached is not MISSING:
+                return cached
         outcome = self.optimizer.optimize(query)
 
         forms: list[tuple[str, Query]] = [("original", query)]
@@ -129,5 +128,13 @@ class StrategySelector:
         choice = StrategyChoice(
             query=best.query, estimate=best.estimate, candidates=candidates
         )
-        _strategy_cache.put(cache_key, choice)
+        if cache_key is not None:
+            _strategy_cache.put(cache_key, choice)
         return choice
+
+
+def evict_strategy_entries(text: str) -> int:
+    """Drop cached strategy verdicts for *text*, across fingerprints."""
+    return _strategy_cache.evict_where(
+        lambda key: isinstance(key, tuple) and len(key) >= 2 and key[1] == text
+    )

@@ -28,9 +28,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from ..cache import MISSING, LRUCache
+from ..cache import MISSING, LRUCache, safe_fingerprint
 from ..catalog.schema import Catalog
 from ..errors import UnsupportedQueryError
+from ..resilience.faults import FAULTS, SITE_UNIQUENESS
 from ..sql.ast import Query, SelectQuery, SetOperation, SetOpKind
 from ..sql.expressions import Expr
 from ..sql.parser import parse_query
@@ -162,12 +163,18 @@ def test_uniqueness(
 
     # SQL text keys directly (equal text parses equally), so a warm hit
     # skips parsing as well as the analysis; ASTs key on their rendering.
+    # Fail-closed: an uncomputable fingerprint skips the cache entirely.
     text = query if isinstance(query, str) else to_sql(query)
-    key = (catalog.fingerprint(), text, options)
-    cached = _uniqueness_cache.get(key)
-    if cached is not MISSING:
-        return cached
+    key = None
+    fingerprint = safe_fingerprint(catalog)
+    if fingerprint is not None:
+        key = (fingerprint, text, options)
+        cached = _uniqueness_cache.get(key)
+        if cached is not MISSING:
+            return cached
 
+    if FAULTS.armed:
+        FAULTS.check(SITE_UNIQUENESS)
     if isinstance(query, str):
         parsed = parse_query(query)
         if not isinstance(parsed, SelectQuery):
@@ -177,8 +184,26 @@ def test_uniqueness(
             )
         query = parsed
     result = _test_uniqueness(query, catalog, options)
-    _uniqueness_cache.put(key, result)
+    if FAULTS.armed:
+        # A corrupt fault rewrites the verdict *before* it is cached —
+        # deliberately poisoning the cache so safe mode's detection,
+        # quarantine, and eviction path can be exercised end to end.
+        result = FAULTS.corrupt(SITE_UNIQUENESS, result)
+    if key is not None:
+        _uniqueness_cache.put(key, result)
     return result
+
+
+def evict_uniqueness_entries(text: str) -> int:
+    """Drop cached Algorithm 1 verdicts for *text*, across fingerprints.
+
+    Safe mode's cleanup path: a poisoned verdict is keyed on the query
+    text it was computed for, so evicting by text removes it no matter
+    which catalog version cached it.
+    """
+    return _uniqueness_cache.evict_where(
+        lambda key: isinstance(key, tuple) and len(key) >= 2 and key[1] == text
+    )
 
 
 def _test_uniqueness(

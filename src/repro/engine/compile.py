@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..errors import AmbiguousColumnError
+from ..resilience.faults import FAULTS, SITE_COMPILE, SITE_COMPILED_EVAL
 from ..sql.expressions import (
     And,
     Between,
@@ -92,12 +93,19 @@ def compile_predicate(
     """
     if not _enabled:
         return None
+    if FAULTS.armed:
+        # Fault hooks: a "compile" fault raises out of here (callers own
+        # the fall-back to the interpreter); a "compiled_eval" fault
+        # instruments the returned closure so it can fail per row.
+        FAULTS.check(SITE_COMPILE)
     try:
         fn, const = _predicate(expr, schema, params or {})
     except CannotCompile:
         return None
     if const is not None:
-        return lambda row: const
+        fn = lambda row: const  # noqa: E731
+    if FAULTS.armed:
+        fn = FAULTS.wrap_callable(SITE_COMPILED_EVAL, fn)
     return fn
 
 

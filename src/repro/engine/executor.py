@@ -19,7 +19,14 @@ import itertools
 from collections import Counter
 from typing import Iterable, Iterator, Sequence
 
-from ..errors import ExecutionError, ReproError, UnknownTableError
+from ..errors import (
+    ExecutionError,
+    ReproError,
+    ResourceError,
+    UnknownTableError,
+)
+from ..resilience.budgets import ExecutionGuard
+from ..resilience.faults import FAULTS, SITE_OPERATOR
 from ..sql.ast import (
     Query,
     SelectItem,
@@ -50,6 +57,10 @@ from .stats import Stats
 _NO_PROBE = object()
 
 
+def _executor_tick_noop(rows: int = 1) -> None:
+    """The unguarded, fault-free checkpoint: nothing to do."""
+
+
 class Executor:
     """Executes queries against a :class:`Database`.
 
@@ -70,13 +81,29 @@ class Executor:
         params: dict[str, SqlValue] | None = None,
         stats: Stats | None = None,
         use_indexes: bool = True,
+        guard: ExecutionGuard | None = None,
     ) -> None:
         self.database = database
         self.stats = stats or Stats()
         self.use_indexes = use_indexes
+        self.guard = guard
         self.evaluator = Evaluator(
             params=params, stats=self.stats, subquery_runner=self._run_subquery
         )
+        # Bind the cheapest checkpoint for the common configurations; the
+        # method below stays as the general (faults-armed) path.
+        if not FAULTS.armed:
+            if guard is not None:
+                self._tick = guard.tick
+            else:
+                self._tick = _executor_tick_noop
+
+    def _tick(self) -> None:
+        """Cooperative checkpoint for the interpreter's row loops."""
+        if self.guard is not None:
+            self.guard.tick()
+        if FAULTS.armed:
+            FAULTS.check(SITE_OPERATOR)
 
     # ------------------------------------------------------------------
     # public API
@@ -129,6 +156,7 @@ class Executor:
 
         output: list[tuple] = []
         for combined in candidates:
+            self._tick()
             scope = Scope(merged, combined, outer=outer)
             if not self.evaluator.qualifies(query.where, scope):
                 continue
@@ -199,7 +227,16 @@ class Executor:
                 if value is _NO_PROBE:
                     continue
                 self.stats.index_probes += 1
-                matches = data.index_lookup((ref.column,), (value,))
+                try:
+                    matches = data.index_lookup((ref.column,), (value,))
+                except ResourceError:
+                    raise
+                except Exception:
+                    # Index machinery failed (e.g. an injected build
+                    # fault): fall back to the full scan, which applies
+                    # the identical WHERE and so returns the same rows.
+                    self.stats.index_fallbacks += 1
+                    return None
                 self.stats.index_rows += len(matches)
                 return iter(matches)
         return None

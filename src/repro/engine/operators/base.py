@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from ...resilience.budgets import ExecutionGuard
+from ...resilience.faults import FAULTS, SITE_OPERATOR
 from ...types.values import SqlValue
 from ..evaluator import Evaluator
 from ..schema import RelSchema, Scope
@@ -13,6 +15,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..database import Database
 
 
+def _tick_noop(rows: int = 1) -> None:
+    """The unguarded, fault-free checkpoint: nothing to do."""
+
+
 class ExecContext:
     """Shared state for one plan execution.
 
@@ -20,6 +26,11 @@ class ExecContext:
     a single :class:`Evaluator` wired so correlated subqueries fall back
     to the reference interpreter (the naive nested-loop strategy — the
     cost the paper's rewrites are designed to avoid).
+
+    When a *guard* is supplied, operators report every processed row via
+    :meth:`tick`, giving the guard its cooperative checkpoints (timeout,
+    row budget, cancellation) and the fault injector its
+    ``operator_next`` trigger opportunities.
     """
 
     def __init__(
@@ -28,15 +39,41 @@ class ExecContext:
         params: dict[str, SqlValue] | None = None,
         stats: Stats | None = None,
         use_indexes: bool = True,
+        guard: ExecutionGuard | None = None,
     ) -> None:
         from ..executor import Executor  # deferred to break the cycle
 
         self.database = database
         self.stats = stats or Stats()
+        self.guard = guard
         self._interpreter = Executor(
-            database, params=params, stats=self.stats, use_indexes=use_indexes
+            database,
+            params=params,
+            stats=self.stats,
+            use_indexes=use_indexes,
+            guard=guard,
         )
         self.evaluator = self._interpreter.evaluator
+        # Per-row cost matters here: bind the cheapest tick variant for
+        # this execution up front (executions complete within one
+        # execute_plan call, so the armed state cannot change mid-run).
+        # batch_ticks additionally lets scans account rows in chunks;
+        # with faults armed every row must remain a separate
+        # ``operator_next`` trigger opportunity, so both stay per-row.
+        self.batch_ticks = not FAULTS.armed
+        if self.batch_ticks:
+            self.tick = guard.tick if guard is not None else _tick_noop
+
+    def tick(self, rows: int = 1) -> None:
+        """One cooperative checkpoint, called per row by operator loops.
+
+        Budget violations raise :class:`~repro.errors.ResourceError`
+        subclasses; these must never be swallowed by fallback ladders.
+        """
+        if self.guard is not None:
+            self.guard.tick(rows)
+        if FAULTS.armed:
+            FAULTS.check(SITE_OPERATOR)
 
 
 class PlanNode:

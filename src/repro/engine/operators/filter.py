@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ...errors import ResourceError
 from ...sql.expressions import Expr
 from ...sql.printer import to_sql
 from ..compile import compile_filter
@@ -19,6 +20,10 @@ class Filter(PlanNode):
     compiler rejects — subqueries, outer references — run through the
     shared evaluator, which re-executes correlated subqueries per input
     row through the reference interpreter, counting each invocation.
+
+    The interpretive path doubles as the verified fallback: a failure in
+    compilation, or in a compiled closure mid-stream, degrades to the
+    evaluator for the remaining rows with identical semantics.
     """
 
     def __init__(self, child: PlanNode, predicate: Expr) -> None:
@@ -32,19 +37,37 @@ class Filter(PlanNode):
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
         compiled = None
         if outer is None:
-            compiled = compile_filter(
-                self.predicate, self.schema, ctx.evaluator.params
-            )
+            try:
+                compiled = compile_filter(
+                    self.predicate, self.schema, ctx.evaluator.params
+                )
+            except ResourceError:
+                raise
+            except Exception:
+                ctx.stats.compile_fallbacks += 1
         stats = ctx.stats
         if compiled is not None:
             stats.predicates_compiled += 1
-            for row in self.child.rows(ctx, outer):
+        for row in self.child.rows(ctx, outer):
+            if compiled is not None:
                 stats.predicate_evals += 1
                 stats.compiled_evals += 1
-                if compiled(row):
-                    yield row
-            return
-        for row in self.child.rows(ctx, outer):
+                try:
+                    keep = compiled(row)
+                except ResourceError:
+                    raise
+                except Exception:
+                    # Compiled predicate died mid-stream: back out this
+                    # row's compiled counters and degrade to the
+                    # evaluator for it and every remaining row.
+                    stats.predicate_evals -= 1
+                    stats.compiled_evals -= 1
+                    stats.compile_fallbacks += 1
+                    compiled = None
+                else:
+                    if keep:
+                        yield row
+                    continue
             scope = Scope(self.schema, row, outer=outer)
             if ctx.evaluator.qualifies(self.predicate, scope):
                 yield row

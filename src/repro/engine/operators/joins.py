@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Sequence
 
+from ...errors import ResourceError
 from ...sql.expressions import Expr
 from ...sql.printer import to_sql
 from ...types.values import SqlValue, is_null, row_sort_key
@@ -32,27 +33,50 @@ def _residual_test(
 
     Compiles the predicate when possible (counting the compilation);
     otherwise returns an evaluator-backed closure with identical
-    semantics.
+    semantics.  The evaluator closure is also the verified fallback: a
+    compilation failure, or a compiled closure dying mid-stream, swaps
+    in the interpreter for the remaining rows.
     """
     if predicate is None:
         return None
-    compiled = None
-    if outer is None:
-        compiled = compile_filter(predicate, node.schema, ctx.evaluator.params)
     stats = ctx.stats
-    if compiled is not None:
-        stats.predicates_compiled += 1
 
-        def test(row):
-            stats.predicate_evals += 1
-            stats.compiled_evals += 1
-            return compiled(row)
-
-        return test
-
-    def test(row):
+    def interpret(row):
         scope = Scope(node.schema, row, outer=outer)
         return ctx.evaluator.qualifies(predicate, scope)
+
+    compiled = None
+    if outer is None:
+        try:
+            compiled = compile_filter(
+                predicate, node.schema, ctx.evaluator.params
+            )
+        except ResourceError:
+            raise
+        except Exception:
+            stats.compile_fallbacks += 1
+    if compiled is None:
+        return interpret
+
+    stats.predicates_compiled += 1
+    state = {"fn": compiled}
+
+    def test(row):
+        fn = state["fn"]
+        if fn is None:
+            return interpret(row)
+        stats.predicate_evals += 1
+        stats.compiled_evals += 1
+        try:
+            return fn(row)
+        except ResourceError:
+            raise
+        except Exception:
+            stats.predicate_evals -= 1
+            stats.compiled_evals -= 1
+            stats.compile_fallbacks += 1
+            state["fn"] = None
+            return interpret(row)
 
     return test
 
@@ -78,8 +102,10 @@ class NestedLoopJoin(PlanNode):
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
         inner = list(self.right.rows(ctx, outer))
         qualifies = _residual_test(self, self.predicate, ctx, outer)
+        tick = ctx.tick
         for left_row in self.left.rows(ctx, outer):
             for right_row in inner:
+                tick()
                 ctx.stats.rows_joined += 1
                 combined = left_row + right_row
                 if qualifies is not None and not qualifies(combined):
@@ -156,12 +182,14 @@ class HashJoin(PlanNode):
             buckets.setdefault(row_sort_key(key_values), []).append(build_row)
 
         qualifies = _residual_test(self, self.residual, ctx, outer)
+        tick = ctx.tick
         for probe_row in probe.rows(ctx, outer):
             key_values = [probe_row[i] for i in probe_keys]
             if not self._usable(key_values):
                 continue
             ctx.stats.hash_probes += 1
             for build_row in buckets.get(row_sort_key(key_values), ()):
+                tick()
                 ctx.stats.rows_joined += 1
                 if self.build_left:
                     combined = build_row + probe_row
@@ -229,6 +257,7 @@ class SortMergeJoin(PlanNode):
                 while i < len(left_rows) and left_rows[i][0] == left_key:
                     _, current_left = left_rows[i]
                     for _, match in right_rows[j:j_end]:
+                        ctx.tick()
                         ctx.stats.rows_joined += 1
                         combined = current_left + match
                         if qualifies is not None and not qualifies(combined):
@@ -305,6 +334,7 @@ class HashSemiJoin(PlanNode):
             keys.add(row_sort_key(key_values))
 
         for left_row in self.left.rows(ctx, outer):
+            ctx.tick()
             key_values = [left_row[i] for i in self.left_keys]
             if any(is_null(value) for value in key_values):
                 matched = False

@@ -4,12 +4,20 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ...errors import ExecutionError, MissingHostVariableError
+from ...errors import ExecutionError, MissingHostVariableError, ResourceError
 from ...sql.expressions import Expr, HostVar, Literal
 from ...sql.printer import to_sql
+from ...types.values import is_null, row_sort_key
 from ..compile import compile_filter
 from ..schema import RelSchema, Scope
 from .base import ExecContext, PlanNode
+
+#: Rows a sequential scan accounts per guard tick when ticks may be
+#: batched (divides CLOCK_CHECK_INTERVAL, so deadline checks stay on
+#: schedule).  Budgets and rows_scanned then have chunk granularity: a
+#: consumer that abandons the scan mid-chunk leaves up to
+#: TICK_CHUNK - 1 pulled rows unaccounted.
+TICK_CHUNK = 64
 
 
 class SeqScan(PlanNode):
@@ -21,9 +29,27 @@ class SeqScan(PlanNode):
         self.schema = RelSchema.for_table(alias, column_names)
 
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        tick = ctx.tick
+        if not ctx.batch_ticks:
+            # Faults armed: every row is a checkpoint (and an
+            # ``operator_next`` trigger opportunity).
+            for row in ctx.database.table(self.table_name).rows:
+                tick()
+                ctx.stats.rows_scanned += 1
+                yield row
+            return
+        stats = ctx.stats
+        pending = 0
         for row in ctx.database.table(self.table_name).rows:
-            ctx.stats.rows_scanned += 1
+            pending += 1
+            if pending == TICK_CHUNK:
+                tick(TICK_CHUNK)
+                stats.rows_scanned += TICK_CHUNK
+                pending = 0
             yield row
+        if pending:
+            tick(pending)
+            stats.rows_scanned += pending
 
     def label(self) -> str:
         if self.alias != self.table_name:
@@ -77,35 +103,76 @@ class IndexScan(PlanNode):
                 )
         return tuple(values)
 
+    def _scan_matches(self, data, values: tuple) -> list[tuple]:
+        """``index_lookup`` semantics without the index: the verified
+        fallback when the hash-index machinery fails."""
+        if any(is_null(value) for value in values):
+            return []
+        positions = [
+            data.schema.column_index(name) for name in self.key_columns
+        ]
+        target = row_sort_key(values)
+        return [
+            row
+            for row in data.rows
+            if row_sort_key(tuple(row[p] for p in positions)) == target
+        ]
+
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
         data = ctx.database.table(self.table_name)
+        values = self._probe_values(ctx)
         ctx.stats.index_probes += 1
-        matches = data.index_lookup(self.key_columns, self._probe_values(ctx))
+        try:
+            matches = data.index_lookup(self.key_columns, values)
+        except ResourceError:
+            raise
+        except Exception:
+            ctx.stats.index_fallbacks += 1
+            matches = self._scan_matches(data, values)
         ctx.stats.index_rows += len(matches)
 
+        tick = ctx.tick
         if self.residual is None:
             for row in matches:
+                tick()
                 ctx.stats.rows_scanned += 1
                 yield row
             return
 
         compiled = None
         if outer is None:
-            compiled = compile_filter(
-                self.residual, self.schema, ctx.evaluator.params
-            )
+            try:
+                compiled = compile_filter(
+                    self.residual, self.schema, ctx.evaluator.params
+                )
+            except ResourceError:
+                raise
+            except Exception:
+                ctx.stats.compile_fallbacks += 1
         stats = ctx.stats
         if compiled is not None:
             stats.predicates_compiled += 1
-            for row in matches:
-                stats.rows_scanned += 1
+        for row in matches:
+            tick()
+            stats.rows_scanned += 1
+            if compiled is not None:
                 stats.predicate_evals += 1
                 stats.compiled_evals += 1
-                if compiled(row):
-                    yield row
-            return
-        for row in matches:
-            stats.rows_scanned += 1
+                try:
+                    keep = compiled(row)
+                except ResourceError:
+                    raise
+                except Exception:
+                    # A compiled residual died mid-stream: back out this
+                    # row's compiled counters and finish interpretively.
+                    stats.predicate_evals -= 1
+                    stats.compiled_evals -= 1
+                    stats.compile_fallbacks += 1
+                    compiled = None
+                else:
+                    if keep:
+                        yield row
+                    continue
             scope = Scope(self.schema, row, outer=outer)
             if ctx.evaluator.qualifies(self.residual, scope):
                 yield row

@@ -21,6 +21,7 @@ re-planning after a load.
 from __future__ import annotations
 
 from ..cache import MISSING, LRUCache
+from ..resilience.faults import FAULTS, SITE_PLAN_CACHE
 from .operators import PlanNode
 
 
@@ -31,7 +32,13 @@ class PlanCache:
         self._cache = LRUCache("plans", maxsize=maxsize)
 
     def lookup(self, key: tuple) -> PlanNode | None:
-        """The cached plan for *key*, or None (also when disabled)."""
+        """The cached plan for *key*, or None (also when disabled).
+
+        A ``plan_cache`` fault raises here; ``execute_planned`` treats
+        any lookup failure as a miss and re-plans (verified fallback).
+        """
+        if FAULTS.armed:
+            FAULTS.check(SITE_PLAN_CACHE)
         plan = self._cache.get(key)
         return None if plan is MISSING else plan
 
@@ -40,6 +47,18 @@ class PlanCache:
 
     def clear(self) -> None:
         self._cache.clear()
+
+    def evict_sql(self, sql_text: str) -> int:
+        """Drop every cached plan for *sql_text*, across fingerprints.
+
+        Safe mode calls this when a cross-check implicates a query, so a
+        plan built from a poisoned rewrite cannot be served again.
+        """
+        return self._cache.evict_where(
+            lambda key: isinstance(key, tuple)
+            and len(key) >= 2
+            and key[1] == sql_text
+        )
 
     @property
     def hits(self) -> int:

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..cache import safe_fingerprint
 from ..catalog.schema import Catalog
 from ..catalog.table import TableSchema
-from ..errors import ExecutionError, ReproError
+from ..errors import ExecutionError, ReproError, ResourceError
+from ..resilience.budgets import ExecutionGuard
 from ..sql.ast import Query, SelectQuery, SetOperation
 from ..sql.expressions import (
     And,
@@ -487,14 +489,23 @@ def execute_plan(
     params: dict[str, SqlValue] | None = None,
     stats: Stats | None = None,
     use_indexes: bool = True,
+    guard: ExecutionGuard | None = None,
 ) -> Result:
     """Run a physical plan to completion.
 
     *use_indexes* governs the correlated-subquery index probes of the
     embedded reference interpreter (plan-level IndexScan choices were
-    already fixed at planning time).
+    already fixed at planning time).  *guard* receives a cooperative
+    tick per processed row; budget violations abort the execution with
+    a :class:`~repro.errors.ResourceError` subclass.
     """
-    ctx = ExecContext(database, params=params, stats=stats, use_indexes=use_indexes)
+    ctx = ExecContext(
+        database,
+        params=params,
+        stats=stats,
+        use_indexes=use_indexes,
+        guard=guard,
+    )
     rows = list(plan.rows(ctx))
     ctx.stats.rows_output += len(rows)
     return Result(plan.schema.output_names(), rows)
@@ -508,6 +519,7 @@ def execute_planned(
     options: PlannerOptions | None = None,
     use_indexes: bool = True,
     plan_cache: PlanCache | None = None,
+    guard: ExecutionGuard | None = None,
 ) -> Result:
     """Plan and execute *query* with the physical engine.
 
@@ -516,6 +528,11 @@ def execute_planned(
     planner options — DDL or data mutation moves the fingerprint, so a
     stale plan can never be reused.  Host-variable bindings do not enter
     the key: cached plans resolve them at execution time.
+
+    The cache is fail-closed: if the fingerprint cannot be computed, or
+    the lookup itself fails, the query is planned from scratch and
+    nothing is cached — a stale plan is never served in exchange for a
+    broken fingerprint.
     """
     options = options or PlannerOptions()
     if not use_indexes and options.index_scans:
@@ -523,15 +540,33 @@ def execute_planned(
     stats = stats if stats is not None else Stats()
     cache = plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
     sql_text = query if isinstance(query, str) else to_sql(query)
-    key = (database.fingerprint(), sql_text, options)
-    plan = cache.lookup(key)
+    plan = None
+    key = None
+    fingerprint = safe_fingerprint(database)
+    if fingerprint is None:
+        stats.cache_skips += 1
+    else:
+        key = (fingerprint, sql_text, options)
+        try:
+            plan = cache.lookup(key)
+        except ResourceError:
+            raise
+        except Exception:
+            stats.cache_skips += 1
+            key = None
     if plan is None:
         stats.plan_cache_misses += 1
         planner = Planner(database.catalog, options, database=database)
         plan = planner.plan(query)
-        cache.store(key, plan)
+        if key is not None:
+            cache.store(key, plan)
     else:
         stats.plan_cache_hits += 1
     return execute_plan(
-        plan, database, params=params, stats=stats, use_indexes=use_indexes
+        plan,
+        database,
+        params=params,
+        stats=stats,
+        use_indexes=use_indexes,
+        guard=guard,
     )

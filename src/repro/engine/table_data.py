@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..catalog.table import TableSchema
 from ..errors import ConstraintViolation
+from ..resilience.faults import FAULTS, SITE_INDEX_BUILD
 from ..types.values import NULL, SqlValue, format_value, is_null, row_sort_key
 from .schema import RelSchema, Scope
 
@@ -68,6 +69,8 @@ class TableData:
         """
         index = self._hash_indexes.get(columns)
         if index is None:
+            if FAULTS.armed:
+                FAULTS.check(SITE_INDEX_BUILD)
             positions = [self.schema.column_index(name) for name in columns]
             index = {}
             for row in self.rows:

@@ -94,8 +94,74 @@ class MissingHostVariableError(ExecutionError):
         self.name = name
 
 
+class ResourceError(ExecutionError):
+    """Base class for per-query resource-budget violations.
+
+    Guards raise the most specific subclass; callers that only care that
+    *some* budget was exhausted can catch this base class.
+    """
+
+
+class QueryTimeout(ResourceError):
+    """Raised when a query exceeds its wall-clock budget."""
+
+    def __init__(self, limit: float, elapsed: float) -> None:
+        super().__init__(
+            f"query exceeded its {limit:.3f}s timeout after {elapsed:.3f}s"
+        )
+        self.limit = limit
+        self.elapsed = elapsed
+
+
+class RowBudgetExceeded(ResourceError):
+    """Raised when a query processes more rows than its budget allows."""
+
+    def __init__(self, budget: int, processed: int) -> None:
+        super().__init__(
+            f"query processed {processed} rows, exceeding its budget of "
+            f"{budget}"
+        )
+        self.budget = budget
+        self.processed = processed
+
+
+class QueryCancelled(ResourceError):
+    """Raised at the next cooperative checkpoint after a cancellation."""
+
+    def __init__(self, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"query cancelled{detail}")
+        self.reason = reason
+
+
 class RewriteError(ReproError):
     """Raised when a rewrite rule is applied to an unsupported query."""
+
+
+class RewriteMismatchError(ReproError):
+    """Raised when safe mode catches a rewrite changing a result multiset.
+
+    Attributes:
+        rules: names of the rewrite rules that produced the bad plan.
+        sql: the original (unrewritten) query text.
+    """
+
+    def __init__(self, rules: list[str], sql: str) -> None:
+        names = ", ".join(rules) if rules else "(unknown rule)"
+        super().__init__(
+            f"rewrite mismatch detected by safe mode: {names} changed the "
+            f"result of {sql!r}; rule(s) quarantined"
+        )
+        self.rules = list(rules)
+        self.sql = sql
+
+
+class InjectedFaultError(ReproError):
+    """The typed error raised by the fault injector's default faults."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at site {site!r}")
+        self.site = site
 
 
 class UnsupportedQueryError(ReproError):
@@ -104,6 +170,20 @@ class UnsupportedQueryError(ReproError):
 
 class ImsError(ReproError):
     """Base class for errors raised by the IMS/DL-I simulator."""
+
+
+class TransientImsError(ImsError):
+    """A retryable DL/I failure (lock timeout, buffer shortage, ...).
+
+    Models the transient status codes a real IMS region returns under
+    load; the gateway retries these with bounded exponential backoff.
+    """
+
+    def __init__(self, status: str = "GG", detail: str = "") -> None:
+        extra = f" ({detail})" if detail else ""
+        super().__init__(f"transient DL/I failure, status {status!r}{extra}")
+        self.status = status
+        self.detail = detail
 
 
 class OodbError(ReproError):

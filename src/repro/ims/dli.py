@@ -29,6 +29,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..errors import ImsError
+from ..resilience.faults import FAULTS, SITE_DLI
 from ..types.values import SqlValue
 from .database import ImsDatabase, Segment
 
@@ -136,6 +137,8 @@ class Dli:
 
     def gu(self, ssa: SSA) -> tuple[str, Segment | None]:
         """Get unique: position at the first qualifying segment."""
+        if FAULTS.armed:
+            FAULTS.check(SITE_DLI)
         self.stats.record_call("GU", ssa.segment)
         root_type = self.database.hierarchy.root
         if ssa.segment.upper() != root_type.name:
@@ -163,6 +166,8 @@ class Dli:
 
     def gn(self, ssa: SSA) -> tuple[str, Segment | None]:
         """Get next root segment satisfying *ssa*, in key sequence."""
+        if FAULTS.armed:
+            FAULTS.check(SITE_DLI)
         self.stats.record_call("GN", ssa.segment)
         root_type = self.database.hierarchy.root
         if ssa.segment.upper() != root_type.name:
@@ -189,6 +194,8 @@ class Dli:
         IMS's single positional cursor that the paper's programs never
         distinguish.
         """
+        if FAULTS.armed:
+            FAULTS.check(SITE_DLI)
         self.stats.record_call("GNP", ssa.segment)
         if self._parent is None:
             raise ImsError("GNP issued without established parentage")

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..catalog.builder import CatalogBuilder
 from ..catalog.schema import Catalog
 from ..errors import ImsError, MissingHostVariableError, UnsupportedQueryError
+from ..resilience.retry import RetryPolicy, call_with_retry
 from ..engine.evaluator import Evaluator
 from ..engine.projection import resolve_projection
 from ..engine.result import Result
@@ -56,6 +57,21 @@ class GatewayStats:
     post_filter_evals: int = 0
     post_rows_sorted: int = 0
     used_post_processing: bool = False
+    retries: int = 0
+
+    def reset_attempt(self) -> None:
+        """Zero per-attempt counters before a retry re-runs the program.
+
+        DL/I reads are side-effect free, so a retry replays the whole
+        iterative program; counters must reflect the attempt that
+        succeeded, not the sum over attempts (``retries`` records how
+        many attempts were abandoned).
+        """
+        self.dli.reset()
+        self.strategy = ""
+        self.post_filter_evals = 0
+        self.post_rows_sorted = 0
+        self.used_post_processing = False
 
     def describe(self) -> str:
         """Compact one-line summary: strategy, DL/I work, post work."""
@@ -65,14 +81,21 @@ class GatewayStats:
                 f"post: filter_evals={self.post_filter_evals}, "
                 f"rows_sorted={self.post_rows_sorted}"
             )
+        if self.retries:
+            parts.append(f"retries={self.retries}")
         return "; ".join(parts)
 
 
 class ImsGateway:
     """Executes a supported SQL subset against an :class:`ImsDatabase`."""
 
-    def __init__(self, database: ImsDatabase) -> None:
+    def __init__(
+        self,
+        database: ImsDatabase,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.database = database
+        self.retry_policy = retry_policy or RetryPolicy()
         root = database.hierarchy.root
         if root.key_field is None:
             raise ImsError("the gateway requires a keyed root segment")
@@ -122,8 +145,16 @@ class ImsGateway:
     ) -> Result:
         """Run *query* through the gateway.
 
+        Transient DL/I failures (:class:`~repro.errors.TransientImsError`)
+        are retried with bounded, jittered exponential backoff.  DL/I
+        reads have no side effects here, so a retry replays the whole
+        iterative program from scratch; per-attempt counters are reset so
+        *stats* describes the successful attempt, with ``stats.retries``
+        counting the abandoned ones.
+
         Raises:
             UnsupportedQueryError: when no DL/I translation exists.
+            TransientImsError: when every retry attempt is exhausted.
         """
         if isinstance(query, str):
             query = parse_query(query)
@@ -133,8 +164,16 @@ class ImsGateway:
             )
         stats = stats if stats is not None else GatewayStats()
         params = {key.upper(): value for key, value in (params or {}).items()}
-        translation = self._translate(query, params, stats)
-        return translation
+
+        def on_retry(attempt: int, error: BaseException) -> None:
+            stats.retries += 1
+            stats.reset_attempt()
+
+        return call_with_retry(
+            lambda: self._translate(query, params, stats),
+            policy=self.retry_policy,
+            on_retry=on_retry,
+        )
 
     # ------------------------------------------------------------------
     # translation

@@ -1,0 +1,76 @@
+"""Guarded execution: fault injection, budgets, retry, verified fallback.
+
+This package hardens the fast paths PR 1 introduced.  Three pillars:
+
+* :mod:`~repro.resilience.faults` — a deterministic, seedable
+  :class:`FaultInjector` with named hook sites inside the predicate
+  compiler, plan cache, hash-index build, operator loops, and DL/I.
+* :mod:`~repro.resilience.budgets` — per-query
+  :class:`ResourceBudget`/:class:`ExecutionGuard` (wall-clock timeout,
+  row budgets, cooperative cancellation) checked from operator loops.
+* :mod:`~repro.resilience.guarded` — :func:`run_guarded`, the verified
+  entry point: budgets threaded through execution, and ``safe_mode``
+  cross-checking uniqueness-based rewrites against the unrewritten
+  plan, quarantining rules and evicting poisoned cache entries on a
+  mismatch.
+
+Import discipline: this ``__init__`` pulls in only the leaf modules
+(faults/budgets/retry), which depend on nothing but :mod:`repro.errors`.
+:mod:`~repro.resilience.guarded` imports the engine — which imports
+:mod:`repro.cache`, which imports :mod:`repro.resilience.faults` — so it
+is exposed lazily (PEP 562) to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .budgets import CLOCK_CHECK_INTERVAL, ExecutionGuard, ResourceBudget
+from .faults import (
+    ALL_SITES,
+    FAULTS,
+    FaultInjector,
+    FaultSpec,
+    SITE_COMPILE,
+    SITE_COMPILED_EVAL,
+    SITE_DLI,
+    SITE_FINGERPRINT,
+    SITE_INDEX_BUILD,
+    SITE_OPERATOR,
+    SITE_PLAN_CACHE,
+    SITE_UNIQUENESS,
+)
+from .retry import RetryPolicy, call_with_retry
+
+_LAZY = ("run_guarded", "GuardedOutcome", "reset_safe_mode_sampling")
+
+__all__ = [
+    "ALL_SITES",
+    "CLOCK_CHECK_INTERVAL",
+    "ExecutionGuard",
+    "FAULTS",
+    "FaultInjector",
+    "FaultSpec",
+    "GuardedOutcome",
+    "ResourceBudget",
+    "RetryPolicy",
+    "SITE_COMPILE",
+    "SITE_COMPILED_EVAL",
+    "SITE_DLI",
+    "SITE_FINGERPRINT",
+    "SITE_INDEX_BUILD",
+    "SITE_OPERATOR",
+    "SITE_PLAN_CACHE",
+    "SITE_UNIQUENESS",
+    "call_with_retry",
+    "reset_safe_mode_sampling",
+    "run_guarded",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        from . import guarded
+
+        return getattr(guarded, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

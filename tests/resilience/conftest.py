@@ -1,0 +1,26 @@
+"""Resilience tests share process-wide state; scrub it around each test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import clear_all_caches
+from repro.core.rewrite import unquarantine_all
+from repro.resilience import FAULTS
+from repro.resilience.guarded import reset_safe_mode_sampling
+
+
+def _scrub() -> None:
+    FAULTS.reset()
+    FAULTS.seed(0)
+    unquarantine_all()
+    clear_all_caches()
+    reset_safe_mode_sampling()
+
+
+@pytest.fixture(autouse=True)
+def clean_resilience_state():
+    """Faults, quarantines, caches, and sampling never leak across tests."""
+    _scrub()
+    yield
+    _scrub()

@@ -1,0 +1,87 @@
+"""Resource budgets and the cooperative execution guard."""
+
+import pytest
+
+from repro.errors import QueryCancelled, QueryTimeout, RowBudgetExceeded
+from repro.resilience import CLOCK_CHECK_INTERVAL, ExecutionGuard, ResourceBudget
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for deterministic deadline tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestResourceBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(timeout=0)
+        with pytest.raises(ValueError):
+            ResourceBudget(row_budget=-1)
+
+    def test_unlimited(self):
+        assert ResourceBudget().unlimited
+        assert not ResourceBudget(row_budget=10).unlimited
+
+    def test_guard_factory_binds_budget(self):
+        budget = ResourceBudget(row_budget=5)
+        assert budget.guard().budget is budget
+
+
+class TestExecutionGuard:
+    def test_row_budget_trips_exactly_past_the_limit(self):
+        guard = ResourceBudget(row_budget=3).guard()
+        for _ in range(3):
+            guard.tick()
+        with pytest.raises(RowBudgetExceeded) as info:
+            guard.tick()
+        assert info.value.budget == 3 and info.value.processed == 4
+
+    def test_batched_ticks_count_rows_not_calls(self):
+        guard = ResourceBudget(row_budget=10).guard()
+        guard.tick(rows=8)
+        with pytest.raises(RowBudgetExceeded):
+            guard.tick(rows=8)
+
+    def test_timeout_checked_every_interval(self):
+        clock = FakeClock()
+        guard = ResourceBudget(timeout=1.0).guard(clock=clock)
+        clock.now = 5.0  # already past the deadline ...
+        for _ in range(CLOCK_CHECK_INTERVAL - 1):
+            guard.tick()  # ... but the clock is not re-read between checks
+        with pytest.raises(QueryTimeout) as info:
+            guard.tick()  # tick #interval re-reads the clock
+        assert info.value.limit == 1.0 and info.value.elapsed == 5.0
+
+    def test_check_deadline_is_unconditional(self):
+        clock = FakeClock()
+        guard = ResourceBudget(timeout=1.0).guard(clock=clock)
+        guard.check_deadline()
+        clock.now = 1.5
+        with pytest.raises(QueryTimeout):
+            guard.check_deadline()
+
+    def test_no_timeout_never_reads_past_the_start(self):
+        clock = FakeClock()
+        guard = ResourceBudget(row_budget=10_000).guard(clock=clock)
+        clock.now = 1e9
+        for _ in range(CLOCK_CHECK_INTERVAL * 2):
+            guard.tick()  # no deadline: huge elapsed time is fine
+
+    def test_cancellation_raises_at_next_tick(self):
+        guard = ExecutionGuard()
+        guard.tick()
+        guard.cancel("user pressed ^C")
+        with pytest.raises(QueryCancelled) as info:
+            guard.tick()
+        assert "user pressed ^C" in str(info.value)
+
+    def test_elapsed_uses_injected_clock(self):
+        clock = FakeClock()
+        guard = ExecutionGuard(clock=clock)
+        clock.now = 2.5
+        assert guard.elapsed() == 2.5

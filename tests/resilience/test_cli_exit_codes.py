@@ -1,0 +1,88 @@
+"""The CLI maps the error taxonomy onto distinct exit codes."""
+
+import pytest
+
+from repro.cli import exit_code_for, main
+from repro.errors import (
+    ExecutionError,
+    ImsError,
+    ParseError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceError,
+    RewriteMismatchError,
+    RowBudgetExceeded,
+    TransientImsError,
+)
+
+
+class TestExitCodeMap:
+    @pytest.mark.parametrize(
+        "error,code",
+        [
+            (QueryTimeout(1.0, 2.0), 4),
+            (RowBudgetExceeded(10, 11), 5),
+            (QueryCancelled("operator"), 6),
+            (ResourceError("generic budget failure"), 3),
+            (TransientImsError("GL"), 7),
+            (RewriteMismatchError(["distinct-elimination"], "SELECT 1"), 8),
+            (ReproError("anything else"), 2),
+            (ParseError("bad token"), 2),
+            (ExecutionError("type clash"), 2),
+            (ImsError("segment trouble"), 2),
+        ],
+    )
+    def test_mapping(self, error, code):
+        assert exit_code_for(error) == code
+
+
+class TestCliIntegration:
+    def test_row_budget_exit_code(self, capsys):
+        code = main(
+            ["run", "--row-budget", "2", "SELECT ALL S.SNO FROM SUPPLIER S"]
+        )
+        assert code == 5
+        assert "exceeding its budget" in capsys.readouterr().err
+
+    def test_parse_error_exit_code(self, capsys):
+        assert main(["run", "SELECT FROM FROM"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_param_exit_code(self, capsys):
+        code = main(["run", "--param", "JUNK", "SELECT S.SNO FROM SUPPLIER S"])
+        assert code == 2
+
+    def test_budgeted_run_succeeds_within_limits(self, capsys):
+        code = main(
+            [
+                "run",
+                "--timeout",
+                "30",
+                "--row-budget",
+                "100000",
+                "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = 1",
+            ]
+        )
+        assert code == 0
+        assert "1 row(s)" in capsys.readouterr().out
+
+    def test_safe_mode_flag_accepted(self, capsys):
+        code = main(
+            ["run", "--safe-mode", "SELECT DISTINCT S.SNO FROM SUPPLIER S"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rewritten via distinct-elimination" in out
+
+    def test_no_optimize_respects_budgets(self, capsys):
+        code = main(
+            [
+                "run",
+                "--no-optimize",
+                "--row-budget",
+                "2",
+                "SELECT ALL S.SNO FROM SUPPLIER S",
+            ]
+        )
+        assert code == 5
