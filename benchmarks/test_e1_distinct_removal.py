@@ -41,6 +41,8 @@ def test_e1_sort_avoided_across_scales(benchmark, bench_db):
         )
         assert before.same_rows(after)
         assert stats_after.sorts == 0 and stats_before.sorts == 1
+        report.record_stats(f"distinct_{suppliers}", stats_before)
+        report.record_stats(f"rewritten_{suppliers}", stats_after)
         report.add_row(
             suppliers,
             len(after),

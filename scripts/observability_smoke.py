@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""CI smoke: observability over the paper's worked examples.
+
+Runs ``repro run --analyze --trace --json --metrics-out`` on Examples
+1-11, saves the per-example metrics and trace artifacts, and asserts
+
+* EXPLAIN ANALYZE recorded real per-operator actuals (the root operator
+  executed exactly once), and
+* the rewrite audit trail names the exact theorem/algorithm decision
+  the paper prescribes for the example.
+
+The ``run`` path optimizes with the relational profile; the IMS/OODB
+examples (10, 11) are additionally checked through the navigational
+optimizer, whose audit must show Theorem 2 (reversed) firing.
+
+Usage: PYTHONPATH=src python scripts/observability_smoke.py [--out-dir D]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+from contextlib import redirect_stdout
+
+from repro.cli import main as repro_main
+from repro.core import Optimizer
+from repro.workloads import PAPER_QUERIES, build_catalog
+
+#: (theorem, decision) the audit must contain under the profile that
+#: serves the example (relational via ``run``; navigational for 10/11).
+EXPECTED = {
+    "1": ("Theorem 1", "fired"),
+    "2": ("Theorem 1", "rejected"),
+    "3": ("Algorithm 1", "verdict"),
+    "4": ("Theorem 1", "fired"),
+    "6": ("Theorem 1", "fired"),
+    "7": ("Theorem 2", "fired"),
+    "8": ("Corollary 1", "fired"),
+    "9": ("Theorem 3", "fired"),
+    "10": ("Theorem 2 (reversed)", "fired"),
+    "11": ("Theorem 2 (reversed)", "fired"),
+}
+
+NAVIGATIONAL = {"10", "11"}
+
+
+def run_cli(argv: list[str]) -> tuple[int, str]:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = repro_main(argv)
+    return code, buffer.getvalue()
+
+
+def check_example(query, out_dir: str, failures: list[str]) -> dict:
+    slug = f"ex{query.example}"
+    argv = [
+        "run",
+        "--analyze",
+        "--trace",
+        "--json",
+        "--metrics-out",
+        os.path.join(out_dir, f"metrics_{slug}.prom"),
+    ]
+    for name, value in query.params.items():
+        argv += ["--param", f"{name}={value}"]
+    argv.append(query.sql)
+
+    code, out = run_cli(argv)
+    if code != 0:
+        failures.append(f"{slug}: exit code {code}")
+        return {"example": query.example, "exit_code": code}
+    payload = json.loads(out)
+
+    with open(
+        os.path.join(out_dir, f"trace_{slug}.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(payload.get("trace", []), handle, indent=2)
+
+    plan = payload["plan"]["plan"]
+    if plan.get("loops") != 1:
+        failures.append(f"{slug}: EXPLAIN ANALYZE recorded no actuals")
+
+    decisions = {
+        (record["theorem"], record["decision"])
+        for record in payload.get("audit", [])
+    }
+    if query.example in NAVIGATIONAL:
+        outcome = Optimizer.for_navigational(build_catalog()).optimize(
+            query.sql
+        )
+        decisions |= {(r.theorem, r.decision) for r in outcome.audit}
+    if not decisions:
+        failures.append(f"{slug}: empty audit trail")
+    expected = EXPECTED[query.example]
+    if expected not in decisions:
+        failures.append(
+            f"{slug}: expected audit decision {expected}, "
+            f"got {sorted(decisions)}"
+        )
+
+    return {
+        "example": query.example,
+        "rewritten": payload.get("rewritten"),
+        "rules": payload.get("rules"),
+        "expected": list(expected),
+        "decisions": sorted(list(pair) for pair in decisions),
+        "root_actual_rows": plan.get("actual_rows"),
+        "spans": len(payload.get("trace", [])),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out-dir",
+        default="observability-artifacts",
+        help="directory for per-example metrics/trace files",
+    )
+    args = parser.parse_args()
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    failures: list[str] = []
+    summary = [
+        check_example(query, args.out_dir, failures)
+        for query in PAPER_QUERIES
+    ]
+    with open(
+        os.path.join(args.out_dir, "summary.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(summary, handle, indent=2)
+
+    for entry in summary:
+        expected = entry.get("expected", ["?", "?"])
+        print(
+            f"example {entry['example']:>2}: "
+            f"{expected[0]} {expected[1]} — ok"
+            if not any(
+                line.startswith(f"ex{entry['example']}:") for line in failures
+            )
+            else f"example {entry['example']:>2}: FAILED"
+        )
+    if failures:
+        print()
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(summary)} examples verified; artifacts in {args.out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

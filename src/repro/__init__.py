@@ -70,6 +70,16 @@ from .resilience import (
     RetryPolicy,
     call_with_retry,
 )
+from .observe import (
+    AuditTrail,
+    MetricsRegistry,
+    PROCESS_METRICS,
+    TRACER,
+    execute_analyzed,
+    explain_analyze,
+    set_tracing,
+    tracing_enabled,
+)
 from .resilience.guarded import GuardedOutcome, run_guarded
 from .sql import parse, parse_query, parse_script, to_sql
 from .types import NULL
@@ -77,6 +87,7 @@ from .types import NULL
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditTrail",
     "Catalog",
     "CatalogBuilder",
     "Database",
@@ -88,9 +99,11 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "GuardedOutcome",
+    "MetricsRegistry",
     "NULL",
     "OptimizeResult",
     "Optimizer",
+    "PROCESS_METRICS",
     "Planner",
     "PlannerOptions",
     "QueryCancelled",
@@ -103,6 +116,7 @@ __all__ = [
     "RewriteMismatchError",
     "RowBudgetExceeded",
     "Stats",
+    "TRACER",
     "TableSchema",
     "TransientImsError",
     "UniquenessOptions",
@@ -113,14 +127,18 @@ __all__ = [
     "check_theorem1",
     "clear_all_caches",
     "execute",
+    "execute_analyzed",
     "execute_planned",
+    "explain_analyze",
     "is_duplicate_free",
     "optimize",
     "run_guarded",
     "set_caches_enabled",
+    "set_tracing",
     "parse",
     "parse_query",
     "parse_script",
     "test_uniqueness",
     "to_sql",
+    "tracing_enabled",
 ]

@@ -29,6 +29,7 @@ class ExperimentReport:
     rows: list[list[Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     slug: str | None = None
+    stats: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def add_row(self, *values: Any) -> None:
         """Append one data row (must match the column count)."""
@@ -41,6 +42,17 @@ class ExperimentReport:
     def note(self, text: str) -> None:
         """Attach a free-form footnote to the table."""
         self.notes.append(text)
+
+    def record_stats(self, label: str, stats: Any) -> None:
+        """Attach a labelled engine-counter snapshot to the report.
+
+        Accepts a :class:`~repro.engine.stats.Stats` (anything with
+        ``as_dict``) or a plain mapping; the full counter dict is kept so
+        the serialized ``BENCH_*.json`` carries the measured workload's
+        counters alongside its timings.
+        """
+        counters = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+        self.stats[label] = dict(counters)
 
     def render(self) -> str:
         """The report as an aligned ASCII table."""
@@ -88,13 +100,19 @@ class ExperimentReport:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form of the table."""
-        return {
+        payload = {
             "experiment": self.experiment,
             "claim": self.claim,
             "columns": list(self.columns),
             "rows": [list(row) for row in self.rows],
             "notes": list(self.notes),
         }
+        if self.stats:
+            payload["stats"] = {
+                label: dict(counters)
+                for label, counters in self.stats.items()
+            }
+        return payload
 
 
 #: Reports rendered during this process, replayed by the bench conftest.
@@ -110,6 +128,15 @@ def write_reports(directory: str = ".") -> list[str]:
     Reports sharing a slug land in the same file (a benchmark module may
     print several tables).  Returns the written paths.
     """
+    from ..observe.metrics import MetricsRegistry  # deferred: optional dep
+
+    registry = MetricsRegistry()
+    try:
+        registry.record_caches()
+    except Exception:
+        pass  # a metrics snapshot must never block report writing
+    metrics = registry.as_dict()
+
     grouped: dict[str, list[dict[str, Any]]] = {}
     for report in REPORTS:
         grouped.setdefault(report.effective_slug(), []).append(report.to_dict())
@@ -118,7 +145,10 @@ def write_reports(directory: str = ".") -> list[str]:
         path = os.path.join(directory, f"BENCH_{slug}.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(
-                {"slug": slug, "tables": tables}, handle, indent=2, default=str
+                {"slug": slug, "tables": tables, "metrics": metrics},
+                handle,
+                indent=2,
+                default=str,
             )
             handle.write("\n")
         paths.append(path)

@@ -2,23 +2,39 @@
 
 Usage::
 
-    python -m repro check    [--schema DDL.sql | --paper] "SELECT DISTINCT ..."
+    python -m repro check    [--schema DDL.sql | --paper] [--json]
+                             "SELECT DISTINCT ..."
     python -m repro optimize [--schema DDL.sql | --paper]
                              [--profile relational|navigational] "SELECT ..."
     python -m repro run      [--script DB.sql | --demo] [--plan]
                              [--timeout SECONDS] [--row-budget N]
                              [--safe-mode] [--param NAME=VALUE ...]
+                             [--trace] [--analyze] [--json]
+                             [--metrics-out FILE]
                              "SELECT ..."
+    python -m repro explain  [--script DB.sql | --demo]
+                             [--profile relational|navigational]
+                             [--no-optimize] [--analyze] [--json]
+                             [--param NAME=VALUE ...] "SELECT ..."
     python -m repro demo
 
-* ``check`` runs Algorithm 1 and prints the paper-style trace.
-* ``optimize`` prints the rewrite trace and the final SQL.
+* ``check`` runs Algorithm 1 and prints the paper-style trace
+  (``--json`` emits the verdict plus the bound-attribute witness).
+* ``optimize`` prints the rewrite trace, the theorem-by-theorem proof
+  sketch, and the final SQL.
 * ``run`` executes a query — against a script-built database
   (``--script`` containing CREATE TABLE / INSERT statements) or the
   bundled demo instance — optionally showing the physical plan.
   ``--timeout`` and ``--row-budget`` set per-query resource budgets;
   ``--safe-mode`` cross-checks uniqueness-based rewrites against the
   unrewritten plan and quarantines any rule caught changing the result.
+  ``--trace`` prints the hierarchical span tree, ``--analyze`` runs
+  EXPLAIN ANALYZE (per-operator actual rows / loops / time / q-error)
+  plus the rewrite proof sketch, and ``--metrics-out FILE`` exports a
+  metrics snapshot (``.prom`` selects Prometheus text, else JSON).
+* ``explain`` shows the rewrite audit and the physical plan without
+  printing rows; with ``--analyze`` the plan is annotated with actuals
+  from one instrumented execution.
 * ``demo`` walks through the paper's worked examples.
 
 Exit codes: 0 success (for ``check``: verdict YES), 1 ``check`` verdict
@@ -30,8 +46,9 @@ failure with retries exhausted, 8 safe-mode rewrite mismatch.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from .catalog import Catalog
 from .core import Optimizer, UniquenessOptions, test_uniqueness
@@ -44,6 +61,13 @@ from .errors import (
     RewriteMismatchError,
     RowBudgetExceeded,
     TransientImsError,
+)
+from .observe import (
+    AuditTrail,
+    MetricsRegistry,
+    TRACER,
+    execute_analyzed,
+    set_tracing,
 )
 from .resilience import ResourceBudget
 from .resilience.guarded import run_guarded
@@ -78,6 +102,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
             help="use the paper's supplier schema (default)",
         )
 
+    def add_database_options(sub: argparse.ArgumentParser) -> None:
+        source = sub.add_mutually_exclusive_group()
+        source.add_argument(
+            "--script",
+            metavar="FILE",
+            help="script of CREATE TABLE / INSERT statements to build the "
+            "database from",
+        )
+        source.add_argument(
+            "--demo",
+            action="store_true",
+            help="run against a small generated supplier instance (default)",
+        )
+        sub.add_argument(
+            "--param",
+            action="append",
+            default=[],
+            metavar="NAME=VALUE",
+            help="host-variable binding (repeatable)",
+        )
+
     check = commands.add_parser(
         "check", help="run Algorithm 1 on a query"
     )
@@ -86,6 +131,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--use-check-constraints",
         action="store_true",
         help="exploit CHECK constraints over NOT NULL columns",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the verdict and witness as JSON",
     )
     check.add_argument("sql", help="the query to analyze")
 
@@ -102,25 +152,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     optimize.add_argument("sql", help="the query to optimize")
 
     run = commands.add_parser("run", help="execute a query")
-    source = run.add_mutually_exclusive_group()
-    source.add_argument(
-        "--script",
-        metavar="FILE",
-        help="script of CREATE TABLE / INSERT statements to build the "
-        "database from",
-    )
-    source.add_argument(
-        "--demo",
-        action="store_true",
-        help="run against a small generated supplier instance (default)",
-    )
-    run.add_argument(
-        "--param",
-        action="append",
-        default=[],
-        metavar="NAME=VALUE",
-        help="host-variable binding (repeatable)",
-    )
+    add_database_options(run)
     run.add_argument(
         "--plan", action="store_true", help="also print the physical plan"
     )
@@ -147,7 +179,56 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="cross-check rewrites against the unrewritten plan; on a "
         "mismatch quarantine the rules and serve the verified result",
     )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="record and print the hierarchical trace spans",
+    )
+    run.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: execute instrumented and print per-operator "
+        "actual rows, loops, timing, and q-error plus the rewrite audit",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write a metrics snapshot (.prom = Prometheus text, else JSON)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit rows, stats, audit, plan, and trace as one JSON object",
+    )
     run.add_argument("sql", help="the query to execute")
+
+    explain = commands.add_parser(
+        "explain",
+        help="show the rewrite audit and physical plan without the rows",
+    )
+    add_database_options(explain)
+    explain.add_argument(
+        "--profile",
+        choices=("relational", "navigational"),
+        default="relational",
+        help="rule profile (default: relational)",
+    )
+    explain.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="explain the query as written, skipping the rewrite rules",
+    )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute once, instrumented, and annotate the plan with actuals",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan and audit as one JSON object",
+    )
+    explain.add_argument("sql", help="the query to explain")
 
     commands.add_parser("demo", help="walk through the paper's examples")
     return parser
@@ -158,6 +239,16 @@ def _load_catalog(args: argparse.Namespace) -> Catalog:
         with open(args.schema) as handle:
             return Catalog.from_ddl(handle.read())
     return build_catalog()
+
+
+def _load_database(args: argparse.Namespace) -> Database:
+    """The database a ``run``/``explain`` invocation targets."""
+    if args.script:
+        with open(args.script) as handle:
+            return Database.from_script(handle.read())
+    return build_database(
+        generate(SupplierScale(suppliers=25, parts_per_supplier=5))
+    )
 
 
 def _parse_params(pairs: list[str]) -> dict[str, SqlValue]:
@@ -181,6 +272,47 @@ def _parse_params(pairs: list[str]) -> dict[str, SqlValue]:
     return params
 
 
+def _jsonable(value: Any) -> Any:
+    return None if value is NULL else value
+
+
+def _print_json(payload: dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, default=str))
+
+
+def _print_plan(
+    database: Database,
+    sql: str,
+    plan: Any = None,
+    analysis: Any = None,
+    header: str = "physical plan:",
+) -> None:
+    """Print the physical plan for *sql* (planned fresh unless given)."""
+    if plan is None:
+        plan = Planner(database.catalog).plan(parse_query(sql))
+    print(header)
+    print(plan.explain(indent=1, analysis=analysis))
+    print()
+
+
+def _write_metrics(
+    path: str,
+    stats: Stats,
+    outcome: Any = None,
+    audit: AuditTrail | None = None,
+) -> None:
+    """Export one invocation's counters to *path* (.prom or JSON)."""
+    registry = MetricsRegistry()
+    registry.record_stats(stats)
+    registry.record_caches()
+    if outcome is not None:
+        registry.record_outcome(outcome)
+    if audit is not None:
+        registry.record_audit(audit)
+    registry.write(path)
+    print(f"-- metrics written to {path}", file=sys.stderr)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """``repro check``: Algorithm 1 verdict (exit 0 = YES)."""
     catalog = _load_catalog(args)
@@ -188,7 +320,18 @@ def cmd_check(args: argparse.Namespace) -> int:
         use_check_constraints=args.use_check_constraints
     )
     result = test_uniqueness(args.sql, catalog, options)
-    print(result.explain())
+    if args.json:
+        _print_json(
+            {
+                "command": "check",
+                "sql": args.sql,
+                "unique": result.unique,
+                "reason": result.reason,
+                "witness": result.witness(),
+            }
+        )
+    else:
+        print(result.explain())
     return 0 if result.unique else 1
 
 
@@ -202,19 +345,16 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     outcome = optimizer.optimize(args.sql)
     print(outcome.explain())
     print()
+    print("proof sketch:")
+    print(outcome.proof_sketch())
+    print()
     print(outcome.sql)
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro run``: optimize (unless told not to) and execute, guarded."""
-    if args.script:
-        with open(args.script) as handle:
-            database = Database.from_script(handle.read())
-    else:
-        database = build_database(
-            generate(SupplierScale(suppliers=25, parts_per_supplier=5))
-        )
+    database = _load_database(args)
     params = _parse_params(args.param)
 
     budget = None
@@ -223,48 +363,193 @@ def cmd_run(args: argparse.Namespace) -> int:
             timeout=args.timeout, row_budget=args.row_budget
         )
 
+    previous = set_tracing(True) if args.trace else None
+    if args.trace:
+        TRACER.clear()
+    try:
+        return _run_query(args, database, params, budget)
+    finally:
+        if args.trace:
+            set_tracing(previous)
+
+
+def _run_query(
+    args: argparse.Namespace,
+    database: Database,
+    params: dict[str, SqlValue],
+    budget: ResourceBudget | None,
+) -> int:
+    def fresh_guard():
+        return budget.guard() if budget is not None else None
+
+    analyzed = None
+    outcome = None
+    audit: AuditTrail | None = None
+    rules: list[str] = []
+    mismatch = False
     if args.no_optimize:
         query = parse_query(args.sql)
-        if args.plan:
-            plan = Planner(database.catalog).plan(query)
-            print("physical plan:")
-            print(plan.explain(indent=1))
-            print()
-        stats = Stats()
-        result = execute_planned(
-            query,
+        final_sql = args.sql
+        if args.analyze:
+            analyzed = execute_analyzed(
+                query, database, params=params, guard=fresh_guard()
+            )
+            result, stats = analyzed.result, analyzed.stats
+        else:
+            stats = Stats()
+            result = execute_planned(
+                query,
+                database,
+                params=params,
+                stats=stats,
+                guard=fresh_guard(),
+            )
+    else:
+        outcome = run_guarded(
+            args.sql,
             database,
             params=params,
-            stats=stats,
-            guard=budget.guard() if budget is not None else None,
+            budget=budget,
+            safe_mode=args.safe_mode,
         )
-        print(result.to_table())
-        print()
-        print(f"-- {len(result)} row(s); {stats.describe()}")
-        return 0
+        result, stats, final_sql = outcome.result, outcome.stats, outcome.sql
+        rules, audit, mismatch = outcome.rules, outcome.audit, outcome.mismatch
+        if args.analyze and not mismatch:
+            # EXPLAIN ANALYZE re-executes the winning form instrumented;
+            # the annotated actuals (and counters) come from that run.
+            analyzed = execute_analyzed(
+                parse_query(final_sql),
+                database,
+                params=params,
+                guard=fresh_guard(),
+            )
+            result, stats = analyzed.result, analyzed.stats
 
-    outcome = run_guarded(
-        args.sql,
-        database,
-        params=params,
-        budget=budget,
-        safe_mode=args.safe_mode,
-    )
-    if outcome.rewritten and not outcome.mismatch:
-        print(f"-- rewritten via {', '.join(outcome.rules)}")
-        print(f"-- {outcome.sql}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, stats, outcome=outcome, audit=audit)
+
+    if args.json:
+        payload: dict[str, Any] = {
+            "command": "run",
+            "sql": args.sql,
+            "rewritten": bool(rules),
+            "final_sql": final_sql,
+            "rules": rules,
+            "mismatch": mismatch,
+            "columns": result.columns,
+            "rows": [
+                [_jsonable(value) for value in row] for row in result.rows
+            ],
+            "row_count": len(result),
+            "stats": {
+                name: value
+                for name, value in stats.as_dict().items()
+                if value
+            },
+        }
+        if audit is not None:
+            payload["audit"] = audit.to_dicts()
+        if analyzed is not None:
+            payload["plan"] = analyzed.to_dict()
+        elif args.plan:
+            plan = Planner(database.catalog).plan(parse_query(final_sql))
+            payload["plan"] = plan.explain()
+        if args.trace:
+            payload["trace"] = TRACER.to_dicts()
+        _print_json(payload)
+        return 8 if mismatch else 0
+
+    if rules and not mismatch:
+        print(f"-- rewritten via {', '.join(rules)}")
+        print(f"-- {final_sql}")
         print()
-    if args.plan:
-        plan = Planner(database.catalog).plan(parse_query(outcome.sql))
-        print("physical plan:")
-        print(plan.explain(indent=1))
-        print()
-    print(outcome.result.to_table())
+    if analyzed is not None:
+        _print_plan(
+            database,
+            final_sql,
+            plan=analyzed.plan,
+            analysis=analyzed.analysis,
+            header="EXPLAIN ANALYZE:",
+        )
+    elif args.plan:
+        _print_plan(database, final_sql)
+    print(result.to_table())
     print()
-    print(f"-- {len(outcome.result)} row(s); {outcome.stats.describe()}")
-    if outcome.mismatch:
+    print(f"-- {len(result)} row(s); {stats.describe()}")
+    if args.analyze and audit is not None and len(audit):
+        print()
+        print("rewrite audit:")
+        print(audit.proof_sketch())
+    if args.trace:
+        print()
+        print("trace:")
+        print(TRACER.render())
+    if mismatch:
         print(f"warning: {outcome.describe()}", file=sys.stderr)
         return 8
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: rewrite audit plus (annotated) physical plan."""
+    database = _load_database(args)
+    params = _parse_params(args.param)
+
+    audit: AuditTrail | None = None
+    rules: list[str] = []
+    final_sql = args.sql
+    if not args.no_optimize:
+        if args.profile == "navigational":
+            optimizer = Optimizer.for_navigational(database.catalog)
+        else:
+            optimizer = Optimizer.for_relational(database.catalog)
+        outcome = optimizer.optimize(args.sql)
+        final_sql = outcome.sql
+        audit = outcome.audit
+        for step in outcome.steps:
+            if step.rule not in rules:
+                rules.append(step.rule)
+
+    analyzed = None
+    analysis = None
+    if args.analyze:
+        analyzed = execute_analyzed(
+            parse_query(final_sql), database, params=params
+        )
+        plan, analysis = analyzed.plan, analyzed.analysis
+    else:
+        plan = Planner(database.catalog).plan(parse_query(final_sql))
+
+    if args.json:
+        payload: dict[str, Any] = {
+            "command": "explain",
+            "sql": args.sql,
+            "rewritten": bool(rules),
+            "final_sql": final_sql,
+            "rules": rules,
+            "plan": (
+                analyzed.to_dict() if analyzed is not None else plan.explain()
+            ),
+        }
+        if audit is not None:
+            payload["audit"] = audit.to_dicts()
+        _print_json(payload)
+        return 0
+
+    if rules:
+        print(f"-- rewritten via {', '.join(rules)}")
+        print(f"-- {final_sql}")
+        print()
+    _print_plan(
+        database,
+        final_sql,
+        plan=plan,
+        analysis=analysis,
+        header="EXPLAIN ANALYZE:" if args.analyze else "physical plan:",
+    )
+    if audit is not None and len(audit):
+        print("rewrite audit:")
+        print(audit.proof_sketch())
     return 0
 
 
@@ -317,6 +602,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": cmd_check,
         "optimize": cmd_optimize,
         "run": cmd_run,
+        "explain": cmd_explain,
         "demo": cmd_demo,
     }
     try:

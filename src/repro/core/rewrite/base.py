@@ -30,13 +30,35 @@ class RewriteStep:
 
 
 class RewriteContext:
-    """Shared state handed to rules: catalog, options, alias generator."""
+    """Shared state handed to rules: catalog, options, alias generator,
+    and (when the optimizer attaches one) the audit trail rules record
+    their theorem decisions into."""
 
     def __init__(
         self, catalog: Catalog, options: UniquenessOptions | None = None
     ) -> None:
         self.catalog = catalog
         self.options = options or UniquenessOptions()
+        self.audit = None  # an observe.AuditTrail during optimize()
+
+    def record(
+        self,
+        rule: str,
+        theorem: str,
+        decision: str,
+        target: Query,
+        note: str,
+        witness: dict | None = None,
+    ) -> None:
+        """Record one theorem decision when an audit trail is attached.
+
+        No-op otherwise, so rules stay usable outside the optimizer
+        without paying for evidence they have no trail to put in.
+        """
+        if self.audit is not None:
+            self.audit.record(
+                rule, theorem, decision, to_sql(target), note, witness
+            )
 
     def fresh_alias(self, base: str, taken: set[str]) -> str:
         """A correlation name not in *taken*, derived from *base*."""

@@ -25,8 +25,24 @@ class DistinctElimination(Rule):
             return None
         result = test_uniqueness(query, ctx.catalog, ctx.options)
         if not result.unique:
+            ctx.record(
+                self.name,
+                "Theorem 1",
+                "rejected",
+                query,
+                f"Algorithm 1 answers NO: {result.reason}",
+                result.witness(),
+            )
             return None
         rewritten = query.with_quantifier(Quantifier.ALL)
+        ctx.record(
+            self.name,
+            "Theorem 1",
+            "fired",
+            query,
+            f"Algorithm 1 answers YES: {result.reason}; DISTINCT removed",
+            result.witness(),
+        )
         return rewritten, (
             "Theorem 1 holds (Algorithm 1: "
             + result.reason

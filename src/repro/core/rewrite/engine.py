@@ -5,10 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ...catalog.schema import Catalog
+from ...observe.audit import VERDICT, AuditTrail
+from ...observe.trace import NULL_SPAN, TRACER
 from ...sql.ast import Query, SelectQuery, SetOperation
 from ...sql.parser import parse_query
 from ...sql.printer import to_sql
-from ..uniqueness import UniquenessOptions
+from ..uniqueness import UniquenessOptions, test_uniqueness
 from .base import RewriteContext, RewriteStep, Rule
 from .distinct_elimination import DistinctElimination
 from .join_elimination import JoinElimination
@@ -47,6 +49,7 @@ class OptimizeResult:
 
     query: Query
     steps: list[RewriteStep] = field(default_factory=list)
+    audit: AuditTrail = field(default_factory=AuditTrail)
 
     @property
     def sql(self) -> str:
@@ -63,6 +66,11 @@ class OptimizeResult:
         if not self.steps:
             return "(no rewrites applied)"
         return "\n".join(step.describe() for step in self.steps)
+
+    def proof_sketch(self) -> str:
+        """The audit trail's theorem decisions — fired and rejected,
+        each with its witness — as a numbered proof sketch."""
+        return self.audit.proof_sketch()
 
 
 class Optimizer:
@@ -111,16 +119,73 @@ class Optimizer:
     # ------------------------------------------------------------------
 
     def optimize(self, query: Query | str) -> OptimizeResult:
-        """Rewrite *query* to a fixpoint; returns query + trace."""
+        """Rewrite *query* to a fixpoint; returns query + trace.
+
+        Every run collects an audit trail: each rule records its
+        theorem decision (fired or rejected, with the witness) via the
+        shared context, and queries no rule needed to touch still get a
+        standalone Algorithm 1 verdict — so every optimized query has a
+        documented uniqueness decision.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         result = OptimizeResult(query)
-        for _ in range(self.max_passes):
-            rewritten = self._pass(result.query, result.steps)
-            if rewritten is None:
-                break
-            result.query = rewritten
+        self.ctx.audit = result.audit
+        span_cm = (
+            TRACER.span("rewrite.optimize", sql=to_sql(query))
+            if TRACER.enabled
+            else NULL_SPAN
+        )
+        try:
+            with span_cm as span:
+                for _ in range(self.max_passes):
+                    rewritten = self._pass(result.query, result.steps)
+                    if rewritten is None:
+                        break
+                    result.query = rewritten
+                self._record_fallback_verdict(result)
+                if span:
+                    span.attributes["rules"] = (
+                        ", ".join(
+                            dict.fromkeys(step.rule for step in result.steps)
+                        )
+                        or "(none)"
+                    )
+        finally:
+            self.ctx.audit = None
         return result
+
+    def _record_fallback_verdict(self, result: OptimizeResult) -> None:
+        """Ensure the trail is never empty: when no rule recorded a
+        decision, run Algorithm 1 on the final form and file the
+        verdict (set operations get a structural note instead)."""
+        if result.audit.records:
+            return
+        query = result.query
+        if isinstance(query, SelectQuery):
+            verdict = test_uniqueness(query, self.ctx.catalog, self.ctx.options)
+            note = (
+                "projection is provably duplicate-free as written"
+                if verdict.unique
+                else f"projection may contain duplicates ({verdict.reason})"
+            )
+            result.audit.record(
+                "optimizer",
+                "Algorithm 1",
+                VERDICT,
+                to_sql(query),
+                note,
+                verdict.witness(),
+            )
+        else:
+            result.audit.record(
+                "optimizer",
+                "Algorithm 1",
+                VERDICT,
+                to_sql(query),
+                "set operation left as written; no operand examined by "
+                "any rule",
+            )
 
     def _pass(self, query: Query, steps: list[RewriteStep]) -> Query | None:
         """One optimization pass; returns the new query or None."""

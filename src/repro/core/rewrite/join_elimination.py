@@ -110,10 +110,25 @@ class JoinElimination(Rule):
         )
         other_schema = ctx.catalog.table(other_ref.name)
 
+        pairing = [
+            f"{other.qualifier}.{other.column} = {alias}.{target.column}"
+            for other, target in join_pairs
+        ]
         fk = self._matching_foreign_key(
             other_schema, target_schema, candidate.name, join_pairs
         )
         if fk is None:
+            ctx.record(
+                self.name,
+                "inclusion dependency",
+                "rejected",
+                query,
+                f"{alias} contributes nothing to the projection, but no "
+                "declared FOREIGN KEY covers the join pairing exactly "
+                "onto a candidate key, so a matching row is not "
+                "guaranteed",
+                {"join_pairing": pairing},
+            )
             return None
 
         # Compensate for nullable FK columns: NULL keys never joined.
@@ -133,6 +148,24 @@ class JoinElimination(Rule):
             tables=remaining,
             where=new_where if kept or compensations else None,
             order_by=query.order_by,
+        )
+        ctx.record(
+            self.name,
+            "inclusion dependency",
+            "fired",
+            query,
+            f"{other_alias}({', '.join(fk)}) references a candidate key "
+            f"of {candidate.name}: every row matches exactly one {alias} "
+            "tuple, so the join is eliminated (King's join elimination)",
+            {
+                "foreign_key": list(fk),
+                "join_pairing": pairing,
+                "compensations": [
+                    f"{other_alias}.{column} IS NOT NULL"
+                    for column in fk
+                    if other_schema.column(column).nullable
+                ],
+            },
         )
         return rewritten, (
             f"inclusion dependency {other_alias}({', '.join(fk)}) -> "

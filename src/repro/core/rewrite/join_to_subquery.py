@@ -109,12 +109,39 @@ class JoinToSubquery(Rule):
                 "each remaining row, so the join becomes a nested EXISTS "
                 "probe that can stop at the first match"
             )
+            ctx.record(
+                self.name,
+                "Theorem 2 (reversed)",
+                "fired",
+                query,
+                note,
+                uniqueness.witness(),
+            )
         elif query.distinct:
             note = (
                 f"the projection is DISTINCT and never mentions {alias}; "
                 "folding the table into EXISTS preserves the result"
             )
+            ctx.record(
+                self.name,
+                "DISTINCT observation (§6)",
+                "fired",
+                query,
+                note,
+                {"theorem2_reason": uniqueness.reason},
+            )
         else:
+            ctx.record(
+                self.name,
+                "Theorem 2 (reversed)",
+                "rejected",
+                query,
+                f"several {alias} tuples may join with one remaining row "
+                f"({uniqueness.reason}) and the projection keeps "
+                "duplicates, so folding the join would change the "
+                "multiset",
+                uniqueness.witness(),
+            )
             return None
 
         new_where = conjoin(outer_parts + [Exists(inner)])

@@ -41,19 +41,42 @@ class IntersectToExists(Rule):
         ):
             return None
 
+        kind = "Corollary 2 (INTERSECT ALL)" if query.all else "Theorem 3"
         if is_duplicate_free(left, ctx.catalog, ctx.options):
             rewritten = _build_exists(left, right, ctx, negated=False)
             if rewritten is None:
                 return None
             side = "left"
+            chosen = left
         elif is_duplicate_free(right, ctx.catalog, ctx.options):
             rewritten = _build_exists(right, left, ctx, negated=False)
             if rewritten is None:
                 return None
             side = "right"
+            chosen = right
         else:
+            ctx.record(
+                self.name,
+                kind,
+                "rejected",
+                query,
+                "neither operand is provably duplicate-free, so the "
+                "intersection keeps its sort-based evaluation",
+                {
+                    "left": _operand_witness(left, ctx),
+                    "right": _operand_witness(right, ctx),
+                },
+            )
             return None
-        kind = "Corollary 2 (INTERSECT ALL)" if query.all else "Theorem 3"
+        ctx.record(
+            self.name,
+            kind,
+            "fired",
+            query,
+            f"the {side} operand is duplicate-free, so the intersection "
+            "becomes an existential subquery with null-safe matching",
+            _operand_witness(chosen, ctx),
+        )
         return rewritten, (
             f"{kind}: the {side} operand is duplicate-free, so the "
             "intersection becomes an existential subquery with null-safe "
@@ -86,14 +109,49 @@ class ExceptToNotExists(Rule):
         ):
             return None
         if not is_duplicate_free(left, ctx.catalog, ctx.options):
+            ctx.record(
+                self.name,
+                "Theorem 3 (EXCEPT analogue)",
+                "rejected",
+                query,
+                "the left operand is not provably duplicate-free (EXCEPT "
+                "is not commutative, so only the left side can justify "
+                "the rewrite)",
+                {"left": _operand_witness(left, ctx)},
+            )
             return None
         rewritten = _build_exists(left, right, ctx, negated=True)
         if rewritten is None:
             return None
+        ctx.record(
+            self.name,
+            "Theorem 3 (EXCEPT analogue)",
+            "fired",
+            query,
+            "the left operand is duplicate-free, so the difference "
+            "becomes a NOT EXISTS filter with null-safe matching",
+            _operand_witness(left, ctx),
+        )
         return rewritten, (
             "the left operand is duplicate-free, so the difference becomes "
             "a NOT EXISTS filter with null-safe matching"
         )
+
+
+def _operand_witness(operand: SelectQuery, ctx: RewriteContext) -> dict:
+    """Audit evidence for one set-operation operand's uniqueness."""
+    if operand.distinct:
+        return {
+            "duplicate_free": True,
+            "reason": "DISTINCT block never produces duplicates",
+        }
+    from ..uniqueness import test_uniqueness
+
+    verdict = test_uniqueness(operand, ctx.catalog, ctx.options)
+    payload = verdict.witness()
+    payload["duplicate_free"] = verdict.unique
+    payload["reason"] = verdict.reason
+    return payload
 
 
 def _build_exists(

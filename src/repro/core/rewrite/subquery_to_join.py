@@ -81,12 +81,30 @@ class SubqueryToJoin(Rule):
             inner, outer, ctx.catalog, ctx.options
         )
         if uniqueness.at_most_one:
+            ctx.record(
+                self.name,
+                "Theorem 2",
+                "fired",
+                outer,
+                "the subquery matches at most one inner tuple per outer "
+                f"row ({uniqueness.reason}); flattened to a join",
+                uniqueness.witness(),
+            )
             return flattened, (
                 "Theorem 2: the subquery matches at most one inner tuple "
                 f"per outer row ({uniqueness.reason})"
             )
 
         if outer.distinct:
+            ctx.record(
+                self.name,
+                "DISTINCT observation (§5.2)",
+                "fired",
+                outer,
+                "the outer block eliminates duplicates, so flattening "
+                "the existential subquery is always valid",
+                {"theorem2_reason": uniqueness.reason},
+            )
             return flattened, (
                 "outer block eliminates duplicates, so flattening the "
                 "existential subquery is always valid"
@@ -96,10 +114,33 @@ class SubqueryToJoin(Rule):
         outer_unique = test_uniqueness(outer_without, ctx.catalog, ctx.options)
         if outer_unique.unique:
             distinct_join = flattened.with_quantifier(Quantifier.DISTINCT)
+            ctx.record(
+                self.name,
+                "Corollary 1",
+                "fired",
+                outer,
+                "the outer block is duplicate-free, so the subquery "
+                "converts to a DISTINCT join",
+                outer_unique.witness(),
+            )
             return distinct_join, (
                 "Corollary 1: the outer block is duplicate-free, so the "
                 "subquery converts to a DISTINCT join"
             )
+        ctx.record(
+            self.name,
+            "Theorem 2 / Corollary 1",
+            "rejected",
+            outer,
+            "every flattening precondition broke: the subquery may match "
+            f"several inner tuples ({uniqueness.reason}), the outer block "
+            "is not DISTINCT, and the outer block alone is not "
+            f"duplicate-free ({outer_unique.reason})",
+            {
+                "theorem2": uniqueness.witness(),
+                "corollary1": outer_unique.witness(),
+            },
+        )
         return None
 
 
@@ -138,6 +179,14 @@ class InToExists(Rule):
             parts = list(parts)
             parts[position] = Exists(exists_inner)
             rewritten = query.with_where(conjoin(parts))
+            ctx.record(
+                self.name,
+                "normalization",
+                "fired",
+                query,
+                "IN (subquery) normalized to correlated EXISTS so the "
+                "Theorem 2 flattening test can examine it",
+            )
             return rewritten, "IN (subquery) normalized to EXISTS"
         return None
 

@@ -35,6 +35,20 @@ class SubqueryUniqueness:
     def __bool__(self) -> bool:
         return self.at_most_one
 
+    def witness(self) -> dict:
+        """The evidence for the audit trail: the reason plus the
+        bound-attribute closure of each disjunctive term."""
+        payload: dict = {"reason": self.reason}
+        if self.terms:
+            payload["terms"] = [
+                {
+                    "term": f"E{i}",
+                    "bound_closure": sorted(str(a) for a in term),
+                }
+                for i, term in enumerate(self.terms, start=1)
+            ]
+        return payload
+
 
 def subquery_matches_at_most_one(
     inner: SelectQuery,

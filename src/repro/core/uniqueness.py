@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from ..cache import MISSING, LRUCache, safe_fingerprint
 from ..catalog.schema import Catalog
 from ..errors import UnsupportedQueryError
+from ..observe.trace import TRACER
 from ..resilience.faults import FAULTS, SITE_UNIQUENESS
 from ..sql.ast import Query, SelectQuery, SetOperation, SetOpKind
 from ..sql.expressions import Expr
@@ -141,6 +142,40 @@ class UniquenessResult:
             lines.append(f"term E{i}: V = {{{bound}}} -> {status}")
         return "\n".join(lines)
 
+    def witness(self) -> dict:
+        """The decision's evidence as plain serializable data — the
+        audit trail's record of *why* Algorithm 1 answered as it did:
+        the projection seed, every dropped CNF clause with its reason,
+        and the bound-attribute closure per disjunctive term (naming
+        the tables whose keys failed to bind, when any did)."""
+        from ..sql.printer import to_sql
+
+        payload: dict = {
+            "projection": sorted(str(a) for a in self.projection),
+        }
+        if self.dropped_clauses:
+            payload["dropped_clauses"] = [
+                {
+                    "clause": " OR ".join(to_sql(atom) for atom in clause),
+                    "why": why,
+                }
+                for clause, why in self.dropped_clauses
+            ]
+        terms = []
+        for i, term in enumerate(self.terms, start=1):
+            entry: dict = {
+                "term": f"E{i}",
+                "bound_closure": sorted(str(a) for a in term.bound),
+            }
+            if term.missing_tables:
+                entry["keys_missing_for"] = list(term.missing_tables)
+            else:
+                entry["keys_covered"] = True
+            terms.append(entry)
+        if terms:
+            payload["terms"] = terms
+        return payload
+
 
 #: Algorithm 1 verdicts, keyed (catalog fingerprint, query text, options).
 #: DDL bumps the catalog fingerprint, so re-registering a table — even
@@ -165,6 +200,22 @@ def test_uniqueness(
     # skips parsing as well as the analysis; ASTs key on their rendering.
     # Fail-closed: an uncomputable fingerprint skips the cache entirely.
     text = query if isinstance(query, str) else to_sql(query)
+    if not TRACER.enabled:
+        return _cached_test_uniqueness(query, text, catalog, options)
+    with TRACER.span("uniqueness.algorithm1", sql=text) as span:
+        result = _cached_test_uniqueness(query, text, catalog, options)
+        if span:
+            span.attributes["unique"] = result.unique
+        return result
+
+
+def _cached_test_uniqueness(
+    query: SelectQuery | str,
+    text: str,
+    catalog: Catalog,
+    options: UniquenessOptions,
+) -> UniquenessResult:
+    """The cache-lookup wrapper around the Algorithm 1 body."""
     key = None
     fingerprint = safe_fingerprint(catalog)
     if fingerprint is not None:

@@ -25,6 +25,7 @@ from ..errors import (
     ResourceError,
     UnknownTableError,
 )
+from ..observe.trace import NULL_SPAN, TRACER
 from ..resilience.budgets import ExecutionGuard
 from ..resilience.faults import FAULTS, SITE_OPERATOR
 from ..sql.ast import (
@@ -112,9 +113,17 @@ class Executor:
         """Execute *query* (AST or SQL text) and return its result."""
         if isinstance(query, str):
             query = parse_query(query)
-        names, schema, rows = self._query(query, outer=None)
-        rows = list(rows)
-        self.stats.rows_output += len(rows)
+        span_cm = (
+            TRACER.span("interpreter.execute", stats=self.stats)
+            if TRACER.enabled
+            else NULL_SPAN
+        )
+        with span_cm as span:
+            names, schema, rows = self._query(query, outer=None)
+            rows = list(rows)
+            self.stats.rows_output += len(rows)
+            if span:
+                span.attributes["rows"] = len(rows)
         return Result(names, rows)
 
     # ------------------------------------------------------------------

@@ -96,9 +96,18 @@ class PlanNode:
         """One-line description used by EXPLAIN output."""
         return type(self).__name__
 
-    def explain(self, indent: int = 0) -> str:
-        """A printable operator tree."""
-        lines = ["  " * indent + self.label()]
+    def explain(self, indent: int = 0, analysis=None) -> str:
+        """A printable operator tree.
+
+        With *analysis* (a :class:`~repro.observe.analyze.PlanAnalysis`
+        recorded by an instrumented execution of this exact tree), each
+        line is suffixed with actual rows/loops/time and the estimated
+        cardinality's q-error — EXPLAIN ANALYZE output.
+        """
+        line = "  " * indent + self.label()
+        if analysis is not None:
+            line += analysis.annotate(self)
+        lines = [line]
         for child in self.children():
-            lines.append(child.explain(indent + 1))
+            lines.append(child.explain(indent + 1, analysis))
         return "\n".join(lines)

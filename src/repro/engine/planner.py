@@ -23,6 +23,7 @@ from ..cache import safe_fingerprint
 from ..catalog.schema import Catalog
 from ..catalog.table import TableSchema
 from ..errors import ExecutionError, ReproError, ResourceError
+from ..observe.trace import NULL_SPAN, TRACER
 from ..resilience.budgets import ExecutionGuard
 from ..sql.ast import Query, SelectQuery, SetOperation
 from ..sql.expressions import (
@@ -506,8 +507,19 @@ def execute_plan(
         use_indexes=use_indexes,
         guard=guard,
     )
-    rows = list(plan.rows(ctx))
-    ctx.stats.rows_output += len(rows)
+    # One attribute test when tracing is off — the hot path stays bare.
+    span_cm = (
+        TRACER.span("plan.execute", stats=ctx.stats, root=plan.label())
+        if TRACER.enabled
+        else NULL_SPAN
+    )
+    with span_cm as span:
+        rows = list(plan.rows(ctx))
+        ctx.stats.rows_output += len(rows)
+        if span:
+            span.attributes["rows"] = len(rows)
+            if guard is not None:
+                span.attributes["guard_rows"] = guard.rows_processed
     return Result(plan.schema.output_names(), rows)
 
 
@@ -540,33 +552,52 @@ def execute_planned(
     stats = stats if stats is not None else Stats()
     cache = plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
     sql_text = query if isinstance(query, str) else to_sql(query)
-    plan = None
-    key = None
-    fingerprint = safe_fingerprint(database)
-    if fingerprint is None:
-        stats.cache_skips += 1
-    else:
-        key = (fingerprint, sql_text, options)
-        try:
-            plan = cache.lookup(key)
-        except ResourceError:
-            raise
-        except Exception:
-            stats.cache_skips += 1
-            key = None
-    if plan is None:
-        stats.plan_cache_misses += 1
-        planner = Planner(database.catalog, options, database=database)
-        plan = planner.plan(query)
-        if key is not None:
-            cache.store(key, plan)
-    else:
-        stats.plan_cache_hits += 1
-    return execute_plan(
-        plan,
-        database,
-        params=params,
-        stats=stats,
-        use_indexes=use_indexes,
-        guard=guard,
+    traced = TRACER.enabled  # one test up front; hot path stays bare
+    span_cm = (
+        TRACER.span("query.execute_planned", stats=stats, sql=sql_text)
+        if traced
+        else NULL_SPAN
     )
+    with span_cm as span:
+        plan = None
+        key = None
+        fingerprint = safe_fingerprint(database)
+        if fingerprint is None:
+            stats.cache_skips += 1
+        else:
+            key = (fingerprint, sql_text, options)
+            try:
+                if traced:
+                    with TRACER.span("plan_cache.lookup"):
+                        plan = cache.lookup(key)
+                else:
+                    plan = cache.lookup(key)
+            except ResourceError:
+                raise
+            except Exception:
+                stats.cache_skips += 1
+                key = None
+        if plan is None:
+            stats.plan_cache_misses += 1
+            if span:
+                span.attributes["plan_cache"] = "miss"
+            planner = Planner(database.catalog, options, database=database)
+            if traced:
+                with TRACER.span("planner.plan"):
+                    plan = planner.plan(query)
+            else:
+                plan = planner.plan(query)
+            if key is not None:
+                cache.store(key, plan)
+        else:
+            stats.plan_cache_hits += 1
+            if span:
+                span.attributes["plan_cache"] = "hit"
+        return execute_plan(
+            plan,
+            database,
+            params=params,
+            stats=stats,
+            use_indexes=use_indexes,
+            guard=guard,
+        )

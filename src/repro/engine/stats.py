@@ -78,16 +78,20 @@ class Stats:
 
     def snapshot(self) -> "Stats":
         """An independent copy of the current counter values."""
-        return Stats(**self.as_dict())
+        return type(self)(**self.as_dict())
+
+    # Arithmetic iterates fields(self) and constructs type(self), so a
+    # counter added later — including in a subclass — participates in
+    # merging automatically instead of being silently dropped.
 
     def __add__(self, other: "Stats") -> "Stats":
-        merged = Stats()
+        merged = type(self)()
         for f in fields(self):
             setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
         return merged
 
     def __sub__(self, other: "Stats") -> "Stats":
-        merged = Stats()
+        merged = type(self)()
         for f in fields(self):
             setattr(merged, f.name, getattr(self, f.name) - getattr(other, f.name))
         return merged

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..catalog.builder import CatalogBuilder
 from ..catalog.schema import Catalog
 from ..errors import ImsError, MissingHostVariableError, UnsupportedQueryError
+from ..observe.trace import NULL_SPAN, TRACER
 from ..resilience.retry import RetryPolicy, call_with_retry
 from ..engine.evaluator import Evaluator
 from ..engine.projection import resolve_projection
@@ -169,11 +170,24 @@ class ImsGateway:
             stats.retries += 1
             stats.reset_attempt()
 
-        return call_with_retry(
-            lambda: self._translate(query, params, stats),
-            policy=self.retry_policy,
-            on_retry=on_retry,
+        span_cm = (
+            TRACER.span("ims.execute") if TRACER.enabled else NULL_SPAN
         )
+        with span_cm as span:
+            result = call_with_retry(
+                lambda: self._translate(query, params, stats),
+                policy=self.retry_policy,
+                on_retry=on_retry,
+            )
+            if span:
+                span.attributes.update(
+                    strategy=stats.strategy,
+                    dli_calls=stats.dli.total_calls(),
+                    rows=len(result),
+                )
+                if stats.retries:
+                    span.attributes["retries"] = stats.retries
+        return result
 
     # ------------------------------------------------------------------
     # translation

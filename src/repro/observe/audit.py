@@ -1,0 +1,152 @@
+"""The rewrite audit trail: every uniqueness decision, with its witness.
+
+The paper's rewrites all hinge on a provable uniqueness property —
+Theorem 1 via Algorithm 1, Theorem 2's at-most-one-match test, Theorem
+3 / Corollary 2's duplicate-free operand.  A rule firing (or declining
+to fire) is therefore a *decision with evidence*: the bound-attribute
+closure per disjunctive term, the table whose key failed to bind, the
+flattening precondition that broke.  :class:`AuditTrail` records those
+decisions so ``optimize`` can print a human-readable proof sketch and
+tooling can assert which theorem justified each rewrite.
+
+Records are plain data (strings, dicts, lists) — no AST references —
+so trails serialize directly and survive the queries they describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Decision kinds: a rule applied, a rule examined-and-declined, or a
+#: standalone verdict recorded for completeness (e.g. Algorithm 1 on a
+#: query no rule needed to touch).
+FIRED = "fired"
+REJECTED = "rejected"
+VERDICT = "verdict"
+
+
+@dataclass
+class AuditRecord:
+    """One theorem/algorithm decision.
+
+    Attributes:
+        rule: the rewrite rule (or analysis) that made the decision.
+        theorem: the paper result invoked — "Theorem 1", "Theorem 2",
+            "Corollary 1", "Theorem 3", "Corollary 2", "Algorithm 1",
+            "inclusion dependency", or a normalization label.
+        decision: ``fired``, ``rejected``, or ``verdict``.
+        target: the SQL text the decision was made about.
+        note: one-sentence account of why.
+        witness: the evidence — bound closures, missing keys, dropped
+            clauses — as plain serializable data.
+    """
+
+    rule: str
+    theorem: str
+    decision: str
+    target: str
+    note: str
+    witness: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """The record as an indented multi-line block."""
+        lines = [f"[{self.decision.upper()}] {self.theorem} via {self.rule}: {self.note}"]
+        lines.append(f"  target: {self.target}")
+        for key, value in self.witness.items():
+            lines.append(f"  {key}: {_render(value)}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "theorem": self.theorem,
+            "decision": self.decision,
+            "target": self.target,
+            "note": self.note,
+            "witness": self.witness,
+        }
+
+    def _identity(self) -> tuple:
+        return (self.rule, self.theorem, self.decision, self.target, self.note)
+
+
+class AuditTrail:
+    """An ordered, deduplicated list of :class:`AuditRecord`.
+
+    The optimizer's fixpoint loop revisits queries, so identical
+    decisions recur across passes; the trail keeps the first occurrence
+    only (identity ignores the witness, which is derived from the same
+    inputs and therefore equal too).
+    """
+
+    def __init__(self) -> None:
+        self.records: list[AuditRecord] = []
+        self._seen: set[tuple] = set()
+
+    def record(
+        self,
+        rule: str,
+        theorem: str,
+        decision: str,
+        target: str,
+        note: str,
+        witness: dict[str, Any] | None = None,
+    ) -> AuditRecord:
+        """Append a decision (deduplicated); returns the record."""
+        entry = AuditRecord(
+            rule=rule,
+            theorem=theorem,
+            decision=decision,
+            target=target,
+            note=note,
+            witness=witness or {},
+        )
+        identity = entry._identity()
+        if identity not in self._seen:
+            self._seen.add(identity)
+            self.records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def fired(self) -> list[AuditRecord]:
+        """Records of rules that applied."""
+        return [r for r in self.records if r.decision == FIRED]
+
+    def rejected(self) -> list[AuditRecord]:
+        """Records of rules examined but declined, with the reason."""
+        return [r for r in self.records if r.decision == REJECTED]
+
+    def theorems_fired(self) -> list[str]:
+        """Theorem labels of the fired decisions, in order."""
+        return [r.theorem for r in self.fired()]
+
+    def proof_sketch(self) -> str:
+        """The trail as a numbered, human-readable proof sketch."""
+        if not self.records:
+            return "(no uniqueness decisions were made)"
+        blocks = []
+        for number, record in enumerate(self.records, start=1):
+            body = record.describe().replace("\n", "\n   ")
+            blocks.append(f"{number}. {body}")
+        return "\n".join(blocks)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-ready list of the records."""
+        return [record.to_dict() for record in self.records]
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, dict):
+        return "{" + ", ".join(
+            f"{k}: {_render(v)}" for k, v in value.items()
+        ) + "}"
+    if isinstance(value, (list, tuple)):
+        rendered = ", ".join(_render(item) for item in value)
+        return f"[{rendered}]"
+    return str(value)

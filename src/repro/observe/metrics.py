@@ -1,0 +1,182 @@
+"""Metrics registry: engine counters, cache rates, resilience events,
+and DL/I call counts, exportable as JSON or Prometheus-style text.
+
+Naming follows the Prometheus conventions: every metric is prefixed
+with the ``repro_`` namespace, cumulative counters end in ``_total``,
+point-in-time values are gauges, and dimensions ride in labels —
+``repro_ims_dli_calls_total{call="GNP",segment="PARTS"} 42``.  A
+registry can scope one query (``for_query``-style throwaway instances)
+or the whole process (:data:`PROCESS_METRICS`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+class MetricsRegistry:
+    """A flat store of named, labelled numeric series."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._values: dict[tuple[str, LabelKey], float] = {}
+
+    # -- primitives -----------------------------------------------------
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, Any]) -> tuple[str, LabelKey]:
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add *value* to the counter *name* (creating it at 0)."""
+        key = self._key(name, labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def set(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge (or sampled cumulative counter) *name*."""
+        self._values[self._key(name, labels)] = float(value)
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of a series (0.0 when never touched)."""
+        return self._values.get(self._key(name, labels), 0.0)
+
+    def series(self) -> Iterable[tuple[str, LabelKey, float]]:
+        """Every (name, labels, value), sorted for stable output."""
+        for (name, labels), value in sorted(self._values.items()):
+            yield name, labels, value
+
+    # -- recorders for the engine's own stat carriers -------------------
+
+    def record_stats(self, stats: Any, prefix: str = "engine") -> None:
+        """Fold a :class:`~repro.engine.stats.Stats` (or any object with
+        ``as_dict``) into ``<prefix>_<counter>_total`` counters."""
+        for counter, value in stats.as_dict().items():
+            if value:
+                self.inc(f"{prefix}_{counter}_total", value)
+
+    def record_caches(self, stats: dict[str, dict[str, int]] | None = None) -> None:
+        """Sample every registered cache's cumulative hit/miss counters
+        and current occupancy (:func:`repro.cache.cache_stats` shape)."""
+        if stats is None:
+            from ..cache import cache_stats  # deferred: keeps this module cycle-free
+
+            stats = cache_stats()
+        for cache_name, counters in stats.items():
+            self.set("cache_hits_total", counters["hits"], cache=cache_name)
+            self.set("cache_misses_total", counters["misses"], cache=cache_name)
+            self.set("cache_entries", counters["entries"], cache=cache_name)
+
+    def record_gateway(self, gateway_stats: Any) -> None:
+        """Fold one IMS gateway execution's :class:`GatewayStats`."""
+        for (call, segment), count in gateway_stats.dli.calls.items():
+            self.inc("ims_dli_calls_total", count, call=call, segment=segment)
+        if gateway_stats.retries:
+            self.inc("ims_retries_total", gateway_stats.retries)
+        if gateway_stats.strategy:
+            self.inc("ims_executions_total", 1, strategy=gateway_stats.strategy)
+        if gateway_stats.used_post_processing:
+            self.inc("ims_post_processed_total")
+            self.inc(
+                "ims_post_filter_evals_total", gateway_stats.post_filter_evals
+            )
+
+    def record_outcome(self, outcome: Any) -> None:
+        """Fold one guarded execution's resilience events."""
+        self.inc("queries_total")
+        if outcome.rewritten:
+            self.inc("queries_rewritten_total")
+        for rule in outcome.rules:
+            self.inc("rewrites_total", 1, rule=rule)
+        if outcome.verified:
+            self.inc("safe_mode_checks_total")
+        if outcome.mismatch:
+            self.inc("safe_mode_mismatches_total")
+            self.inc("cache_evictions_total", outcome.evicted)
+        for rule in outcome.quarantined:
+            self.inc("rules_quarantined_total", 1, rule=rule)
+
+    def record_audit(self, trail: Any) -> None:
+        """Count an audit trail's decisions by rule and outcome."""
+        for record in trail:
+            self.inc(
+                "rewrite_decisions_total",
+                1,
+                rule=record.rule,
+                decision=record.decision,
+            )
+
+    # -- export ---------------------------------------------------------
+
+    def full_name(self, name: str) -> str:
+        return f"{self.namespace}_{name}" if self.namespace else name
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``{rendered_series_name: value}`` mapping."""
+        flattened: dict[str, float] = {}
+        for name, labels, value in self.series():
+            flattened[self._render_series(name, labels)] = value
+        return flattened
+
+    def to_json(self) -> str:
+        payload = {
+            "namespace": self.namespace,
+            "metrics": [
+                {
+                    "name": self.full_name(name),
+                    "labels": dict(labels),
+                    "value": value,
+                }
+                for name, labels, value in self.series()
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one # TYPE per metric)."""
+        lines: list[str] = []
+        typed: set[str] = set()
+        for name, labels, value in self.series():
+            full = self.full_name(name)
+            if full not in typed:
+                typed.add(full)
+                kind = "counter" if name.endswith("_total") else "gauge"
+                lines.append(f"# TYPE {full} {kind}")
+            lines.append(f"{self._render_series(name, labels)} {_fmt(value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def write(self, path: str) -> str:
+        """Write this registry to *path*: ``.prom`` selects the
+        Prometheus text format, anything else gets JSON."""
+        text = (
+            self.to_prometheus()
+            if str(path).endswith(".prom")
+            else self.to_json()
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return path
+
+    def _render_series(self, name: str, labels: LabelKey) -> str:
+        full = self.full_name(name)
+        if not labels:
+            return full
+        rendered = ",".join(
+            f'{key}="{_escape(value)}"' for key, value in labels
+        )
+        return f"{full}{{{rendered}}}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if value == int(value) else repr(value)
+
+
+#: Process-lifetime registry — the CLI and bench harness fold per-query
+#: registries (or sample the caches) into this one.
+PROCESS_METRICS = MetricsRegistry()

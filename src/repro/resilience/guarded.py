@@ -33,6 +33,8 @@ from ..engine.planner import PlannerOptions, execute_planned
 from ..engine.result import Result
 from ..engine.stats import Stats
 from ..errors import RewriteMismatchError
+from ..observe.audit import AuditTrail
+from ..observe.trace import NULL_SPAN, TRACER
 from ..sql.ast import Query
 from ..sql.parser import parse_query
 from ..sql.printer import to_sql
@@ -72,6 +74,8 @@ class GuardedOutcome:
         mismatch: whether the cross-check caught a result change.
         quarantined: rule names quarantined by this execution.
         evicted: cache entries evicted after a mismatch.
+        audit: the optimizer's audit trail — every theorem decision
+            (fired or rejected, with witness) behind the rewrite.
     """
 
     result: Result
@@ -83,6 +87,7 @@ class GuardedOutcome:
     mismatch: bool = False
     quarantined: list[str] = field(default_factory=list)
     evicted: int = 0
+    audit: AuditTrail = field(default_factory=AuditTrail)
 
     def describe(self) -> str:
         """One line: rewrite trail, verification status, row count."""
@@ -152,66 +157,86 @@ def run_guarded(
         original_text = to_sql(query)
     if optimizer is None:
         optimizer = Optimizer.for_relational(database.catalog)
-    outcome = optimizer.optimize(parsed)
-
-    guard = budget.guard() if budget is not None else None
-    result = execute_planned(
-        outcome.query,
-        database,
-        params=params,
-        stats=stats,
-        options=planner_options,
-        use_indexes=use_indexes,
-        plan_cache=plan_cache,
-        guard=guard,
+    traced = TRACER.enabled  # one test when tracing is off
+    guarded_cm = (
+        TRACER.span(
+            "guarded.run", stats=stats, sql=original_text, safe_mode=safe_mode
+        )
+        if traced
+        else NULL_SPAN
     )
-    rules: list[str] = []
-    for step in outcome.steps:
-        if step.rule not in rules:
-            rules.append(step.rule)
-    out = GuardedOutcome(
-        result=result,
-        sql=to_sql(outcome.query),
-        rewritten=outcome.changed,
-        rules=rules,
-        stats=stats,
-    )
+    with guarded_cm as guarded_span:
+        outcome = optimizer.optimize(parsed)
 
-    if not (safe_mode and outcome.changed):
-        return out
-    if not _take_sample(original_text, sample_every):
-        return out
+        guard = budget.guard() if budget is not None else None
+        result = execute_planned(
+            outcome.query,
+            database,
+            params=params,
+            stats=stats,
+            options=planner_options,
+            use_indexes=use_indexes,
+            plan_cache=plan_cache,
+            guard=guard,
+        )
+        if guarded_span is not None and guard is not None:
+            guarded_span.attributes["guard_rows"] = guard.rows_processed
+        rules: list[str] = []
+        for step in outcome.steps:
+            if step.rule not in rules:
+                rules.append(step.rule)
+        out = GuardedOutcome(
+            result=result,
+            sql=to_sql(outcome.query),
+            rewritten=outcome.changed,
+            rules=rules,
+            stats=stats,
+            audit=outcome.audit,
+        )
 
-    out.verified = True
-    reference = execute_planned(
-        parsed,
-        database,
-        params=params,
-        stats=Stats(),
-        options=planner_options,
-        use_indexes=use_indexes,
-        plan_cache=plan_cache,
-        guard=budget.guard() if budget is not None else None,
-    )
-    if reference.same_rows(result):
-        return out
+        if not (safe_mode and outcome.changed):
+            return out
+        if not _take_sample(original_text, sample_every):
+            return out
 
-    # The rewrite changed the result multiset.  Quarantine the rules,
-    # purge every cache entry keyed on an involved query text (the
-    # poisoned verdict/plan/strategy entries all key on text), and serve
-    # the verified reference result.
-    texts = {original_text, out.sql}
-    for step in outcome.steps:
-        texts.add(to_sql(step.before))
-        texts.add(to_sql(step.after))
-    for text in texts:
-        out.evicted += evict_by_text(text)
-    for rule in rules:
-        quarantine_rule(rule, f"safe-mode mismatch on {original_text!r}")
-    out.mismatch = True
-    out.quarantined = list(rules)
-    out.result = reference
-    out.sql = original_text
-    if strict:
-        raise RewriteMismatchError(rules, original_text)
-    return out
+        out.verified = True
+        cross_cm = (
+            TRACER.span("guarded.cross_check", sql=original_text)
+            if traced
+            else NULL_SPAN
+        )
+        with cross_cm:
+            reference = execute_planned(
+                parsed,
+                database,
+                params=params,
+                stats=Stats(),
+                options=planner_options,
+                use_indexes=use_indexes,
+                plan_cache=plan_cache,
+                guard=budget.guard() if budget is not None else None,
+            )
+        if reference.same_rows(result):
+            return out
+
+        # The rewrite changed the result multiset.  Quarantine the rules,
+        # purge every cache entry keyed on an involved query text (the
+        # poisoned verdict/plan/strategy entries all key on text), and
+        # serve the verified reference result.
+        texts = {original_text, out.sql}
+        for step in outcome.steps:
+            texts.add(to_sql(step.before))
+            texts.add(to_sql(step.after))
+        for text in texts:
+            out.evicted += evict_by_text(text)
+        for rule in rules:
+            quarantine_rule(rule, f"safe-mode mismatch on {original_text!r}")
+        out.mismatch = True
+        out.quarantined = list(rules)
+        if guarded_span is not None:
+            guarded_span.attributes["mismatch"] = True
+        out.result = reference
+        out.sql = original_text
+        if strict:
+            raise RewriteMismatchError(rules, original_text)
+        return out

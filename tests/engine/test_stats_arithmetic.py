@@ -1,0 +1,108 @@
+"""Stats arithmetic: add/sub/snapshot/reset and the merging invariant.
+
+The invariant under test: counter arithmetic is field-generic
+(``fields(self)``) and type-preserving (``type(self)()``), so a counter
+added later — in :class:`Stats` itself or in a subclass — participates
+in ``+``/``-``/``snapshot`` automatically instead of being silently
+dropped.  Span stats deltas and bench report merging both rely on it.
+"""
+
+from dataclasses import dataclass, fields
+
+from repro.engine import Stats
+
+
+def numbered_stats(offset: int = 0) -> Stats:
+    """A Stats whose counters are distinct, field-order-derived values."""
+    stats = Stats()
+    for index, f in enumerate(fields(stats), start=1):
+        setattr(stats, f.name, index + offset)
+    return stats
+
+
+class TestArithmetic:
+    def test_add_sums_every_field(self):
+        total = numbered_stats() + numbered_stats(offset=100)
+        for index, f in enumerate(fields(total), start=1):
+            assert getattr(total, f.name) == 2 * index + 100, f.name
+
+    def test_sub_is_the_inverse_of_add(self):
+        a, b = numbered_stats(), numbered_stats(offset=100)
+        assert (a + b) - b == a
+
+    def test_delta_pattern_isolates_work(self):
+        # The span-delta idiom: snapshot, work, snapshot-subtract.
+        stats = numbered_stats()
+        before = stats.snapshot()
+        stats.rows_scanned += 5
+        stats.sorts += 1
+        delta = stats.snapshot() - before
+        assert delta.rows_scanned == 5
+        assert delta.sorts == 1
+        assert all(
+            getattr(delta, f.name) == 0
+            for f in fields(delta)
+            if f.name not in ("rows_scanned", "sorts")
+        )
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_an_independent_copy(self):
+        stats = numbered_stats()
+        copy = stats.snapshot()
+        stats.rows_scanned += 99
+        assert copy.rows_scanned == 1
+        assert copy == numbered_stats()
+
+    def test_reset_zeroes_every_field(self):
+        stats = numbered_stats()
+        stats.reset()
+        assert stats == Stats()
+        assert all(value == 0 for value in stats.as_dict().values())
+
+    def test_as_dict_covers_every_field(self):
+        stats = numbered_stats()
+        assert set(stats.as_dict()) == {f.name for f in fields(stats)}
+
+
+class TestDescribe:
+    def test_describe_lists_nonzero_counters_only(self):
+        stats = Stats(rows_scanned=2, sorts=1)
+        assert stats.describe() == "rows_scanned=2, sorts=1"
+
+    def test_describe_of_idle_stats(self):
+        assert Stats().describe() == "(no work recorded)"
+
+
+@dataclass
+class ExtendedStats(Stats):
+    """A Stats with a counter the base class has never heard of."""
+
+    warp_drives_engaged: int = 0
+
+
+class TestMergingInvariant:
+    """Counters added later must not be silently dropped."""
+
+    def test_subclass_arithmetic_preserves_the_new_counter(self):
+        a = ExtendedStats(rows_scanned=1, warp_drives_engaged=2)
+        b = ExtendedStats(rows_scanned=10, warp_drives_engaged=5)
+        total = a + b
+        assert type(total) is ExtendedStats
+        assert total.rows_scanned == 11
+        assert total.warp_drives_engaged == 7
+        delta = b - a
+        assert delta.warp_drives_engaged == 3
+
+    def test_subclass_snapshot_round_trips_the_new_counter(self):
+        stats = ExtendedStats(warp_drives_engaged=4)
+        copy = stats.snapshot()
+        assert type(copy) is ExtendedStats
+        assert copy.warp_drives_engaged == 4
+        stats.reset()
+        assert stats.warp_drives_engaged == 0
+
+    def test_subclass_describe_and_as_dict_see_the_new_counter(self):
+        stats = ExtendedStats(warp_drives_engaged=1)
+        assert stats.as_dict()["warp_drives_engaged"] == 1
+        assert "warp_drives_engaged=1" in stats.describe()

@@ -1,8 +1,11 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.observe import tracing_enabled
 
 
 EX1 = (
@@ -130,6 +133,147 @@ class TestRun:
         code = main(["run", "--param", "oops", "SELECT SNO FROM SUPPLIER"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_run_analyze_annotates_the_plan_and_prints_the_audit(
+        self, capsys
+    ):
+        code = main(["run", "--analyze", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EXPLAIN ANALYZE:" in out
+        assert "actual rows=" in out and "q-error=" in out
+        assert "rewrite audit:" in out
+        assert "Theorem 1" in out
+
+    def test_run_trace_prints_the_span_tree_and_restores_state(
+        self, capsys
+    ):
+        code = main(["run", "--trace", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out
+        assert "query.execute_planned" in out
+        assert "plan.execute" in out
+        assert not tracing_enabled()  # the flag never leaks process-wide
+
+    def test_run_json_emits_one_machine_readable_object(self, capsys):
+        code = main(["run", "--json", "--analyze", "--trace", EX1])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["rewritten"] is True
+        assert payload["rules"] == ["distinct-elimination"]
+        assert payload["row_count"] == len(payload["rows"])
+        assert payload["stats"]["rows_scanned"] > 0
+        assert payload["plan"]["plan"]["loops"] == 1
+        assert payload["audit"][0]["theorem"] == "Theorem 1"
+        assert payload["trace"]  # spans were collected
+
+    def test_run_json_encodes_null_values_as_null(self, tmp_path, capsys):
+        script = tmp_path / "db.sql"
+        script.write_text(
+            "CREATE TABLE T (A INT, B INT, PRIMARY KEY (A));"
+            "INSERT INTO T VALUES (1, NULL);"
+        )
+        code = main(
+            ["run", "--json", "--script", str(script), "SELECT A, B FROM T"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["rows"] == [[1, None]]
+
+    def test_run_metrics_out_prometheus(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        code = main(["run", "--metrics-out", str(path), EX1])
+        assert code == 0
+        text = path.read_text()
+        assert "# TYPE repro_engine_rows_scanned_total counter" in text
+        assert "repro_queries_rewritten_total 1" in text
+        assert 'rule="distinct-elimination"' in text
+        assert str(path) in capsys.readouterr().err
+
+    def test_run_metrics_out_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["run", "--metrics-out", str(path), EX1]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["namespace"] == "repro"
+        names = {entry["name"] for entry in payload["metrics"]}
+        assert "repro_queries_total" in names
+
+    def test_check_json_reports_verdict_and_witness(self, capsys):
+        code = main(["check", "--json", EX1])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["unique"] is True
+        assert payload["witness"]["projection"]
+
+        code = main(["check", "--json", "SELECT DISTINCT SNAME FROM SUPPLIER"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["unique"] is False
+        assert payload["witness"]["terms"][0]["keys_missing_for"] == [
+            "SUPPLIER"
+        ]
+
+    def test_optimize_prints_the_proof_sketch(self, capsys):
+        assert main(["optimize", EX1]) == 0
+        out = capsys.readouterr().out
+        assert "proof sketch:" in out
+        assert "[FIRED] Theorem 1" in out
+
+
+class TestExplain:
+    def test_explain_shows_rewrite_plan_and_audit(self, capsys):
+        code = main(["explain", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rewritten via distinct-elimination" in out
+        assert "physical plan:" in out
+        assert "HashJoin" in out
+        assert "rewrite audit:" in out
+        assert "[FIRED] Theorem 1" in out
+
+    def test_explain_analyze_executes_once_instrumented(self, capsys):
+        code = main(["explain", "--analyze", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EXPLAIN ANALYZE:" in out
+        assert "actual rows=" in out
+        assert "| " not in out  # no result table: explain prints no rows
+
+    def test_explain_navigational_profile_with_params(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--profile",
+                "navigational",
+                "--param",
+                "PARTNO=3",
+                "SELECT ALL S.* FROM SUPPLIER S, PARTS P "
+                "WHERE S.SNO = P.SNO AND P.PNO = :PARTNO",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rewritten via join-to-subquery" in out
+        assert "Theorem 2 (reversed)" in out
+
+    def test_explain_json(self, capsys):
+        code = main(["explain", "--json", "--analyze", EX1])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["rules"] == ["distinct-elimination"]
+        assert payload["plan"]["plan"]["actual_rows"] >= 0
+        assert payload["audit"][0]["decision"] == "fired"
+
+    def test_explain_no_optimize_skips_the_audit(self, capsys):
+        code = main(["explain", "--no-optimize", EX1])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rewrite audit:" not in out
+        assert "Distinct" in out  # the DISTINCT survives unrewritten
 
 
 class TestDemo:

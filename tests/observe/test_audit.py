@@ -1,0 +1,109 @@
+"""The rewrite audit trail: records, dedup, and the proof sketch."""
+
+import json
+
+from repro.observe.audit import (
+    AuditRecord,
+    AuditTrail,
+    FIRED,
+    REJECTED,
+    VERDICT,
+)
+
+
+def make_trail() -> AuditTrail:
+    trail = AuditTrail()
+    trail.record(
+        "distinct-elimination",
+        "Theorem 1",
+        FIRED,
+        "SELECT DISTINCT SNO FROM SUPPLIER",
+        "Algorithm 1 answers YES",
+        {"projection": ["SUPPLIER.SNO"]},
+    )
+    trail.record(
+        "intersect-to-exists",
+        "Theorem 3",
+        REJECTED,
+        "... INTERSECT ...",
+        "neither operand is duplicate-free",
+        {"left": {"duplicate_free": False}},
+    )
+    return trail
+
+
+class TestRecording:
+    def test_fired_and_rejected_partition_the_trail(self):
+        trail = make_trail()
+        assert len(trail) == 2
+        assert [r.theorem for r in trail.fired()] == ["Theorem 1"]
+        assert [r.theorem for r in trail.rejected()] == ["Theorem 3"]
+        assert trail.theorems_fired() == ["Theorem 1"]
+
+    def test_identical_decisions_are_deduplicated(self):
+        trail = make_trail()
+        # The fixpoint loop revisits queries: same decision, same note.
+        trail.record(
+            "distinct-elimination",
+            "Theorem 1",
+            FIRED,
+            "SELECT DISTINCT SNO FROM SUPPLIER",
+            "Algorithm 1 answers YES",
+            {"projection": ["SUPPLIER.SNO"]},
+        )
+        assert len(trail) == 2
+
+    def test_differing_notes_are_distinct_decisions(self):
+        trail = make_trail()
+        trail.record(
+            "distinct-elimination",
+            "Theorem 1",
+            FIRED,
+            "SELECT DISTINCT SNO FROM SUPPLIER",
+            "a different justification",
+        )
+        assert len(trail) == 3
+
+    def test_verdict_records_count_as_neither_fired_nor_rejected(self):
+        trail = AuditTrail()
+        trail.record("optimizer", "Algorithm 1", VERDICT, "SELECT ...", "note")
+        assert trail.fired() == [] and trail.rejected() == []
+        assert len(trail) == 1
+
+
+class TestProofSketch:
+    def test_empty_trail_reads_as_no_decisions(self):
+        assert AuditTrail().proof_sketch() == (
+            "(no uniqueness decisions were made)"
+        )
+
+    def test_sketch_numbers_records_and_names_theorems(self):
+        sketch = make_trail().proof_sketch()
+        assert sketch.startswith("1. [FIRED] Theorem 1")
+        assert "\n2. [REJECTED] Theorem 3" in sketch
+        assert "target: SELECT DISTINCT SNO FROM SUPPLIER" in sketch
+
+    def test_describe_renders_the_witness(self):
+        record = AuditRecord(
+            rule="r",
+            theorem="Theorem 2",
+            decision=FIRED,
+            target="q",
+            note="why",
+            witness={"terms": [{"term": "E1", "bound_closure": ["P.PNO"]}]},
+        )
+        text = record.describe()
+        assert "terms: [{term: E1, bound_closure: [P.PNO]}]" in text
+
+
+class TestSerialization:
+    def test_to_dicts_roundtrips_through_json(self):
+        payload = make_trail().to_dicts()
+        restored = json.loads(json.dumps(payload))
+        assert restored == payload
+        assert restored[0]["decision"] == FIRED
+        assert restored[0]["witness"]["projection"] == ["SUPPLIER.SNO"]
+
+    def test_iteration_yields_records_in_order(self):
+        decisions = [record.decision for record in make_trail()]
+        assert decisions == [FIRED, REJECTED]

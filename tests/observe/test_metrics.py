@@ -1,0 +1,143 @@
+"""The metrics registry: recording, naming, and export formats."""
+
+import json
+from types import SimpleNamespace
+
+from repro.engine import Stats
+from repro.observe import AuditTrail, MetricsRegistry
+from repro.observe.audit import FIRED, REJECTED
+
+
+class TestPrimitives:
+    def test_inc_accumulates_and_value_defaults_to_zero(self):
+        registry = MetricsRegistry()
+        assert registry.value("queries_total") == 0.0
+        registry.inc("queries_total")
+        registry.inc("queries_total", 2)
+        assert registry.value("queries_total") == 3.0
+
+    def test_labels_distinguish_series_and_sort_canonically(self):
+        registry = MetricsRegistry()
+        registry.inc("calls_total", 1, segment="PARTS", call="GU")
+        registry.inc("calls_total", 1, call="GU", segment="PARTS")
+        registry.inc("calls_total", 1, call="GN", segment="PARTS")
+        assert registry.value("calls_total", call="GU", segment="PARTS") == 2.0
+        assert registry.value("calls_total", call="GN", segment="PARTS") == 1.0
+
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set("cache_entries", 5, cache="plans")
+        registry.set("cache_entries", 2, cache="plans")
+        assert registry.value("cache_entries", cache="plans") == 2.0
+
+
+class TestRecorders:
+    def test_record_stats_keeps_nonzero_counters_only(self):
+        stats = Stats(rows_scanned=7, sorts=0, rows_output=3)
+        registry = MetricsRegistry()
+        registry.record_stats(stats)
+        assert registry.value("engine_rows_scanned_total") == 7.0
+        assert registry.value("engine_rows_output_total") == 3.0
+        assert "repro_engine_sorts_total" not in registry.as_dict()
+
+    def test_record_caches_accepts_an_explicit_snapshot(self):
+        registry = MetricsRegistry()
+        registry.record_caches(
+            {"plans": {"hits": 4, "misses": 1, "entries": 2}}
+        )
+        assert registry.value("cache_hits_total", cache="plans") == 4.0
+        assert registry.value("cache_misses_total", cache="plans") == 1.0
+        assert registry.value("cache_entries", cache="plans") == 2.0
+
+    def test_record_outcome_counts_resilience_events(self):
+        outcome = SimpleNamespace(
+            rewritten=True,
+            rules=["distinct-elimination"],
+            verified=True,
+            mismatch=True,
+            evicted=3,
+            quarantined=["distinct-elimination"],
+        )
+        registry = MetricsRegistry()
+        registry.record_outcome(outcome)
+        assert registry.value("queries_total") == 1.0
+        assert registry.value("queries_rewritten_total") == 1.0
+        assert (
+            registry.value("rewrites_total", rule="distinct-elimination")
+            == 1.0
+        )
+        assert registry.value("safe_mode_mismatches_total") == 1.0
+        assert registry.value("cache_evictions_total") == 3.0
+        assert (
+            registry.value(
+                "rules_quarantined_total", rule="distinct-elimination"
+            )
+            == 1.0
+        )
+
+    def test_record_audit_counts_decisions_by_rule_and_outcome(self):
+        trail = AuditTrail()
+        trail.record("distinct-elimination", "Theorem 1", FIRED, "q1", "n1")
+        trail.record("distinct-elimination", "Theorem 1", REJECTED, "q2", "n2")
+        registry = MetricsRegistry()
+        registry.record_audit(trail)
+        assert (
+            registry.value(
+                "rewrite_decisions_total",
+                rule="distinct-elimination",
+                decision=FIRED,
+            )
+            == 1.0
+        )
+        assert (
+            registry.value(
+                "rewrite_decisions_total",
+                rule="distinct-elimination",
+                decision=REJECTED,
+            )
+            == 1.0
+        )
+
+
+class TestExport:
+    def test_prometheus_types_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.inc("queries_total", 2)
+        registry.set("cache_entries", 5, cache="plans")
+        text = registry.to_prometheus()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_queries_total 2" in text
+        assert "# TYPE repro_cache_entries gauge" in text
+        assert 'repro_cache_entries{cache="plans"} 5' in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.inc("odd_total", 1, text='he said "hi" \\ bye')
+        assert '\\"hi\\" \\\\ bye' in registry.to_prometheus()
+
+    def test_json_export_carries_labels_separately(self):
+        registry = MetricsRegistry()
+        registry.inc("calls_total", 4, call="GU", segment="PARTS")
+        payload = json.loads(registry.to_json())
+        assert payload["namespace"] == "repro"
+        (series,) = payload["metrics"]
+        assert series == {
+            "name": "repro_calls_total",
+            "labels": {"call": "GU", "segment": "PARTS"},
+            "value": 4.0,
+        }
+
+    def test_write_selects_format_by_extension(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("queries_total")
+        prom = tmp_path / "metrics.prom"
+        registry.write(str(prom))
+        assert prom.read_text().startswith("# TYPE repro_queries_total")
+        as_json = tmp_path / "metrics.json"
+        registry.write(str(as_json))
+        assert json.loads(as_json.read_text())["namespace"] == "repro"
+
+    def test_as_dict_renders_series_names(self):
+        registry = MetricsRegistry(namespace="x")
+        registry.inc("a_total", 1, k="v")
+        assert registry.as_dict() == {'x_a_total{k="v"}': 1.0}

@@ -1,0 +1,204 @@
+"""Trace spans: nesting, stats deltas, budgets, and the disabled path."""
+
+import pytest
+
+from repro.observe.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    TRACER,
+    set_tracing,
+    tracing_enabled,
+)
+
+
+class FakeStats:
+    """Duck-typed stats sink (snapshot/sub/describe/as_dict)."""
+
+    def __init__(self, value=0):
+        self.value = value
+
+    def snapshot(self):
+        return FakeStats(self.value)
+
+    def __sub__(self, other):
+        return FakeStats(self.value - other.value)
+
+    def describe(self):
+        return f"value={self.value}" if self.value else "(no work recorded)"
+
+    def as_dict(self):
+        return {"value": self.value}
+
+
+def enabled_tracer(**kwargs) -> Tracer:
+    tracer = Tracer(**kwargs)
+    tracer.enabled = True
+    return tracer
+
+
+class TestSpanNesting:
+    def test_children_attach_to_the_enclosing_span(self):
+        tracer = enabled_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == [
+            "inner.a", "inner.b",
+        ]
+
+    def test_elapsed_is_positive_and_walk_is_preorder(self):
+        tracer = enabled_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        root = tracer.last_root()
+        assert root.elapsed > 0
+        assert [span.name for span in root.walk()] == ["a", "b"]
+
+    def test_separate_top_level_spans_become_separate_roots(self):
+        tracer = enabled_tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+
+class TestStatsDelta:
+    def test_span_records_the_counter_delta(self):
+        tracer = enabled_tracer()
+        stats = FakeStats(10)
+        with tracer.span("work", stats=stats):
+            stats.value += 7
+        assert tracer.last_root().stats_delta.value == 7
+
+    def test_delta_excludes_work_outside_the_span(self):
+        tracer = enabled_tracer()
+        stats = FakeStats()
+        stats.value += 100
+        with tracer.span("work", stats=stats):
+            stats.value += 1
+        stats.value += 100
+        assert tracer.last_root().stats_delta.value == 1
+
+
+class TestErrors:
+    def test_exception_is_recorded_and_not_suppressed(self):
+        tracer = enabled_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        root = tracer.last_root()
+        assert root.attributes["error"] == "ValueError"
+        assert root.ended > 0  # the span still closed
+
+    def test_exception_unwinds_past_open_children(self):
+        tracer = enabled_tracer()
+        outer_cm = tracer.span("outer")
+        inner_cm = tracer.span("inner")
+        outer_cm.__enter__()
+        inner_cm.__enter__()
+        # Exit the outer span without exiting the inner one, as an
+        # exception raised between the two __exit__ calls would.
+        outer_cm.__exit__(RuntimeError, RuntimeError("x"), None)
+        assert tracer._stack == []
+        assert tracer.last_root().name == "outer"
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_returns_the_shared_null_span(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is NULL_SPAN
+
+    def test_null_span_enters_to_none(self):
+        with NULL_SPAN as span:
+            assert span is None
+
+    def test_set_tracing_returns_the_previous_state(self):
+        previous = set_tracing(True)
+        try:
+            assert tracing_enabled()
+            assert set_tracing(False) is True
+            assert not tracing_enabled()
+        finally:
+            set_tracing(previous)
+            TRACER.clear()
+
+
+class TestBudgets:
+    def test_span_budget_truncates_instead_of_growing(self):
+        tracer = enabled_tracer(max_spans=2)
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        assert tracer.span("three") is NULL_SPAN
+        assert tracer.truncated == 1
+        assert "dropped over budget" in tracer.render()
+
+    def test_clear_resets_spans_and_budget(self):
+        tracer = enabled_tracer(max_spans=1)
+        with tracer.span("one"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        with tracer.span("again"):
+            pass
+        assert tracer.last_root().name == "again"
+
+    def test_attach_adopts_a_finished_subtree(self):
+        tracer = enabled_tracer()
+        synthetic = Span("operator.SeqScan")
+        synthetic.children.append(Span("operator.Filter"))
+        with tracer.span("execute"):
+            tracer.attach(synthetic)
+        root = tracer.last_root()
+        assert [span.name for span in root.walk()] == [
+            "execute", "operator.SeqScan", "operator.Filter",
+        ]
+
+    def test_attach_respects_the_span_budget(self):
+        tracer = enabled_tracer(max_spans=1)
+        with tracer.span("execute"):
+            subtree = Span("a")
+            subtree.children.append(Span("b"))
+            tracer.attach(subtree)
+        assert tracer.truncated == 2
+        assert tracer.last_root().children == []
+
+
+class TestRendering:
+    def test_render_includes_attributes_and_stats(self):
+        tracer = enabled_tracer()
+        stats = FakeStats()
+        with tracer.span("query", stats=stats, sql="SELECT 1") as span:
+            stats.value += 3
+            span.attributes["rows"] = 3
+        text = tracer.render()
+        assert "query" in text
+        assert "sql=SELECT 1" in text
+        assert "rows=3" in text
+        assert "value=3" in text
+
+    def test_render_without_spans(self):
+        assert Tracer().render() == "(no spans recorded)"
+
+    def test_to_dicts_is_json_ready(self):
+        import json
+
+        tracer = enabled_tracer()
+        stats = FakeStats()
+        with tracer.span("outer", stats=stats):
+            stats.value += 1
+            with tracer.span("inner"):
+                pass
+        (payload,) = tracer.to_dicts()
+        json.dumps(payload)  # must not raise
+        assert payload["name"] == "outer"
+        assert payload["stats"] == {"value": 1}
+        assert payload["children"][0]["name"] == "inner"
