@@ -44,6 +44,7 @@ from .core import (
 from .engine import (
     Database,
     Executor,
+    ParallelOptions,
     Planner,
     PlannerOptions,
     Result,
@@ -59,6 +60,9 @@ from .errors import (
     ResourceError,
     RewriteMismatchError,
     RowBudgetExceeded,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceShutdownError,
     TransientImsError,
 )
 from .resilience import (
@@ -81,6 +85,7 @@ from .observe import (
     tracing_enabled,
 )
 from .resilience.guarded import GuardedOutcome, run_guarded
+from .service import QueryService, QueryTicket, Session
 from .sql import parse, parse_query, parse_script, to_sql
 from .types import NULL
 
@@ -104,9 +109,12 @@ __all__ = [
     "OptimizeResult",
     "Optimizer",
     "PROCESS_METRICS",
+    "ParallelOptions",
     "Planner",
     "PlannerOptions",
     "QueryCancelled",
+    "QueryService",
+    "QueryTicket",
     "QueryTimeout",
     "ReproError",
     "ResourceBudget",
@@ -115,6 +123,10 @@ __all__ = [
     "RetryPolicy",
     "RewriteMismatchError",
     "RowBudgetExceeded",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceShutdownError",
+    "Session",
     "Stats",
     "TRACER",
     "TableSchema",

@@ -19,10 +19,19 @@ expose ``Catalog.fingerprint()`` (bumped by DDL) and databases
 stale entry can never be returned — after a DDL or data mutation the
 key simply no longer matches.  Entries for dead fingerprints age out of
 the LRU naturally.
+
+Concurrency contract: every cache is shared by all sessions of a
+:class:`~repro.service.QueryService`, so each instance carries its own
+leaf lock (see DESIGN.md §3e for the locking order).  The lock is held
+only for dictionary bookkeeping — never while computing a value — so
+two sessions may race to *compute* the same entry, but an entry, once
+stored, is never lost or half-written, and the hit/miss counters never
+drop an update.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Iterator
 
@@ -61,6 +70,12 @@ class LRUCache:
     every :meth:`get` misses (without counting) and :meth:`put` is a
     no-op, which is what lets benchmarks time the uncached path without
     tearing the caches down.
+
+    Thread safety: every method is guarded by a per-cache lock, so
+    concurrent get/put from service workers cannot corrupt the LRU
+    order, lose entries, or drop counter updates.  The lock is a leaf
+    in the process locking order — nothing else is ever acquired while
+    it is held.
     """
 
     def __init__(self, name: str, maxsize: int = 512) -> None:
@@ -71,6 +86,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
         _registry.append(self)
 
     def __len__(self) -> int:
@@ -80,27 +96,30 @@ class LRUCache:
         """The cached value for *key*, or :data:`MISSING`."""
         if not _enabled:
             return MISSING
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return MISSING
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return MISSING
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store *value* under *key*, evicting the oldest past maxsize."""
         if not _enabled:
             return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def evict_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose *key* satisfies *predicate*.
@@ -110,24 +129,27 @@ class LRUCache:
         evicting by query text removes it for every fingerprint.
         Returns the number of entries dropped.
         """
-        doomed = [key for key in self._data if predicate(key)]
-        for key in doomed:
-            del self._data[key]
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            return len(doomed)
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters."""
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, int]:
         """Counters and occupancy as a plain dictionary."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._data),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._data),
+                "maxsize": self.maxsize,
+            }
 
 
 def iter_caches() -> Iterator[LRUCache]:

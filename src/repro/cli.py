@@ -11,11 +11,16 @@ Usage::
                              [--safe-mode] [--param NAME=VALUE ...]
                              [--trace] [--analyze] [--json]
                              [--metrics-out FILE]
+                             [--workers N] [--parallel-scan]
                              "SELECT ..."
     python -m repro explain  [--script DB.sql | --demo]
                              [--profile relational|navigational]
                              [--no-optimize] [--analyze] [--json]
                              [--param NAME=VALUE ...] "SELECT ..."
+    python -m repro serve    [--script DB.sql | --demo] [--file FILE]
+                             [--workers N] [--queue-depth N]
+                             [--parallel-scan] [--timeout SECONDS]
+                             [--row-budget N] [--safe-mode] [--json]
     python -m repro demo
 
 * ``check`` runs Algorithm 1 and prints the paper-style trace
@@ -35,12 +40,22 @@ Usage::
 * ``explain`` shows the rewrite audit and the physical plan without
   printing rows; with ``--analyze`` the plan is annotated with actuals
   from one instrumented execution.
+* ``serve`` runs a batch of queries (one per line, from ``--file`` or
+  stdin) through the embedded :class:`~repro.service.QueryService` —
+  ``--workers`` query threads, a ``--queue-depth``-bounded admission
+  queue, and optional per-query morsel parallelism.
 * ``demo`` walks through the paper's worked examples.
+
+``run`` additionally accepts ``--workers N`` (morsel worker threads for
+partition-parallel scans and hash joins; 1 = serial) and
+``--parallel-scan`` (drop the row-count cost gate so even small inputs
+take the morsel paths — mainly for demos and tests).
 
 Exit codes: 0 success (for ``check``: verdict YES), 1 ``check`` verdict
 NO, 2 generic library error, 3 other resource-budget error, 4 query
 timeout, 5 row budget exceeded, 6 query cancelled, 7 transient IMS
-failure with retries exhausted, 8 safe-mode rewrite mismatch.
+failure with retries exhausted, 8 safe-mode rewrite mismatch, 9 service
+admission queue overloaded.
 """
 
 from __future__ import annotations
@@ -52,7 +67,13 @@ from typing import Any, Sequence
 
 from .catalog import Catalog
 from .core import Optimizer, UniquenessOptions, test_uniqueness
-from .engine import Database, Planner, Stats, execute_planned
+from .engine import (
+    Database,
+    ParallelOptions,
+    Planner,
+    Stats,
+    execute_planned,
+)
 from .errors import (
     QueryCancelled,
     QueryTimeout,
@@ -60,6 +81,7 @@ from .errors import (
     ResourceError,
     RewriteMismatchError,
     RowBudgetExceeded,
+    ServiceOverloadedError,
     TransientImsError,
 )
 from .observe import (
@@ -71,6 +93,7 @@ from .observe import (
 )
 from .resilience import ResourceBudget
 from .resilience.guarded import run_guarded
+from .service import QueryService
 from .sql import parse_query
 from .types import NULL, SqlValue
 from .workloads import (
@@ -200,6 +223,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit rows, stats, audit, plan, and trace as one JSON object",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="morsel worker threads for partition-parallel operators "
+        "(default 1 = serial execution)",
+    )
+    run.add_argument(
+        "--parallel-scan",
+        action="store_true",
+        help="drop the row-count cost gate so even small inputs take the "
+        "parallel morsel paths (implies --workers 2 when unset)",
+    )
     run.add_argument("sql", help="the query to execute")
 
     explain = commands.add_parser(
@@ -230,6 +267,72 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("sql", help="the query to explain")
 
+    serve = commands.add_parser(
+        "serve",
+        help="run a batch of queries through the embedded query service",
+    )
+    source = serve.add_mutually_exclusive_group()
+    source.add_argument(
+        "--script",
+        metavar="FILE",
+        help="script of CREATE TABLE / INSERT statements to build the "
+        "database from",
+    )
+    source.add_argument(
+        "--demo",
+        action="store_true",
+        help="serve against a small generated supplier instance (default)",
+    )
+    serve.add_argument(
+        "--file",
+        metavar="FILE",
+        help="file with one query per line ('--' comments and blank lines "
+        "are skipped); default: read stdin",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="query worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission queue bound; a full queue blocks submission "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--parallel-scan",
+        action="store_true",
+        help="additionally enable partition-parallel operators inside "
+        "each query (separate morsel pool)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-query wall-clock budget",
+    )
+    serve.add_argument(
+        "--row-budget",
+        type=int,
+        metavar="N",
+        help="per-query row-processing budget",
+    )
+    serve.add_argument(
+        "--safe-mode",
+        action="store_true",
+        help="cross-check rewrites against the unrewritten plan",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-query outcomes and service metrics as JSON",
+    )
+
     commands.add_parser("demo", help="walk through the paper's examples")
     return parser
 
@@ -249,6 +352,28 @@ def _load_database(args: argparse.Namespace) -> Database:
     return build_database(
         generate(SupplierScale(suppliers=25, parts_per_supplier=5))
     )
+
+
+def _parallel_options(args: argparse.Namespace) -> ParallelOptions | None:
+    """Morsel-parallelism options from ``--workers``/``--parallel-scan``.
+
+    ``--parallel-scan`` without an explicit worker count still gets two
+    morsel workers; with ``workers`` at 1 and no force flag, execution
+    stays serial (returns None).
+    """
+    workers = getattr(args, "workers", 1)
+    forced = getattr(args, "parallel_scan", False)
+    if forced and workers < 2:
+        workers = 2
+    if workers < 2:
+        return None
+    if forced:
+        # Drop the cost gate (and shrink morsels) so small demo inputs
+        # still exercise the parallel operator paths.
+        return ParallelOptions(
+            workers=workers, morsel_size=256, min_parallel_rows=1
+        )
+    return ParallelOptions(workers=workers)
 
 
 def _parse_params(pairs: list[str]) -> dict[str, SqlValue]:
@@ -382,6 +507,7 @@ def _run_query(
     def fresh_guard():
         return budget.guard() if budget is not None else None
 
+    parallel = _parallel_options(args)
     analyzed = None
     outcome = None
     audit: AuditTrail | None = None
@@ -403,6 +529,7 @@ def _run_query(
                 params=params,
                 stats=stats,
                 guard=fresh_guard(),
+                parallel=parallel,
             )
     else:
         outcome = run_guarded(
@@ -411,6 +538,7 @@ def _run_query(
             params=params,
             budget=budget,
             safe_mode=args.safe_mode,
+            parallel=parallel,
         )
         result, stats, final_sql = outcome.result, outcome.stats, outcome.sql
         rules, audit, mismatch = outcome.rules, outcome.audit, outcome.mismatch
@@ -553,6 +681,96 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: push a batch through the embedded query service."""
+    database = _load_database(args)
+    if args.file:
+        with open(args.file) as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    queries = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("--")
+    ]
+    if not queries:
+        print("no queries to serve", file=sys.stderr)
+        return 0
+
+    budget = None
+    if args.timeout is not None or args.row_budget is not None:
+        budget = ResourceBudget(
+            timeout=args.timeout, row_budget=args.row_budget
+        )
+    parallel = (
+        ParallelOptions(workers=2, morsel_size=256, min_parallel_rows=1)
+        if args.parallel_scan
+        else None
+    )
+
+    failures: list[tuple[str, ReproError]] = []
+    records: list[dict[str, Any]] = []
+    with QueryService(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        parallel=parallel,
+    ) as service:
+        session = service.session(
+            database, budget=budget, safe_mode=args.safe_mode
+        )
+        tickets = service.submit_many(session, queries)
+        for ticket in tickets:
+            record: dict[str, Any] = {"sql": ticket.sql}
+            try:
+                outcome = ticket.result()
+            except ReproError as error:
+                record["error"] = str(error)
+                record["error_type"] = type(error).__name__
+                failures.append((ticket.sql, error))
+            else:
+                record["rows"] = len(outcome.result)
+                record["rewritten"] = outcome.rewritten
+                if outcome.rules:
+                    record["rules"] = outcome.rules
+            records.append(record)
+        snapshot = session.snapshot()
+        metrics = service.metrics.as_dict()
+
+    if args.json:
+        _print_json(
+            {
+                "command": "serve",
+                "workers": args.workers,
+                "queries": records,
+                "completed": snapshot["completed"],
+                "failed": snapshot["failed"],
+                "stats": {
+                    name: value
+                    for name, value in snapshot["stats"].as_dict().items()
+                    if value
+                },
+                "metrics": metrics,
+            }
+        )
+    else:
+        for record in records:
+            if "error" in record:
+                line = f"ERROR [{record['error_type']}] {record['error']}"
+            else:
+                line = f"{record['rows']} row(s)"
+                if record["rewritten"]:
+                    line += f" (rewritten via {', '.join(record['rules'])})"
+            print(f"{record['sql']}\n  -> {line}")
+        print(
+            f"-- served {snapshot['completed']} quer(ies), "
+            f"{snapshot['failed']} failed, on {args.workers} worker(s)"
+        )
+    if failures:
+        return exit_code_for(failures[0][1])
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """``repro demo``: walk the paper's Examples 1-11."""
     catalog = build_catalog()
@@ -583,6 +801,7 @@ _ERROR_EXIT_CODES: list[tuple[type[ReproError], int]] = [
     (ResourceError, 3),
     (TransientImsError, 7),
     (RewriteMismatchError, 8),
+    (ServiceOverloadedError, 9),
 ]
 
 
@@ -603,6 +822,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "optimize": cmd_optimize,
         "run": cmd_run,
         "explain": cmd_explain,
+        "serve": cmd_serve,
         "demo": cmd_demo,
     }
     try:

@@ -5,6 +5,13 @@ from .cost import CostModel, PlanEstimate
 from .database import Database
 from .evaluator import Evaluator
 from .executor import Executor, execute
+from .parallel import (
+    MorselPool,
+    ParallelExecution,
+    ParallelOptions,
+    parallel_execution,
+    shared_pool,
+)
 from .plan_cache import GLOBAL_PLAN_CACHE, PlanCache
 from .planner import Planner, PlannerOptions, execute_plan, execute_planned
 from .result import Result
@@ -21,6 +28,9 @@ __all__ = [
     "Database",
     "Evaluator",
     "Executor",
+    "MorselPool",
+    "ParallelExecution",
+    "ParallelOptions",
     "Planner",
     "PlannerOptions",
     "RelSchema",
@@ -33,5 +43,7 @@ __all__ = [
     "execute",
     "execute_plan",
     "execute_planned",
+    "parallel_execution",
     "set_compilation_enabled",
+    "shared_pool",
 ]

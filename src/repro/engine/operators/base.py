@@ -13,6 +13,7 @@ from ..stats import Stats
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..database import Database
+    from ..parallel import ParallelExecution
 
 
 def _tick_noop(rows: int = 1) -> None:
@@ -31,6 +32,12 @@ class ExecContext:
     :meth:`tick`, giving the guard its cooperative checkpoints (timeout,
     row budget, cancellation) and the fault injector its
     ``operator_next`` trigger opportunities.
+
+    When a *parallel* execution handle is supplied (see
+    :mod:`repro.engine.parallel`), eligible operators — filtered base
+    scans, hash-join build/probe phases — split their input into
+    row-range morsels on the shared pool; everything else runs the
+    serial code unchanged.
     """
 
     def __init__(
@@ -40,12 +47,14 @@ class ExecContext:
         stats: Stats | None = None,
         use_indexes: bool = True,
         guard: ExecutionGuard | None = None,
+        parallel: "ParallelExecution | None" = None,
     ) -> None:
         from ..executor import Executor  # deferred to break the cycle
 
         self.database = database
         self.stats = stats or Stats()
         self.guard = guard
+        self.parallel = parallel
         self._interpreter = Executor(
             database,
             params=params,

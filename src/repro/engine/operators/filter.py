@@ -24,6 +24,15 @@ class Filter(PlanNode):
     The interpretive path doubles as the verified fallback: a failure in
     compilation, or in a compiled closure mid-stream, degrades to the
     evaluator for the remaining rows with identical semantics.
+
+    With a parallel execution context, a Filter directly over a
+    :class:`~repro.engine.operators.scan.SeqScan` of a large enough
+    table becomes a **parallel scan**: the stored rows are split into
+    row-range morsels, each evaluated through the compiled predicate on
+    the worker pool, and the surviving rows are concatenated in morsel
+    order — the exact sequence the serial loop would emit.  Any worker
+    failure discards the parallel attempt and re-runs the whole filter
+    serially (nothing has been yielded yet, so the fallback is clean).
     """
 
     def __init__(self, child: PlanNode, predicate: Expr) -> None:
@@ -34,7 +43,67 @@ class Filter(PlanNode):
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
 
+    def _parallel_rows(
+        self, ctx: ExecContext, outer: Scope | None
+    ) -> list[tuple] | None:
+        """The parallel-scan result list, or None to run serially."""
+        from .scan import SeqScan  # deferred: scan imports base too
+
+        par = ctx.parallel
+        if par is None or not isinstance(self.child, SeqScan):
+            return None
+        table_rows = ctx.database.table(self.child.table_name).rows
+        if not par.eligible(ctx, len(table_rows), outer):
+            return None
+        try:
+            compiled = compile_filter(
+                self.predicate, self.schema, ctx.evaluator.params
+            )
+        except ResourceError:
+            raise
+        except Exception:
+            return None  # serial path counts the fallback
+        if compiled is None:
+            return None
+
+        morsels = par.morsels(len(table_rows))
+
+        def task(bounds: tuple[int, int]) -> list[tuple]:
+            lo, hi = bounds
+            return [row for row in table_rows[lo:hi] if compiled(row)]
+
+        try:
+            results = par.pool.run_ordered(task, morsels)
+        except ResourceError:
+            raise
+        except Exception:
+            # A compiled closure died in a worker.  Nothing has been
+            # yielded and no counter touched, so the serial path simply
+            # re-runs the filter (and accounts its own fallback).
+            return None
+        # Account ticks and counters only after every morsel succeeded,
+        # so a failed parallel attempt leaves no partial accounting for
+        # the serial re-run to double.
+        stats = ctx.stats
+        for (lo, hi) in morsels:
+            ctx.tick(hi - lo)
+        scanned = len(table_rows)
+        stats.rows_scanned += scanned
+        stats.predicate_evals += scanned
+        stats.compiled_evals += scanned
+        stats.predicates_compiled += 1
+        stats.parallel_scans += 1
+        stats.parallel_morsels += len(morsels)
+        output: list[tuple] = []
+        for kept in results:
+            output.extend(kept)
+        return output
+
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
+        parallel_result = self._parallel_rows(ctx, outer)
+        if parallel_result is not None:
+            yield from parallel_result
+            return
         compiled = None
         if outer is None:
             try:

@@ -59,6 +59,7 @@ from .operators import (
     SortMergeJoin,
     SortSetOp,
 )
+from .parallel import ParallelExecution, ParallelOptions, parallel_execution
 from .plan_cache import GLOBAL_PLAN_CACHE, PlanCache
 from .projection import resolve_projection
 from .result import Result
@@ -491,6 +492,7 @@ def execute_plan(
     stats: Stats | None = None,
     use_indexes: bool = True,
     guard: ExecutionGuard | None = None,
+    parallel: "ParallelOptions | ParallelExecution | None" = None,
 ) -> Result:
     """Run a physical plan to completion.
 
@@ -498,7 +500,11 @@ def execute_plan(
     embedded reference interpreter (plan-level IndexScan choices were
     already fixed at planning time).  *guard* receives a cooperative
     tick per processed row; budget violations abort the execution with
-    a :class:`~repro.errors.ResourceError` subclass.
+    a :class:`~repro.errors.ResourceError` subclass.  *parallel* (a
+    :class:`~repro.engine.parallel.ParallelOptions` or a live
+    :class:`~repro.engine.parallel.ParallelExecution`) lets eligible
+    operators split large inputs into morsels on the worker pool; it
+    never changes the plan or the output sequence.
     """
     ctx = ExecContext(
         database,
@@ -506,6 +512,7 @@ def execute_plan(
         stats=stats,
         use_indexes=use_indexes,
         guard=guard,
+        parallel=parallel_execution(parallel),
     )
     # One attribute test when tracing is off — the hot path stays bare.
     span_cm = (
@@ -532,6 +539,7 @@ def execute_planned(
     use_indexes: bool = True,
     plan_cache: PlanCache | None = None,
     guard: ExecutionGuard | None = None,
+    parallel: "ParallelOptions | ParallelExecution | None" = None,
 ) -> Result:
     """Plan and execute *query* with the physical engine.
 
@@ -545,6 +553,10 @@ def execute_planned(
     the lookup itself fails, the query is planned from scratch and
     nothing is cached — a stale plan is never served in exchange for a
     broken fingerprint.
+
+    *parallel* is execution-time only: it does not enter the cache key,
+    because parallel morsel execution never changes the plan shape or
+    the result sequence — only which threads evaluate which row ranges.
     """
     options = options or PlannerOptions()
     if not use_indexes and options.index_scans:
@@ -600,4 +612,5 @@ def execute_planned(
             stats=stats,
             use_indexes=use_indexes,
             guard=guard,
+            parallel=parallel,
         )

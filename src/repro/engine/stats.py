@@ -45,6 +45,11 @@ class Stats:
             the base table instead.
         cache_skips: cache lookups skipped fail-closed because the
             fingerprint (or the lookup itself) failed.
+        parallel_scans: filtered base-table scans executed as row-range
+            morsels on the worker pool instead of one serial loop.
+        parallel_joins: hash joins whose build and/or probe phase was
+            partitioned across the worker pool.
+        parallel_morsels: total morsel tasks dispatched to the pool.
     """
 
     rows_scanned: int = 0
@@ -66,6 +71,9 @@ class Stats:
     compile_fallbacks: int = 0
     index_fallbacks: int = 0
     cache_skips: int = 0
+    parallel_scans: int = 0
+    parallel_joins: int = 0
+    parallel_morsels: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

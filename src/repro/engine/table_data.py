@@ -9,6 +9,7 @@ value, so at most one row may carry any given (possibly NULL) key.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..catalog.table import TableSchema
@@ -35,6 +36,18 @@ class TableData:
         # maintained incrementally: canonical key -> rows in insertion
         # order (non-unique columns map to multi-row buckets).
         self._hash_indexes: dict[tuple[str, ...], dict[tuple, list[tuple]]] = {}
+        # Single-flight build coordination: the lock guards the index
+        # and in-flight dictionaries (bookkeeping only — the O(n) build
+        # itself runs outside it), and one Event per in-flight column
+        # tuple parks the waiters.  Leaf lock: nothing else is acquired
+        # while it is held.
+        self._index_lock = threading.Lock()
+        self._builds_in_flight: dict[tuple[str, ...], threading.Event] = {}
+        #: O(n) hash-index builds actually performed (the concurrency
+        #: stress test asserts N racing sessions cause exactly one).
+        self.index_builds = 0
+        #: Times a session parked on another session's in-flight build.
+        self.single_flight_waits = 0
         #: Monotonic data version; bumped by every mutation so cached
         #: artifacts keyed on a database fingerprint go stale correctly.
         self.version = 0
@@ -66,18 +79,52 @@ class TableData:
         maintained incrementally by insert/remove/clear, so repeated
         probes (a correlated subquery per outer row, a templated query
         per batch item) amortize it away.
+
+        Builds are *single-flight*: when N sessions race to probe the
+        same cold index, exactly one performs the O(n) pass while the
+        others park on an event and reuse the result.  If the builder
+        fails (e.g. an injected ``index_build`` fault), one parked
+        waiter is promoted to builder and retries, so a transient build
+        failure never wedges the other sessions — and a persistent one
+        surfaces in every session exactly as it would serially.
         """
         index = self._hash_indexes.get(columns)
-        if index is None:
-            if FAULTS.armed:
-                FAULTS.check(SITE_INDEX_BUILD)
-            positions = [self.schema.column_index(name) for name in columns]
-            index = {}
-            for row in self.rows:
-                key = row_sort_key(tuple(row[p] for p in positions))
-                index.setdefault(key, []).append(row)
-            self._hash_indexes[columns] = index
-        return index
+        if index is not None:
+            return index
+        while True:
+            with self._index_lock:
+                index = self._hash_indexes.get(columns)
+                if index is not None:
+                    return index
+                event = self._builds_in_flight.get(columns)
+                if event is None:
+                    event = threading.Event()
+                    self._builds_in_flight[columns] = event
+                    building = True
+                else:
+                    self.single_flight_waits += 1
+                    building = False
+            if not building:
+                event.wait()
+                continue  # re-check: the builder stored it, or failed
+            try:
+                if FAULTS.armed:
+                    FAULTS.check(SITE_INDEX_BUILD)
+                positions = [
+                    self.schema.column_index(name) for name in columns
+                ]
+                index = {}
+                for row in self.rows:
+                    key = row_sort_key(tuple(row[p] for p in positions))
+                    index.setdefault(key, []).append(row)
+                with self._index_lock:
+                    self._hash_indexes[columns] = index
+                    self.index_builds += 1
+                return index
+            finally:
+                with self._index_lock:
+                    self._builds_in_flight.pop(columns, None)
+                event.set()
 
     def index_lookup(
         self, columns: tuple[str, ...], values: tuple
@@ -161,8 +208,9 @@ class TableData:
         self.rows.clear()
         for index in self._key_indexes:
             index.clear()
-        for hash_index in self._hash_indexes.values():
-            hash_index.clear()
+        with self._index_lock:
+            for hash_index in self._hash_indexes.values():
+                hash_index.clear()
         self.version += 1
 
     def has_key_value(
@@ -183,13 +231,14 @@ class TableData:
         row = self.rows.pop()
         for key, index in zip(self.schema.candidate_keys, self._key_indexes):
             index.pop(self._key_tuple(key.columns, row), None)
-        for columns, hash_index in self._hash_indexes.items():
-            key = self._key_tuple(columns, row)
-            bucket = hash_index.get(key)
-            if bucket:
-                bucket.pop()
-                if not bucket:
-                    del hash_index[key]
+        with self._index_lock:
+            for columns, hash_index in self._hash_indexes.items():
+                key = self._key_tuple(columns, row)
+                bucket = hash_index.get(key)
+                if bucket:
+                    bucket.pop()
+                    if not bucket:
+                        del hash_index[key]
         self.version += 1
         return row
 
@@ -234,8 +283,11 @@ class TableData:
     def _index_row(self, row: tuple) -> None:
         for key, index in zip(self.schema.candidate_keys, self._key_indexes):
             index[self._key_tuple(key.columns, row)] = row
-        for columns, hash_index in self._hash_indexes.items():
-            hash_index.setdefault(self._key_tuple(columns, row), []).append(row)
+        with self._index_lock:
+            for columns, hash_index in self._hash_indexes.items():
+                hash_index.setdefault(
+                    self._key_tuple(columns, row), []
+                ).append(row)
         self.version += 1
 
     def _key_tuple(self, columns: tuple[str, ...], row: tuple) -> tuple:

@@ -188,3 +188,25 @@ class TransientImsError(ImsError):
 
 class OodbError(ReproError):
     """Base class for errors raised by the object-store simulator."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the embedded query service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the admission queue is full and the caller asked not
+    to wait (``submit(..., wait=False)``) — the backpressure signal."""
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(
+            f"service admission queue is full ({depth} queries pending)"
+        )
+        self.depth = depth
+
+
+class ServiceShutdownError(ServiceError):
+    """Raised when work is submitted to a service that has shut down."""
+
+    def __init__(self) -> None:
+        super().__init__("the query service has been shut down")

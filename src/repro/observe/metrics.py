@@ -12,17 +12,26 @@ or the whole process (:data:`PROCESS_METRICS`).
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Iterable
 
 LabelKey = tuple[tuple[str, str], ...]
 
 
 class MetricsRegistry:
-    """A flat store of named, labelled numeric series."""
+    """A flat store of named, labelled numeric series.
+
+    Thread-safe: ``inc``/``set`` run under a per-registry leaf lock, so
+    the shared :data:`PROCESS_METRICS` (and a
+    :class:`~repro.service.QueryService`'s registry, which every worker
+    folds per-query counters into) never loses an update under
+    concurrent recording.
+    """
 
     def __init__(self, namespace: str = "repro") -> None:
         self.namespace = namespace
         self._values: dict[tuple[str, LabelKey], float] = {}
+        self._lock = threading.Lock()
 
     # -- primitives -----------------------------------------------------
 
@@ -33,19 +42,24 @@ class MetricsRegistry:
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
         """Add *value* to the counter *name* (creating it at 0)."""
         key = self._key(name, labels)
-        self._values[key] = self._values.get(key, 0.0) + value
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
 
     def set(self, name: str, value: float, **labels: Any) -> None:
         """Set the gauge (or sampled cumulative counter) *name*."""
-        self._values[self._key(name, labels)] = float(value)
+        with self._lock:
+            self._values[self._key(name, labels)] = float(value)
 
     def value(self, name: str, **labels: Any) -> float:
         """Current value of a series (0.0 when never touched)."""
-        return self._values.get(self._key(name, labels), 0.0)
+        with self._lock:
+            return self._values.get(self._key(name, labels), 0.0)
 
     def series(self) -> Iterable[tuple[str, LabelKey, float]]:
         """Every (name, labels, value), sorted for stable output."""
-        for (name, labels), value in sorted(self._values.items()):
+        with self._lock:
+            snapshot = sorted(self._values.items())
+        for (name, labels), value in snapshot:
             yield name, labels, value
 
     # -- recorders for the engine's own stat carriers -------------------

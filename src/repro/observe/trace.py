@@ -18,6 +18,7 @@ from the engine — stats sinks are duck-typed on ``snapshot()`` and
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any
 
@@ -150,6 +151,12 @@ class Tracer:
     ``enabled`` gates everything; ``max_spans`` bounds memory — once the
     budget is spent further spans degrade to the shared no-op (the trace
     is truncated, never the execution).
+
+    Thread safety: the open-span stack is *per thread*, so spans opened
+    on different service workers nest within their own thread's tree
+    and never interleave; completed root trees are collected under a
+    leaf lock.  One query's span tree therefore stays coherent no
+    matter which worker ran it.
     """
 
     def __init__(self, max_spans: int = 10_000, max_roots: int = 256) -> None:
@@ -158,8 +165,17 @@ class Tracer:
         self.max_roots = max_roots
         self.truncated = 0
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._count = 0
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(
         self, name: str, stats: Any | None = None, **attributes: Any
@@ -171,10 +187,11 @@ class Tracer:
         """
         if not self.enabled:
             return NULL_SPAN
-        if self._count >= self.max_spans:
-            self.truncated += 1
-            return NULL_SPAN
-        self._count += 1
+        with self._lock:
+            if self._count >= self.max_spans:
+                self.truncated += 1
+                return NULL_SPAN
+            self._count += 1
         return Span(name, dict(attributes) or {}, tracer=self, stats=stats)
 
     def attach(self, span: Span) -> None:
@@ -182,14 +199,17 @@ class Tracer:
         if not self.enabled:
             return
         size = sum(1 for _ in span.walk())
-        if self._count + size > self.max_spans:
-            self.truncated += size
-            return
-        self._count += size
+        with self._lock:
+            if self._count + size > self.max_spans:
+                self.truncated += size
+                return
+            self._count += size
         if self._stack:
             self._stack[-1].children.append(span)
-        elif len(self.roots) < self.max_roots:
-            self.roots.append(span)
+        else:
+            with self._lock:
+                if len(self.roots) < self.max_roots:
+                    self.roots.append(span)
 
     def _close(self, span: Span) -> None:
         stack = self._stack
@@ -202,8 +222,10 @@ class Tracer:
                 stack.pop()
         if stack:
             stack[-1].children.append(span)
-        elif len(self.roots) < self.max_roots:
-            self.roots.append(span)
+        else:
+            with self._lock:
+                if len(self.roots) < self.max_roots:
+                    self.roots.append(span)
 
     # -- inspection -----------------------------------------------------
 
@@ -226,10 +248,11 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop collected spans and reset the budget (keeps ``enabled``)."""
-        self.roots.clear()
-        self._stack.clear()
-        self._count = 0
-        self.truncated = 0
+        with self._lock:
+            self.roots.clear()
+            self._local = threading.local()  # drops every thread's stack
+            self._count = 0
+            self.truncated = 0
 
 
 #: The process-wide tracer every instrumented layer reports to.

@@ -38,6 +38,7 @@ scenario replays identically under the same seed.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
@@ -127,11 +128,20 @@ class FaultInjector:
     The hot-path contract: ``armed`` is a plain bool attribute kept in
     sync with the spec list, so hooks cost one attribute test per row
     when no fault is armed.
+
+    Thread safety: trigger accounting (``should_fire`` mutates spec
+    counters and draws from the shared RNG) runs under the injector's
+    lock, so a seeded schedule stays exact when service workers hit the
+    hooks concurrently.  ``slow`` faults *sleep outside the lock* —
+    they model storage/network latency, and concurrent stalls must
+    overlap the way real I/O waits do, not serialize behind the
+    injector.  The lock is a leaf in the process locking order.
     """
 
     def __init__(self, seed: int = 0) -> None:
         self._specs: list[FaultSpec] = []
         self._rng = random.Random(seed)
+        self._lock = threading.RLock()
         self.armed = False
 
     # ------------------------------------------------------------------
@@ -139,24 +149,28 @@ class FaultInjector:
 
     def seed(self, seed: int) -> None:
         """Re-seed the probability RNG (scenario replay)."""
-        self._rng = random.Random(seed)
+        with self._lock:
+            self._rng = random.Random(seed)
 
     def arm(self, spec: FaultSpec) -> FaultSpec:
         """Register *spec*; returns it for inspection."""
-        self._specs.append(spec)
-        self.armed = True
+        with self._lock:
+            self._specs.append(spec)
+            self.armed = True
         return spec
 
     def disarm(self, spec: FaultSpec) -> None:
         """Remove *spec* (missing specs are ignored)."""
-        if spec in self._specs:
-            self._specs.remove(spec)
-        self.armed = bool(self._specs)
+        with self._lock:
+            if spec in self._specs:
+                self._specs.remove(spec)
+            self.armed = bool(self._specs)
 
     def reset(self) -> None:
         """Drop every armed fault."""
-        self._specs.clear()
-        self.armed = False
+        with self._lock:
+            self._specs.clear()
+            self.armed = False
 
     def inject(self, site: str, **kwargs: Any) -> "_Injection":
         """Context manager arming one fault for the ``with`` body::
@@ -168,9 +182,10 @@ class FaultInjector:
 
     def specs(self, site: str | None = None) -> list[FaultSpec]:
         """Armed specs, optionally restricted to one site."""
-        if site is None:
-            return list(self._specs)
-        return [spec for spec in self._specs if spec.site == site]
+        with self._lock:
+            if site is None:
+                return list(self._specs)
+            return [spec for spec in self._specs if spec.site == site]
 
     # ------------------------------------------------------------------
     # hook entry points
@@ -183,34 +198,45 @@ class FaultInjector:
         """
         if not self.armed:
             return
-        for spec in self._specs:
-            if spec.site != site or spec.kind == KIND_CORRUPT:
-                continue
-            if not spec.should_fire(self._rng):
-                continue
-            if spec.kind == KIND_SLOW:
-                time.sleep(spec.delay)
-                continue
-            if spec.kind == KIND_TRANSIENT:
-                raise TransientImsError(spec.status, f"injected at {site}")
-            if spec.error is not None:
-                raise spec.error()
-            raise InjectedFaultError(site)
+        stall = 0.0
+        try:
+            with self._lock:
+                for spec in self._specs:
+                    if spec.site != site or spec.kind == KIND_CORRUPT:
+                        continue
+                    if not spec.should_fire(self._rng):
+                        continue
+                    if spec.kind == KIND_SLOW:
+                        stall += spec.delay
+                        continue
+                    if spec.kind == KIND_TRANSIENT:
+                        raise TransientImsError(
+                            spec.status, f"injected at {site}"
+                        )
+                    if spec.error is not None:
+                        raise spec.error()
+                    raise InjectedFaultError(site)
+        finally:
+            # Sleep outside the lock: concurrent simulated-I/O stalls
+            # must overlap across workers, not queue behind the injector.
+            if stall:
+                time.sleep(stall)
 
     def corrupt(self, site: str, value: Any) -> Any:
         """Route a produced *value* through any armed corrupt fault."""
         if not self.armed:
             return value
-        for spec in self._specs:
-            if spec.site != site or spec.kind != KIND_CORRUPT:
-                continue
-            if not spec.should_fire(self._rng):
-                continue
-            if spec.corruptor is None:
-                raise ValueError(
-                    f"corrupt fault at {site!r} armed without a corruptor"
-                )
-            value = spec.corruptor(value)
+        with self._lock:
+            for spec in self._specs:
+                if spec.site != site or spec.kind != KIND_CORRUPT:
+                    continue
+                if not spec.should_fire(self._rng):
+                    continue
+                if spec.corruptor is None:
+                    raise ValueError(
+                        f"corrupt fault at {site!r} armed without a corruptor"
+                    )
+                value = spec.corruptor(value)
         return value
 
     def wrap_callable(self, site: str, fn: Callable[..., Any]) -> Callable[..., Any]:
@@ -221,7 +247,7 @@ class FaultInjector:
         compiled predicate can be made to blow up mid-stream.  With no
         matching spec armed, *fn* is returned untouched — zero overhead.
         """
-        if not any(spec.site == site for spec in self._specs):
+        if not any(spec.site == site for spec in self.specs()):
             return fn
 
         def wrapped(*args: Any, **kwargs: Any) -> Any:

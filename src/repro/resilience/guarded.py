@@ -121,6 +121,7 @@ def run_guarded(
     planner_options: PlannerOptions | None = None,
     plan_cache: PlanCache | None = None,
     use_indexes: bool = True,
+    parallel=None,
 ) -> GuardedOutcome:
     """Optimize and execute *query* under *budget*, optionally verified.
 
@@ -141,6 +142,11 @@ def run_guarded(
         stats: counter sink for the primary execution.
         planner_options / plan_cache / use_indexes: forwarded to
             :func:`~repro.engine.planner.execute_planned`.
+        parallel: a :class:`~repro.engine.parallel.ParallelOptions` or
+            live :class:`~repro.engine.parallel.ParallelExecution`,
+            forwarded to the primary execution.  The safe-mode reference
+            run stays serial on purpose: a diverse pair of executions is
+            a stronger cross-check than two identical ones.
 
     Budget violations always propagate as
     :class:`~repro.errors.ResourceError` subclasses — no fallback ladder
@@ -178,6 +184,7 @@ def run_guarded(
             use_indexes=use_indexes,
             plan_cache=plan_cache,
             guard=guard,
+            parallel=parallel,
         )
         if guarded_span is not None and guard is not None:
             guarded_span.attributes["guard_rows"] = guard.rows_processed

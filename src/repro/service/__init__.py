@@ -1,0 +1,17 @@
+"""Embeddable concurrent query service.
+
+The service layer turns the library into a multi-tenant query server
+inside one process: a :class:`QueryService` owns worker threads and a
+bounded admission queue; each tenant opens a :class:`Session` (its own
+database handle, budget, and counters); every submitted query comes
+back as a :class:`QueryTicket` future resolving to a
+:class:`~repro.resilience.guarded.GuardedOutcome`.
+
+See ``docs/architecture.md`` for where this layer sits in the stack and
+``DESIGN.md`` §3e for the concurrency contract it relies on.
+"""
+
+from .core import QueryService, QueryTicket
+from .session import Session
+
+__all__ = ["QueryService", "QueryTicket", "Session"]

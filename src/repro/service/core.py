@@ -1,0 +1,316 @@
+"""The embeddable concurrent query service.
+
+:class:`QueryService` owns a pool of worker threads draining a bounded
+admission queue.  Callers interact through
+:class:`~repro.service.Session` handles and :class:`QueryTicket`
+futures; every query executes through
+:func:`~repro.resilience.guarded.run_guarded`, so the service inherits
+the whole resilience stack — budgets, safe-mode verification, typed
+errors — without new execution code.
+
+Concurrency design (the full locking order lives in DESIGN.md §3e):
+
+* The **admission queue** is a bounded :class:`queue.Queue`; its
+  internal lock is independent of every other lock in the process.
+  ``submit(..., wait=True)`` blocks when the queue is full — that *is*
+  the backpressure — while ``wait=False`` turns a full queue into a
+  :class:`~repro.errors.ServiceOverloadedError` for callers that would
+  rather shed load than stall.
+* **Workers never hold a lock while executing a query.**  All shared
+  structures a query touches (plan cache, memo caches, fault injector,
+  metrics, tracer, per-table index builds) are individually
+  thread-safe leaf locks, so no lock ordering between them can arise.
+* **Morsel parallelism uses a separate pool.**  Query workers dispatch
+  row-range morsels to :func:`repro.engine.parallel.shared_pool`, never
+  to each other — a query worker waiting on its own pool for morsel
+  slots would be a deadlock by construction.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from ..engine.database import Database
+from ..engine.parallel import (
+    ParallelExecution,
+    ParallelOptions,
+    parallel_execution,
+)
+from ..engine.plan_cache import GLOBAL_PLAN_CACHE, PlanCache
+from ..engine.planner import PlannerOptions
+from ..engine.stats import Stats
+from ..errors import ServiceOverloadedError, ServiceShutdownError
+from ..observe.metrics import MetricsRegistry
+from ..resilience.budgets import ResourceBudget
+from ..resilience.guarded import GuardedOutcome, run_guarded
+from .session import Session
+
+
+class QueryTicket:
+    """A future for one submitted query.
+
+    Workers complete the ticket exactly once; :meth:`result` blocks
+    until then and either returns the
+    :class:`~repro.resilience.guarded.GuardedOutcome` or re-raises the
+    error the execution died with (budget violations, SQL errors, and
+    shutdown all surface as their original typed exceptions).
+    """
+
+    __slots__ = ("sql", "session_name", "_event", "_outcome", "_error")
+
+    def __init__(self, sql: str, session_name: str) -> None:
+        self.sql = sql
+        self.session_name = session_name
+        self._event = threading.Event()
+        self._outcome: GuardedOutcome | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the query has finished (successfully or not)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> GuardedOutcome:
+        """Block for the outcome; re-raise the query's error if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query did not complete within {timeout}s: {self.sql!r}"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    # -- completion (worker side) ---------------------------------------
+
+    def _complete(self, outcome: GuardedOutcome) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+#: Queue items are (session, ticket, sql, params); None is the shutdown
+#: sentinel (one per worker, enqueued after all pending work).
+_WorkItem = tuple
+
+
+class QueryService:
+    """An embeddable, thread-pooled SQL query service.
+
+    Usage::
+
+        with QueryService(workers=4) as service:
+            session = service.session(database)
+            tickets = session.submit_many(["SELECT ...", "SELECT ..."])
+            results = [t.result() for t in tickets]
+
+    Args:
+        workers: query worker threads draining the admission queue.
+        queue_depth: bound on queries admitted but not yet running;
+            a full queue blocks ``submit`` (or raises with
+            ``wait=False``) — the backpressure contract.
+        parallel: optional
+            :class:`~repro.engine.parallel.ParallelOptions` enabling
+            partition-parallel operators *within* each query, on a
+            morsel pool separate from the query workers.
+        plan_cache: plan cache shared by every session (the process
+            global by default).  Safe across sessions: keys include the
+            database fingerprint.
+        metrics: registry the service folds per-query outcomes into
+            (a private registry by default; pass
+            :data:`~repro.observe.metrics.PROCESS_METRICS` to publish).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_depth: int = 64,
+        *,
+        parallel: ParallelOptions | ParallelExecution | None = None,
+        plan_cache: PlanCache | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._plan_cache = (
+            plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
+        )
+        self._parallel = parallel_execution(parallel)
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._shutdown = threading.Event()
+        self._state_lock = threading.Lock()  # leaf: session naming, shutdown
+        self._session_count = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-query-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- sessions -------------------------------------------------------
+
+    def session(
+        self,
+        database: Database,
+        *,
+        name: str | None = None,
+        budget: ResourceBudget | None = None,
+        planner_options: PlannerOptions | None = None,
+        safe_mode: bool = False,
+    ) -> Session:
+        """Open a session binding *database* and its execution settings."""
+        if self._shutdown.is_set():
+            raise ServiceShutdownError()
+        with self._state_lock:
+            self._session_count += 1
+            if name is None:
+                name = f"session-{self._session_count}"
+        return Session(
+            self,
+            database,
+            name,
+            budget=budget,
+            planner_options=planner_options,
+            safe_mode=safe_mode,
+        )
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self,
+        session: Session,
+        sql: str,
+        params: dict | None = None,
+        *,
+        wait: bool = True,
+    ) -> QueryTicket:
+        """Enqueue one query; returns a :class:`QueryTicket` immediately.
+
+        With ``wait=True`` (default) a full admission queue blocks the
+        caller until a slot frees — backpressure.  With ``wait=False`` a
+        full queue raises :class:`~repro.errors.ServiceOverloadedError`
+        instead, so load-shedding callers get a typed signal.
+        """
+        if self._shutdown.is_set():
+            raise ServiceShutdownError()
+        ticket = QueryTicket(sql, session.name)
+        item = (session, ticket, sql, params)
+        if wait:
+            self._queue.put(item)
+        else:
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self.metrics.inc("service_rejected_total")
+                raise ServiceOverloadedError(self.queue_depth) from None
+        self.metrics.inc("service_submitted_total", session=session.name)
+        return ticket
+
+    def submit_many(
+        self,
+        session: Session,
+        queries: list[str | tuple[str, dict | None]],
+    ) -> list[QueryTicket]:
+        """Enqueue a batch; returns one ticket per query, in order.
+
+        Each entry is either SQL text or a ``(sql, params)`` pair.
+        Submission applies backpressure per query (``wait=True``), so a
+        batch larger than the queue depth simply trickles in as workers
+        drain it.
+        """
+        tickets = []
+        for entry in queries:
+            if isinstance(entry, tuple):
+                sql, params = entry
+            else:
+                sql, params = entry, None
+            tickets.append(self.submit(session, sql, params))
+        return tickets
+
+    # -- lifecycle ------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, drain pending queries, stop the workers.
+
+        Queries already admitted still execute; tickets stranded behind
+        the rejection (submitted concurrently with shutdown, after the
+        sentinels) fail with
+        :class:`~repro.errors.ServiceShutdownError`.  Idempotent.
+        """
+        with self._state_lock:
+            if self._shutdown.is_set():
+                return
+            self._shutdown.set()
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+            self._fail_stranded()
+
+    def _fail_stranded(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is None:
+                continue
+            _, ticket, _, _ = item
+            ticket._fail(ServiceShutdownError())
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown(wait=True)
+        return False
+
+    # -- worker loop ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            session, ticket, sql, params = item
+            stats = Stats()
+            try:
+                outcome = run_guarded(
+                    sql,
+                    session.database,
+                    params=params,
+                    budget=session.budget,
+                    safe_mode=session.safe_mode,
+                    stats=stats,
+                    planner_options=session.planner_options,
+                    plan_cache=self._plan_cache,
+                    parallel=self._parallel,
+                )
+            except BaseException as error:
+                session._record(stats, failed=True)
+                self.metrics.inc(
+                    "service_failed_total",
+                    session=session.name,
+                    error=type(error).__name__,
+                )
+                ticket._fail(error)
+            else:
+                session._record(outcome.stats, failed=False)
+                self.metrics.inc(
+                    "service_completed_total", session=session.name
+                )
+                self.metrics.record_outcome(outcome)
+                ticket._complete(outcome)

@@ -1,0 +1,42 @@
+"""Every public name must carry a docstring.
+
+``repro.__all__`` is the published API; a name without a docstring is
+an undocumented contract.  ``inspect.getdoc`` follows the MRO, so a
+class inheriting a meaningful docstring passes — but module-level
+singletons (FAULTS, TRACER, ...) resolve to their class docstring,
+which must therefore exist too.
+"""
+
+import inspect
+
+import repro
+
+
+def test_every_public_name_has_a_docstring():
+    missing = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        doc = inspect.getdoc(obj)
+        if not (doc or "").strip():
+            missing.append(name)
+    assert missing == [], f"public names without docstrings: {missing}"
+
+
+def test_public_modules_have_docstrings():
+    import repro.engine
+    import repro.errors
+    import repro.observe
+    import repro.resilience
+    import repro.service
+    import repro.sql
+
+    for module in (
+        repro,
+        repro.engine,
+        repro.errors,
+        repro.observe,
+        repro.resilience,
+        repro.service,
+        repro.sql,
+    ):
+        assert (module.__doc__ or "").strip(), module.__name__
