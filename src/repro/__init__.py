@@ -15,12 +15,19 @@ The library provides:
 
 Quickstart::
 
-    from repro import Catalog, Database, execute, optimize, test_uniqueness
+    import repro
 
-    db = Database.from_script(DDL_AND_INSERTS)
-    verdict = test_uniqueness("SELECT DISTINCT ...", db.catalog)
-    rewritten = optimize("SELECT DISTINCT ...", db.catalog)
-    rows = execute(rewritten.query, db)
+    db = repro.Database.from_script(DDL_AND_INSERTS)
+    with repro.connect(db) as conn:          # or repro.connect("http://...")
+        cursor = conn.execute("SELECT DISTINCT ...", safe_mode=True)
+        rows = cursor.fetchall()
+
+:func:`connect` returns the same :class:`Connection` facade for an
+in-process database, a SQL script path, or the URL of a ``repro serve
+--http`` server; every execution knob travels through one frozen
+:class:`ExecutionOptions`.  The older entrypoints (``execute``,
+``execute_planned``, ``run_guarded``, ``execute_analyzed``) remain as
+deprecated shims delegating to the same code.
 """
 
 from .cache import (
@@ -49,13 +56,16 @@ from .engine import (
     PlannerOptions,
     Result,
     Stats,
-    execute,
-    execute_planned,
 )
+from .engine import execute as _engine_execute
+from .engine import execute_planned as _engine_execute_planned
 from .errors import (
     ExecutionError,
+    NetworkError,
+    ProtocolError,
     QueryCancelled,
     QueryTimeout,
+    RemoteQueryError,
     ReproError,
     ResourceError,
     RewriteMismatchError,
@@ -63,7 +73,9 @@ from .errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceShutdownError,
+    TicketWaitTimeout,
     TransientImsError,
+    TransientNetworkError,
 )
 from .resilience import (
     FAULTS,
@@ -79,13 +91,43 @@ from .observe import (
     MetricsRegistry,
     PROCESS_METRICS,
     TRACER,
-    execute_analyzed,
     explain_analyze,
     set_tracing,
     tracing_enabled,
 )
-from .resilience.guarded import GuardedOutcome, run_guarded
+from .observe import execute_analyzed as _observe_execute_analyzed
+from .resilience.guarded import GuardedOutcome
+from .resilience.guarded import run_guarded as _guarded_run_guarded
+from .api import (
+    Connection,
+    Cursor,
+    ExecutedQuery,
+    connect,
+    deprecated_entrypoint as _deprecated_entrypoint,
+    run_with_options,
+)
+from .options import ExecutionOptions
 from .service import QueryService, QueryTicket, Session
+
+#: Deprecated entrypoints — thin shims over the unchanged module-level
+#: implementations.  Import from the home modules (``repro.engine``,
+#: ``repro.resilience.guarded``, ``repro.observe``) to skip the warning.
+execute = _deprecated_entrypoint(
+    "execute", "Connection.execute()", _engine_execute
+)
+execute_planned = _deprecated_entrypoint(
+    "execute_planned", "Connection.execute()", _engine_execute_planned
+)
+run_guarded = _deprecated_entrypoint(
+    "run_guarded",
+    "Connection.execute(..., safe_mode=True)",
+    _guarded_run_guarded,
+)
+execute_analyzed = _deprecated_entrypoint(
+    "execute_analyzed",
+    "Connection.execute(..., analyze=True)",
+    _observe_execute_analyzed,
+)
 from .sql import parse, parse_query, parse_script, to_sql
 from .types import NULL
 
@@ -95,7 +137,11 @@ __all__ = [
     "AuditTrail",
     "Catalog",
     "CatalogBuilder",
+    "Connection",
+    "Cursor",
     "Database",
+    "ExecutedQuery",
+    "ExecutionOptions",
     "ExactOptions",
     "ExecutionError",
     "ExecutionGuard",
@@ -106,16 +152,19 @@ __all__ = [
     "GuardedOutcome",
     "MetricsRegistry",
     "NULL",
+    "NetworkError",
     "OptimizeResult",
     "Optimizer",
     "PROCESS_METRICS",
     "ParallelOptions",
     "Planner",
     "PlannerOptions",
+    "ProtocolError",
     "QueryCancelled",
     "QueryService",
     "QueryTicket",
     "QueryTimeout",
+    "RemoteQueryError",
     "ReproError",
     "ResourceBudget",
     "ResourceError",
@@ -130,7 +179,9 @@ __all__ = [
     "Stats",
     "TRACER",
     "TableSchema",
+    "TicketWaitTimeout",
     "TransientImsError",
+    "TransientNetworkError",
     "UniquenessOptions",
     "UniquenessResult",
     "cache_stats",
@@ -138,6 +189,7 @@ __all__ = [
     "call_with_retry",
     "check_theorem1",
     "clear_all_caches",
+    "connect",
     "execute",
     "execute_analyzed",
     "execute_planned",
@@ -145,6 +197,7 @@ __all__ = [
     "is_duplicate_free",
     "optimize",
     "run_guarded",
+    "run_with_options",
     "set_caches_enabled",
     "set_tracing",
     "parse",

@@ -1,0 +1,560 @@
+"""The unified ``Connection``/``Cursor`` facade — one way to execute.
+
+The library grew four overlapping execution entrypoints
+(:func:`~repro.engine.executor.execute`,
+:func:`~repro.engine.planner.execute_planned`,
+:func:`~repro.resilience.guarded.run_guarded`,
+:func:`~repro.observe.analyze.execute_analyzed`), each threading its own
+subset of budget/safe-mode/parallel keyword arguments.  This module
+subsumes them behind a DB-API-flavored facade:
+
+* :func:`connect` — open a :class:`Connection` from a
+  :class:`~repro.engine.database.Database`, a SQL-script path, or an
+  ``http(s)://`` URL of a :mod:`repro.net` server.  Local and remote
+  connections expose the identical interface.
+* :class:`Cursor` — ``execute(sql, ...)`` with every knob expressed
+  through one frozen :class:`~repro.options.ExecutionOptions`, then
+  ``fetchone``/``fetchmany``/``fetchall`` or plain iteration.
+* :func:`run_with_options` — the execution core both the local backend
+  and the :class:`~repro.service.QueryService` workers call: guarded
+  execution (budgets, safe-mode verification) plus optional EXPLAIN
+  ANALYZE, driven entirely by an options value.
+
+The legacy entrypoints remain importable from :mod:`repro` as thin
+delegating shims that raise :class:`DeprecationWarning`; their module
+homes (``repro.engine``, ``repro.resilience.guarded``,
+``repro.observe``) are unchanged and unwarned for internal use.
+
+Quickstart::
+
+    import repro
+
+    conn = repro.connect(database)           # or repro.connect(url)
+    cursor = conn.execute(
+        "SELECT DISTINCT SNO FROM PARTS WHERE COLOR = 'RED'",
+        timeout=5.0, safe_mode=True,
+    )
+    for row in cursor:
+        ...
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from .core.rewrite.engine import Optimizer
+from .engine.database import Database
+from .engine.parallel import ParallelOptions
+from .engine.plan_cache import PlanCache
+from .engine.stats import Stats
+from .errors import ProtocolError, ReproError
+from .observe.analyze import execute_analyzed
+from .options import ExecutionOptions
+from .resilience.budgets import ResourceBudget
+from .resilience.guarded import GuardedOutcome, run_guarded
+from .sql.parser import parse_query
+
+#: Sentinel distinguishing "argument not passed" from an explicit None
+#: or False in :meth:`Cursor.execute` keyword overrides.
+_UNSET = object()
+
+
+def run_with_options(
+    query: Any,
+    database: Database,
+    *,
+    params: dict | None = None,
+    options: ExecutionOptions | None = None,
+    stats: Stats | None = None,
+    plan_cache: PlanCache | None = None,
+    parallel: Any | None = None,
+    planner_options: Any | None = None,
+) -> GuardedOutcome:
+    """Execute *query* under one :class:`ExecutionOptions` value.
+
+    This is the single execution core behind the :class:`Connection`
+    facade, :meth:`repro.service.QueryService.submit`, and the HTTP
+    server: guarded execution with the options' budget and safe mode,
+    rewrites disabled when ``options.optimize`` is False, and — with
+    ``options.analyze`` — an instrumented EXPLAIN ANALYZE run attached
+    as :attr:`~repro.resilience.guarded.GuardedOutcome.analysis`.
+
+    *parallel* overrides ``options.parallel`` when not None (the service
+    passes its live shared :class:`~repro.engine.parallel.ParallelExecution`).
+    """
+    options = options if options is not None else ExecutionOptions()
+    budget = options.budget()
+    optimizer = None
+    if not options.optimize:
+        # An empty rule list turns run_guarded into plain planned
+        # execution: no rewrite can fire, so safe mode has nothing to
+        # cross-check and the audit trail stays empty.
+        optimizer = Optimizer(database.catalog, rules=[])
+    outcome = run_guarded(
+        query,
+        database,
+        params=params,
+        budget=budget,
+        optimizer=optimizer,
+        safe_mode=options.safe_mode,
+        stats=stats,
+        plan_cache=plan_cache,
+        planner_options=planner_options,
+        parallel=parallel if parallel is not None else options.parallel,
+    )
+    if options.analyze and not outcome.mismatch:
+        # Re-execute the winning form instrumented; the guarded result
+        # above stays the served answer, the analysis rides alongside.
+        outcome.analysis = execute_analyzed(
+            parse_query(outcome.sql),
+            database,
+            params=params,
+            guard=budget.guard() if budget is not None else None,
+        )
+    return outcome
+
+
+@dataclass
+class ExecutedQuery:
+    """The normalized record of one executed statement.
+
+    Both backends produce this shape, so a :class:`Cursor` reads the
+    same fields whether the query ran in-process or across the wire.
+
+    Attributes:
+        columns: output column names, in order.
+        rows: the result rows as tuples (NULLs as the library's NULL
+            sentinel, identical local and remote).
+        sql: the SQL that produced the rows (rewritten form if a rule
+            fired; the original after a safe-mode mismatch).
+        rewritten / rules / mismatch: the rewrite trail.
+        stats: non-zero execution counters.
+        analysis: EXPLAIN ANALYZE plan dict when requested, else None.
+        request_id: the server-assigned request id (remote only).
+        outcome: the full :class:`GuardedOutcome` (local only).
+    """
+
+    columns: list[str]
+    rows: list[tuple]
+    sql: str
+    rewritten: bool = False
+    rules: list[str] = field(default_factory=list)
+    mismatch: bool = False
+    stats: dict[str, Any] = field(default_factory=dict)
+    analysis: dict[str, Any] | None = None
+    request_id: str | None = None
+    outcome: GuardedOutcome | None = None
+
+
+def executed_from_outcome(
+    outcome: GuardedOutcome, request_id: str | None = None
+) -> ExecutedQuery:
+    """Fold a :class:`GuardedOutcome` into the normalized record."""
+    return ExecutedQuery(
+        columns=list(outcome.result.columns),
+        rows=list(outcome.result.rows),
+        sql=outcome.sql,
+        rewritten=outcome.rewritten,
+        rules=list(outcome.rules),
+        mismatch=outcome.mismatch,
+        stats={
+            name: value
+            for name, value in outcome.stats.as_dict().items()
+            if value
+        },
+        analysis=(
+            outcome.analysis.to_dict() if outcome.analysis is not None else None
+        ),
+        request_id=request_id,
+        outcome=outcome,
+    )
+
+
+class _LocalBackend:
+    """Executes on an in-process :class:`Database` via the guarded core."""
+
+    remote = False
+
+    def __init__(
+        self, database: Database, plan_cache: PlanCache | None = None
+    ) -> None:
+        self.database = database
+        self.plan_cache = plan_cache
+
+    def run(
+        self, sql: str, params: dict | None, options: ExecutionOptions
+    ) -> ExecutedQuery:
+        outcome = run_with_options(
+            sql,
+            self.database,
+            params=params,
+            options=options,
+            plan_cache=self.plan_cache,
+        )
+        return executed_from_outcome(outcome)
+
+    def close(self) -> None:  # databases have no connection state
+        pass
+
+    def describe(self) -> str:
+        return f"local database {self.database!r}"
+
+
+class Cursor:
+    """A DB-API-flavored cursor over one :class:`Connection`.
+
+    ``execute`` returns the cursor itself, so the fluent spelling
+    ``conn.cursor().execute(sql).fetchall()`` works; iteration yields
+    the remaining unfetched rows.
+    """
+
+    def __init__(self, connection: "Connection") -> None:
+        self.connection = connection
+        self._executed: ExecutedQuery | None = None
+        self._position = 0
+
+    # -- execution ------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: dict | None = None,
+        *,
+        budget: ResourceBudget | None = _UNSET,  # type: ignore[assignment]
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        row_budget: int | None = _UNSET,  # type: ignore[assignment]
+        safe_mode: bool = _UNSET,  # type: ignore[assignment]
+        analyze: bool = _UNSET,  # type: ignore[assignment]
+        optimize: bool = _UNSET,  # type: ignore[assignment]
+        parallel: "ParallelOptions | int | None" = _UNSET,  # type: ignore[assignment]
+        options: ExecutionOptions | None = None,
+    ) -> "Cursor":
+        """Execute *sql* with the connection's options plus overrides.
+
+        Precedence: an explicit ``options=`` value replaces the
+        connection defaults wholesale; individual keyword arguments are
+        then layered on top of whichever base applies.  ``budget``
+        expands to ``timeout``/``row_budget``; ``parallel`` accepts a
+        plain worker count.
+        """
+        base = (
+            options
+            if options is not None
+            else self.connection.default_options
+        )
+        resolved = _apply_overrides(
+            base,
+            budget=budget,
+            timeout=timeout,
+            row_budget=row_budget,
+            safe_mode=safe_mode,
+            analyze=analyze,
+            optimize=optimize,
+            parallel=parallel,
+        )
+        self._executed = self.connection._backend.run(sql, params, resolved)
+        self._position = 0
+        return self
+
+    # -- DB-API style access --------------------------------------------
+
+    @property
+    def description(self) -> list[tuple] | None:
+        """DB-API column descriptors (name plus six Nones) or None."""
+        if self._executed is None:
+            return None
+        return [
+            (name, None, None, None, None, None, None)
+            for name in self._executed.columns
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        """Rows in the current result (-1 before any execute)."""
+        return -1 if self._executed is None else len(self._executed.rows)
+
+    def fetchone(self) -> tuple | None:
+        """The next row, or None when the result is exhausted."""
+        rows = self._rows()
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int = 1) -> list[tuple]:
+        """Up to *size* further rows."""
+        rows = self._rows()
+        chunk = rows[self._position : self._position + max(size, 0)]
+        self._position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[tuple]:
+        """Every remaining row."""
+        rows = self._rows()
+        chunk = rows[self._position :]
+        self._position = len(rows)
+        return chunk
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- result metadata ------------------------------------------------
+
+    @property
+    def columns(self) -> list[str]:
+        """Output column names of the current result."""
+        return [] if self._executed is None else list(self._executed.columns)
+
+    @property
+    def executed(self) -> ExecutedQuery:
+        """The normalized record of the last execution."""
+        if self._executed is None:
+            raise ReproError("no query has been executed on this cursor")
+        return self._executed
+
+    @property
+    def outcome(self) -> GuardedOutcome | None:
+        """The full :class:`GuardedOutcome` (None on remote connections)."""
+        return self.executed.outcome
+
+    @property
+    def analysis(self) -> dict[str, Any] | None:
+        """EXPLAIN ANALYZE plan dict when ``analyze`` was requested."""
+        return self.executed.analysis
+
+    def close(self) -> None:
+        """Forget the current result (cursors hold no server state)."""
+        self._executed = None
+        self._position = 0
+
+    def _rows(self) -> list[tuple]:
+        return self.executed.rows
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class Connection:
+    """One handle on a query engine — in-process or across the wire.
+
+    Attributes:
+        default_options: the :class:`ExecutionOptions` every
+            ``execute`` starts from (per-call overrides layer on top).
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        default_options: ExecutionOptions | None = None,
+    ) -> None:
+        self._backend = backend
+        self.default_options = (
+            default_options if default_options is not None else ExecutionOptions()
+        )
+        self._closed = False
+
+    # -- factories ------------------------------------------------------
+
+    @classmethod
+    def local(
+        cls,
+        database: Database,
+        *,
+        options: ExecutionOptions | None = None,
+        plan_cache: PlanCache | None = None,
+    ) -> "Connection":
+        """A connection executing directly against *database*."""
+        return cls(_LocalBackend(database, plan_cache), options)
+
+    # -- properties -----------------------------------------------------
+
+    @property
+    def remote(self) -> bool:
+        """Whether this connection crosses the network."""
+        return bool(getattr(self._backend, "remote", False))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- execution ------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        """A fresh cursor on this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: dict | None = None, **kwargs: Any) -> Cursor:
+        """Convenience: ``cursor().execute(...)`` in one call."""
+        self._check_open()
+        return self.cursor().execute(sql, params, **kwargs)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backend (idempotent)."""
+        if not self._closed:
+            self._backend.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else self._backend.describe()
+        return f"Connection({state})"
+
+
+def connect(
+    source: "Database | str",
+    *,
+    options: ExecutionOptions | None = None,
+    plan_cache: PlanCache | None = None,
+    **kwargs: Any,
+) -> Connection:
+    """Open a :class:`Connection` — the single documented entrypoint.
+
+    *source* selects the backend:
+
+    * a :class:`~repro.engine.database.Database` — execute in-process;
+    * an ``http://`` or ``https://`` URL — talk to a
+      :mod:`repro.net` server (extra keyword arguments such as
+      ``retry_policy`` and ``default_session`` are forwarded to
+      :func:`repro.net.client.connect`);
+    * any other string — a path to a SQL script of CREATE TABLE /
+      INSERT statements the database is built from.
+
+    The returned object behaves identically either way: rewrite wins,
+    budgets, safe mode, and EXPLAIN ANALYZE all flow through the same
+    :class:`~repro.options.ExecutionOptions`.
+    """
+    if isinstance(source, Database):
+        if kwargs:
+            raise TypeError(
+                f"unexpected arguments for a local connection: "
+                f"{', '.join(sorted(kwargs))}"
+            )
+        return Connection.local(
+            source, options=options, plan_cache=plan_cache
+        )
+    if isinstance(source, str):
+        if source.startswith(("http://", "https://")):
+            from .net.client import connect as http_connect
+
+            return http_connect(source, options=options, **kwargs)
+        if kwargs:
+            raise TypeError(
+                f"unexpected arguments for a local connection: "
+                f"{', '.join(sorted(kwargs))}"
+            )
+        with open(source, encoding="utf-8") as handle:
+            database = Database.from_script(handle.read())
+        return Connection.local(
+            database, options=options, plan_cache=plan_cache
+        )
+    raise ProtocolError(
+        f"cannot connect to {type(source).__name__!r}: expected a Database, "
+        f"a script path, or an http(s) URL"
+    )
+
+
+def _apply_overrides(
+    base: ExecutionOptions,
+    *,
+    budget: Any = _UNSET,
+    timeout: Any = _UNSET,
+    row_budget: Any = _UNSET,
+    safe_mode: Any = _UNSET,
+    analyze: Any = _UNSET,
+    optimize: Any = _UNSET,
+    parallel: Any = _UNSET,
+) -> ExecutionOptions:
+    """Layer explicitly-passed keyword overrides onto *base*."""
+    values: dict[str, Any] = {
+        "timeout": base.timeout,
+        "row_budget": base.row_budget,
+        "safe_mode": base.safe_mode,
+        "analyze": base.analyze,
+        "optimize": base.optimize,
+        "parallel": base.parallel,
+    }
+    if budget is not _UNSET and budget is not None:
+        if not isinstance(budget, ResourceBudget):
+            raise TypeError("budget must be a ResourceBudget")
+        values["timeout"] = budget.timeout
+        values["row_budget"] = budget.row_budget
+    if timeout is not _UNSET:
+        values["timeout"] = timeout
+    if row_budget is not _UNSET:
+        values["row_budget"] = row_budget
+    if safe_mode is not _UNSET:
+        values["safe_mode"] = bool(safe_mode)
+    if analyze is not _UNSET:
+        values["analyze"] = bool(analyze)
+    if optimize is not _UNSET:
+        values["optimize"] = bool(optimize)
+    if parallel is not _UNSET:
+        if isinstance(parallel, int) and not isinstance(parallel, bool):
+            parallel = (
+                ParallelOptions(workers=parallel) if parallel > 1 else None
+            )
+        values["parallel"] = parallel
+    return ExecutionOptions(**values)
+
+
+def deprecated_entrypoint(name: str, replacement: str, target: Any) -> Any:
+    """Wrap a legacy entrypoint so calls warn but still work.
+
+    The shim preserves the target's signature and behavior exactly; the
+    :class:`DeprecationWarning` names the facade spelling to migrate to.
+    The un-shimmed function stays importable from its home module for
+    internal callers.
+    """
+
+    @functools.wraps(target)
+    def shim(*args: Any, **kwargs: Any) -> Any:
+        warnings.warn(
+            f"repro.{name}() is deprecated; use {replacement} "
+            f"(see repro.connect / repro.api.Connection)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return target(*args, **kwargs)
+
+    shim.__doc__ = (
+        f"Deprecated alias of :func:`{target.__module__}.{target.__name__}`;"
+        f" use {replacement} instead.\n\n{target.__doc__ or ''}"
+    )
+    return shim
+
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "ExecutedQuery",
+    "ExecutionOptions",
+    "connect",
+    "deprecated_entrypoint",
+    "executed_from_outcome",
+    "run_with_options",
+]

@@ -21,6 +21,11 @@ Usage::
                              [--workers N] [--queue-depth N]
                              [--parallel-scan] [--timeout SECONDS]
                              [--row-budget N] [--safe-mode] [--json]
+                             [--http PORT] [--host ADDR]
+    python -m repro client   URL [--session NAME] [--stream]
+                             [--timeout SECONDS] [--row-budget N]
+                             [--safe-mode] [--analyze] [--no-optimize]
+                             [--param NAME=VALUE ...] [--json] "SELECT ..."
     python -m repro demo
 
 * ``check`` runs Algorithm 1 and prints the paper-style trace
@@ -43,7 +48,14 @@ Usage::
 * ``serve`` runs a batch of queries (one per line, from ``--file`` or
   stdin) through the embedded :class:`~repro.service.QueryService` —
   ``--workers`` query threads, a ``--queue-depth``-bounded admission
-  queue, and optional per-query morsel parallelism.
+  queue, and optional per-query morsel parallelism.  With ``--http
+  PORT`` it instead starts the network server
+  (:class:`~repro.net.server.QueryServer`) on that port and serves
+  until SIGTERM/SIGINT, then drains gracefully — in-flight queries
+  complete before the listener closes.
+* ``client`` executes one query against a running ``serve --http``
+  server through the same :class:`~repro.api.Connection` facade local
+  code uses, with bounded retry on 429/transient faults.
 * ``demo`` walks through the paper's worked examples.
 
 ``run`` additionally accepts ``--workers N`` (morsel worker threads for
@@ -55,7 +67,10 @@ Exit codes: 0 success (for ``check``: verdict YES), 1 ``check`` verdict
 NO, 2 generic library error, 3 other resource-budget error, 4 query
 timeout, 5 row budget exceeded, 6 query cancelled, 7 transient IMS
 failure with retries exhausted, 8 safe-mode rewrite mismatch, 9 service
-admission queue overloaded.
+admission queue overloaded, 10 ticket wait timed out, 11 network
+failure with retries exhausted.  A :class:`~repro.errors.
+RemoteQueryError` relayed from a server maps by its *original* error
+type — a remote row-budget violation still exits 5.
 """
 
 from __future__ import annotations
@@ -72,18 +87,23 @@ from .engine import (
     ParallelOptions,
     Planner,
     Stats,
-    execute_planned,
 )
+from .api import Connection
+from .api import connect as api_connect
 from .errors import (
+    NetworkError,
     QueryCancelled,
     QueryTimeout,
+    RemoteQueryError,
     ReproError,
     ResourceError,
     RewriteMismatchError,
     RowBudgetExceeded,
     ServiceOverloadedError,
+    TicketWaitTimeout,
     TransientImsError,
 )
+from .options import ExecutionOptions
 from .observe import (
     AuditTrail,
     MetricsRegistry,
@@ -92,7 +112,6 @@ from .observe import (
     set_tracing,
 )
 from .resilience import ResourceBudget
-from .resilience.guarded import run_guarded
 from .service import QueryService
 from .sql import parse_query
 from .types import NULL, SqlValue
@@ -332,6 +351,75 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit per-query outcomes and service metrics as JSON",
     )
+    serve.add_argument(
+        "--http",
+        type=int,
+        metavar="PORT",
+        help="serve the HTTP+JSON query protocol on this port instead of "
+        "running a batch; drains gracefully on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="bind address for --http (default 127.0.0.1)",
+    )
+
+    client = commands.add_parser(
+        "client",
+        help="execute one query against a running `serve --http` server",
+    )
+    client.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8080")
+    client.add_argument(
+        "--session",
+        metavar="NAME",
+        help="run under this named server-side session",
+    )
+    client.add_argument(
+        "--stream",
+        action="store_true",
+        help="request an NDJSON streaming response",
+    )
+    client.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-query wall-clock budget (enforced server-side)",
+    )
+    client.add_argument(
+        "--row-budget",
+        type=int,
+        metavar="N",
+        help="per-query row-processing budget (enforced server-side)",
+    )
+    client.add_argument(
+        "--safe-mode",
+        action="store_true",
+        help="cross-check rewrites against the unrewritten plan",
+    )
+    client.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also fetch the EXPLAIN ANALYZE plan",
+    )
+    client.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="execute the query as written, skipping the rewrite rules",
+    )
+    client.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="host-variable binding (repeatable)",
+    )
+    client.add_argument(
+        "--json",
+        action="store_true",
+        help="emit rows, stats, and the rewrite trail as one JSON object",
+    )
+    client.add_argument("sql", help="the query to execute")
 
     commands.add_parser("demo", help="walk through the paper's examples")
     return parser
@@ -478,21 +566,15 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """``repro run``: optimize (unless told not to) and execute, guarded."""
+    """``repro run``: execute one query through the Connection facade."""
     database = _load_database(args)
     params = _parse_params(args.param)
-
-    budget = None
-    if args.timeout is not None or args.row_budget is not None:
-        budget = ResourceBudget(
-            timeout=args.timeout, row_budget=args.row_budget
-        )
 
     previous = set_tracing(True) if args.trace else None
     if args.trace:
         TRACER.clear()
     try:
-        return _run_query(args, database, params, budget)
+        return _run_query(args, database, params)
     finally:
         if args.trace:
             set_tracing(previous)
@@ -502,56 +584,28 @@ def _run_query(
     args: argparse.Namespace,
     database: Database,
     params: dict[str, SqlValue],
-    budget: ResourceBudget | None,
 ) -> int:
-    def fresh_guard():
-        return budget.guard() if budget is not None else None
-
-    parallel = _parallel_options(args)
-    analyzed = None
-    outcome = None
-    audit: AuditTrail | None = None
-    rules: list[str] = []
-    mismatch = False
-    if args.no_optimize:
-        query = parse_query(args.sql)
-        final_sql = args.sql
-        if args.analyze:
-            analyzed = execute_analyzed(
-                query, database, params=params, guard=fresh_guard()
-            )
-            result, stats = analyzed.result, analyzed.stats
-        else:
-            stats = Stats()
-            result = execute_planned(
-                query,
-                database,
-                params=params,
-                stats=stats,
-                guard=fresh_guard(),
-                parallel=parallel,
-            )
+    options = ExecutionOptions.create(
+        timeout=args.timeout,
+        row_budget=args.row_budget,
+        safe_mode=args.safe_mode,
+        analyze=args.analyze,
+        optimize=not args.no_optimize,
+        parallel=_parallel_options(args),
+    )
+    with Connection.local(database, options=options) as connection:
+        cursor = connection.execute(args.sql, params or None)
+        executed = cursor.executed
+    outcome = executed.outcome
+    analyzed = outcome.analysis  # AnalyzedExecution when --analyze ran
+    audit: AuditTrail | None = outcome.audit
+    rules, mismatch, final_sql = executed.rules, executed.mismatch, executed.sql
+    if analyzed is not None:
+        # EXPLAIN ANALYZE re-executed the winning form instrumented;
+        # show the actuals (and counters) from that run.
+        result, stats = analyzed.result, analyzed.stats
     else:
-        outcome = run_guarded(
-            args.sql,
-            database,
-            params=params,
-            budget=budget,
-            safe_mode=args.safe_mode,
-            parallel=parallel,
-        )
-        result, stats, final_sql = outcome.result, outcome.stats, outcome.sql
-        rules, audit, mismatch = outcome.rules, outcome.audit, outcome.mismatch
-        if args.analyze and not mismatch:
-            # EXPLAIN ANALYZE re-executes the winning form instrumented;
-            # the annotated actuals (and counters) come from that run.
-            analyzed = execute_analyzed(
-                parse_query(final_sql),
-                database,
-                params=params,
-                guard=fresh_guard(),
-            )
-            result, stats = analyzed.result, analyzed.stats
+        result, stats = outcome.result, outcome.stats
 
     if args.metrics_out:
         _write_metrics(args.metrics_out, stats, outcome=outcome, audit=audit)
@@ -682,8 +736,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: push a batch through the embedded query service."""
+    """``repro serve``: batch through the embedded service, or — with
+    ``--http`` — the network server until SIGTERM/SIGINT."""
     database = _load_database(args)
+    if args.http is not None:
+        return _serve_http(args, database)
     if args.file:
         with open(args.file) as handle:
             text = handle.read()
@@ -771,6 +828,125 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_http(args: argparse.Namespace, database: Database) -> int:
+    """``repro serve --http PORT``: the network query server."""
+    import signal
+    import threading
+
+    from .net.server import QueryServer
+
+    options = ExecutionOptions.create(
+        timeout=args.timeout,
+        row_budget=args.row_budget,
+        safe_mode=args.safe_mode,
+    )
+    parallel = (
+        ParallelOptions(workers=2, morsel_size=256, min_parallel_rows=1)
+        if args.parallel_scan
+        else None
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum: int, _frame: Any) -> None:
+        print(
+            f"-- signal {signum}: draining (in-flight queries complete)",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    previous_handlers = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _request_stop),
+        signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+    }
+    try:
+        with QueryServer(
+            database,
+            host=args.host,
+            port=args.http,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            parallel=parallel,
+            options=options,
+        ) as server:
+            print(f"-- serving on {server.url}", file=sys.stderr, flush=True)
+            stop.wait()
+            # __exit__ drains: stop admitting, finish in-flight, close.
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    print("-- drained", file=sys.stderr)
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """``repro client``: one query over the wire via the facade."""
+    options = ExecutionOptions.create(
+        timeout=args.timeout,
+        row_budget=args.row_budget,
+        safe_mode=args.safe_mode,
+        analyze=args.analyze,
+        optimize=not args.no_optimize,
+    )
+    params = _parse_params(args.param)
+    with api_connect(
+        args.url,
+        options=options,
+        session=args.session,
+        stream=args.stream,
+    ) as connection:
+        cursor = connection.execute(args.sql, params or None)
+        executed = cursor.executed
+
+    from .engine.result import Result
+
+    result = Result(executed.columns, executed.rows)
+    if args.json:
+        _print_json(
+            {
+                "command": "client",
+                "url": args.url,
+                "sql": args.sql,
+                "request_id": executed.request_id,
+                "rewritten": executed.rewritten,
+                "final_sql": executed.sql,
+                "rules": executed.rules,
+                "mismatch": executed.mismatch,
+                "columns": executed.columns,
+                "rows": [
+                    [_jsonable(value) for value in row]
+                    for row in executed.rows
+                ],
+                "row_count": len(executed.rows),
+                "stats": executed.stats,
+                **(
+                    {"analysis": executed.analysis}
+                    if executed.analysis is not None
+                    else {}
+                ),
+            }
+        )
+        return 8 if executed.mismatch else 0
+
+    if executed.rules and not executed.mismatch:
+        print(f"-- rewritten via {', '.join(executed.rules)}")
+        print(f"-- {executed.sql}")
+        print()
+    print(result.to_table())
+    print()
+    described = ", ".join(
+        f"{name}={value}" for name, value in sorted(executed.stats.items())
+    )
+    print(
+        f"-- {len(result)} row(s); request {executed.request_id}"
+        + (f"; {described}" if described else "")
+    )
+    if executed.mismatch:
+        print("warning: safe-mode mismatch; served the verified result",
+              file=sys.stderr)
+        return 8
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """``repro demo``: walk the paper's Examples 1-11."""
     catalog = build_catalog()
@@ -802,11 +978,22 @@ _ERROR_EXIT_CODES: list[tuple[type[ReproError], int]] = [
     (TransientImsError, 7),
     (RewriteMismatchError, 8),
     (ServiceOverloadedError, 9),
+    (TicketWaitTimeout, 10),
+    (NetworkError, 11),
 ]
+
+#: Error-type name → exit code, for errors relayed over the wire: a
+#: remote row-budget violation arrives as a RemoteQueryError carrying
+#: the original type name and still exits 5.
+_NAME_EXIT_CODES: dict[str, int] = {
+    cls.__name__: code for cls, code in _ERROR_EXIT_CODES
+}
 
 
 def exit_code_for(error: ReproError) -> int:
     """Map a typed error to its CLI exit code (2 for the base class)."""
+    if isinstance(error, RemoteQueryError):
+        return _NAME_EXIT_CODES.get(error.error_type, 2)
     for cls, code in _ERROR_EXIT_CODES:
         if isinstance(error, cls):
             return code
@@ -823,6 +1010,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": cmd_run,
         "explain": cmd_explain,
         "serve": cmd_serve,
+        "client": cmd_client,
         "demo": cmd_demo,
     }
     try:

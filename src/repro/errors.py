@@ -210,3 +210,69 @@ class ServiceShutdownError(ServiceError):
 
     def __init__(self) -> None:
         super().__init__("the query service has been shut down")
+
+
+class TicketWaitTimeout(ServiceError, TimeoutError):
+    """Raised when waiting on a :class:`~repro.service.QueryTicket`
+    outlives the caller's patience.
+
+    Distinct from :class:`QueryTimeout`: the *query* may still be
+    running (or queued) — only the caller's wait expired.  Subclasses
+    :class:`TimeoutError` too, so pre-existing ``except TimeoutError``
+    handlers keep working.
+    """
+
+    def __init__(self, timeout: float | None, sql: str) -> None:
+        super().__init__(
+            f"query did not complete within {timeout}s: {sql!r}"
+        )
+        self.timeout = timeout
+        self.sql = sql
+
+
+class NetworkError(ReproError):
+    """Base class for errors crossing the HTTP query protocol."""
+
+
+class ProtocolError(NetworkError):
+    """A malformed request or response (bad JSON, unknown fields)."""
+
+
+class TransientNetworkError(NetworkError):
+    """A retryable network-layer failure (connection reset, injected
+    accept/write fault, 429/503 from a saturated or draining server).
+
+    The HTTP client retries these under its
+    :class:`~repro.resilience.retry.RetryPolicy`; after the final
+    attempt the error propagates with the last response's detail.
+
+    Attributes:
+        status: HTTP status code when the failure was a response
+            (0 for socket-level failures).
+        retry_after: the server's Retry-After hint in seconds, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class RemoteQueryError(NetworkError):
+    """A typed error relayed from the server's error envelope.
+
+    Attributes:
+        error_type: the server-side exception class name (from the
+            errors taxonomy, e.g. ``"QueryTimeout"``).
+        status: the HTTP status the server mapped the error to.
+    """
+
+    def __init__(self, error_type: str, message: str, status: int) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.status = status

@@ -1,0 +1,43 @@
+"""The network layer: an HTTP+JSON query protocol over the service.
+
+Three stdlib-only modules put a wire in front of the optimizer, so the
+paper's rewrite wins (§6's Example 10 gateway argument: halving the
+call count halves the *remote* cost) become end-to-end latency and
+throughput wins measurable at the socket:
+
+* :mod:`~repro.net.protocol` — the request/response schemas, the SQL
+  value codec (NULL ↔ ``null``), and the errors-taxonomy → HTTP status
+  mapping with its retryability contract;
+* :mod:`~repro.net.server` — :class:`QueryServer`, a threaded
+  ``http.server`` front end over :class:`~repro.service.QueryService`:
+  ``POST /v1/query`` (JSON or streamed NDJSON), ``POST /v1/session``
+  lifecycle, ``GET /healthz``, ``GET /metrics`` (Prometheus text),
+  request-id propagation, typed 429 backpressure, graceful drain;
+* :mod:`~repro.net.client` — :func:`~repro.net.client.connect`, giving
+  back the same :class:`~repro.api.Connection` facade as a local
+  database, with bounded jittered retry on 429/transient faults.
+
+Everything is importable lazily — ``import repro`` does not pay for the
+HTTP machinery until a URL is actually dialed.
+"""
+
+from .client import HttpBackend, connect
+from .protocol import (
+    ERROR_RETRY_AFTER,
+    decode_rows,
+    encode_rows,
+    error_envelope,
+    status_for_error,
+)
+from .server import QueryServer
+
+__all__ = [
+    "ERROR_RETRY_AFTER",
+    "HttpBackend",
+    "QueryServer",
+    "connect",
+    "decode_rows",
+    "encode_rows",
+    "error_envelope",
+    "status_for_error",
+]

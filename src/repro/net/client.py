@@ -1,0 +1,331 @@
+"""The HTTP client: dial a :class:`~repro.net.server.QueryServer` and
+get back the exact :class:`~repro.api.Connection` facade a local
+database gives you.
+
+Transport is stdlib ``urllib.request``; resilience reuses the library's
+own :func:`~repro.resilience.retry.call_with_retry` with a bounded,
+jittered :class:`~repro.resilience.retry.RetryPolicy`: a 429 (admission
+queue full), a 503 (drain or injected transient fault), or a socket
+failure becomes a :class:`~repro.errors.TransientNetworkError` that the
+policy retries — honouring the server's ``Retry-After`` when one is
+given — while every other envelope decodes to a terminal
+:class:`~repro.errors.RemoteQueryError`.  NULLs survive the round trip
+(JSON ``null`` ↔ the engine's NULL sentinel), so remote rows compare
+``≐``-identical to local ones.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..api import Connection, ExecutedQuery
+from ..errors import (
+    ProtocolError,
+    TransientNetworkError,
+)
+from ..options import ExecutionOptions
+from ..resilience.retry import RetryPolicy, call_with_retry
+from . import protocol
+from .protocol import CONTENT_NDJSON, REQUEST_ID_HEADER
+
+#: Wire retries back off harder than in-process IMS retries: a drain or
+#: queue-full condition clears in tenths of seconds, not microseconds.
+DEFAULT_HTTP_RETRY = RetryPolicy(
+    max_attempts=5, base_delay=0.05, multiplier=2.0, max_delay=1.0
+)
+
+
+class HttpBackend:
+    """A :class:`~repro.api.Connection` backend speaking the
+    :mod:`repro.net.protocol` wire format.
+
+    Args:
+        url: server base URL (``http://host:port``).
+        session: server-side session name queries run under (the
+            server's shared default session when None).
+        retry_policy: backoff schedule for retryable failures.
+        stream: request NDJSON streaming responses (the assembled
+            result is identical; streaming bounds server-side buffering
+            for large results and exercises incremental delivery).
+        timeout: socket timeout per HTTP attempt, in seconds.
+        rng: randomness source for retry jitter (seedable for tests).
+    """
+
+    remote = True
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        session: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        stream: bool = False,
+        timeout: float = 30.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.session = session
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_HTTP_RETRY
+        )
+        self.stream = stream
+        self.timeout = timeout
+        self.retries = 0  # cumulative wire retries, for tests/metrics
+        self._rng = rng if rng is not None else random.Random()
+        self._owned_session = False
+
+    # -- the Connection backend interface -------------------------------
+
+    def run(
+        self, sql: str, params: dict | None, options: ExecutionOptions
+    ) -> ExecutedQuery:
+        body: dict[str, Any] = {"sql": sql}
+        encoded = protocol.encode_params(params)
+        if encoded is not None:
+            body["params"] = encoded
+        if self.session is not None:
+            body["session"] = self.session
+        wire_options = options.to_wire()
+        if wire_options:
+            body["options"] = wire_options
+        if self.stream:
+            body["stream"] = True
+        return self._call_retrying("/v1/query", body, self._query_once)
+
+    def close(self) -> None:
+        """Close the server-side session if this backend opened it."""
+        if self._owned_session and self.session is not None:
+            try:
+                self._request("DELETE", f"/v1/session/{self.session}", None)
+            except Exception:  # noqa: BLE001 — best-effort cleanup
+                pass
+            self.session = None
+            self._owned_session = False
+
+    def describe(self) -> str:
+        where = f"{self.url}"
+        if self.session is not None:
+            where += f" session={self.session}"
+        return f"remote server {where}"
+
+    # -- session lifecycle ----------------------------------------------
+
+    def open_session(
+        self,
+        name: str | None = None,
+        options: ExecutionOptions | None = None,
+    ) -> str:
+        """Open a named server-side session and bind queries to it."""
+        body: dict[str, Any] = {}
+        if name is not None:
+            body["name"] = name
+        if options is not None:
+            wire = options.to_wire()
+            if wire:
+                body["options"] = wire
+        payload = self._call_retrying(
+            "/v1/session", body, self._json_once
+        )
+        self.session = payload["session"]
+        self._owned_session = True
+        return self.session
+
+    # -- server views ----------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        """The server's ``/healthz`` document."""
+        return self._request("GET", "/healthz", None)
+
+    def metrics_text(self) -> str:
+        """The server's raw Prometheus ``/metrics`` exposition."""
+        status, headers, raw = self._raw_request("GET", "/metrics", None)
+        return raw.decode("utf-8")
+
+    # -- transport -------------------------------------------------------
+
+    def _call_retrying(self, path: str, body: dict, once: Any) -> Any:
+        def on_retry(_attempt: int, _error: BaseException) -> None:
+            self.retries += 1
+
+        return call_with_retry(
+            lambda: once(path, body),
+            policy=self.retry_policy,
+            retryable=(TransientNetworkError,),
+            rng=self._rng,
+            sleep=self._sleep_honouring_retry_after,
+            on_retry=on_retry,
+        )
+
+    #: Set just before each retry sleep; folded into the sleep so the
+    #: client never hammers a server that told it when to come back.
+    _pending_retry_after: float | None = None
+
+    def _sleep_honouring_retry_after(self, seconds: float) -> None:
+        import time
+
+        hint = self._pending_retry_after
+        self._pending_retry_after = None
+        # The server's hint is authoritative but capped by the policy's
+        # max_delay so a misbehaving server cannot stall the client.
+        if hint is not None:
+            seconds = max(seconds, min(hint, self.retry_policy.max_delay))
+        time.sleep(seconds)
+
+    def _query_once(self, path: str, body: dict) -> ExecutedQuery:
+        status, headers, raw = self._raw_request("POST", path, body)
+        content_type = (headers.get("Content-Type") or "").split(";")[0]
+        if content_type == CONTENT_NDJSON:
+            return self._assemble_stream(raw)
+        payload = self._parse_body(raw)
+        return protocol.parse_query_response(payload)
+
+    def _json_once(self, path: str, body: dict) -> dict[str, Any]:
+        status, headers, raw = self._raw_request("POST", path, body)
+        payload = self._parse_body(raw)
+        if "error" in payload:
+            raise protocol.decode_error(payload)
+        return payload
+
+    def _assemble_stream(self, raw: bytes) -> ExecutedQuery:
+        """NDJSON lines → one ExecutedQuery; a missing footer or an
+        error line means the stream was cut and must not pass for a
+        complete result."""
+        header: dict[str, Any] | None = None
+        rows: list[tuple] = []
+        sealed = False
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            record = self._parse_body(line)
+            if "error" in record:
+                raise protocol.decode_error(record)
+            if header is None:
+                header = record
+            elif record.get("end"):
+                sealed = True
+                if record.get("row_count") != len(rows):
+                    raise ProtocolError(
+                        "stream footer row_count disagrees with rows received"
+                    )
+            else:
+                rows.extend(protocol.decode_rows(record.get("rows", [])))
+        if header is None or not sealed:
+            raise TransientNetworkError(
+                "result stream truncated before its footer", status=0
+            )
+        header["rows"] = protocol.encode_rows(rows)
+        return protocol.parse_query_response(header)
+
+    def _parse_body(self, raw: bytes) -> dict[str, Any]:
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ProtocolError(
+                f"malformed response from server: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ProtocolError("response body must be a JSON object")
+        return payload
+
+    def _request(self, method: str, path: str, body: dict | None) -> dict:
+        status, headers, raw = self._raw_request(method, path, body)
+        payload = self._parse_body(raw)
+        if "error" in payload:
+            raise protocol.decode_error(payload)
+        return payload
+
+    def _raw_request(
+        self, method: str, path: str, body: dict | None
+    ) -> tuple[int, Any, bytes]:
+        """One HTTP attempt → ``(status, headers, body bytes)``.
+
+        Error responses with a decodable envelope raise the typed
+        error (transient ones pick up ``Retry-After``); socket-level
+        failures become :class:`TransientNetworkError` so the retry
+        policy treats a dropped connection like a 503.
+        """
+        data = protocol.dumps(body) if body is not None else None
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method
+        )
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.status, response.headers, response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = self._parse_body(raw)
+                typed = protocol.decode_error(payload)
+            except ProtocolError:
+                typed = self._statusline_error(error.code, raw)
+            if isinstance(typed, TransientNetworkError):
+                self._pending_retry_after = typed.retry_after
+            raise typed from None
+        except (
+            urllib.error.URLError,
+            ConnectionError,
+            socket.timeout,
+            TimeoutError,
+            http.client.HTTPException,
+        ) as error:
+            raise TransientNetworkError(
+                f"{method} {path} failed: {error!r}", status=0
+            ) from None
+
+    @staticmethod
+    def _statusline_error(code: int, raw: bytes) -> Exception:
+        from ..errors import RemoteQueryError
+
+        if code in protocol.RETRYABLE_STATUSES:
+            return TransientNetworkError(
+                f"HTTP {code}", status=code, retry_after=None
+            )
+        return RemoteQueryError("HTTPError", raw.decode("utf-8", "replace"), code)
+
+
+def connect(
+    url: str,
+    *,
+    options: ExecutionOptions | None = None,
+    session: str | None = None,
+    fresh_session: bool = False,
+    retry_policy: RetryPolicy | None = None,
+    stream: bool = False,
+    timeout: float = 30.0,
+    rng: random.Random | None = None,
+) -> Connection:
+    """Dial a :class:`~repro.net.server.QueryServer`; returns the same
+    :class:`~repro.api.Connection` facade a local database gives.
+
+    Args:
+        url: server base URL.
+        options: default :class:`~repro.options.ExecutionOptions` for
+            every cursor on this connection (sent with each request).
+        session: bind queries to an existing named server session.
+        fresh_session: open (and own) a new server-side session — it is
+            closed again when the connection closes.
+        retry_policy / timeout / rng: transport knobs, see
+            :class:`HttpBackend`.
+        stream: ask for NDJSON streaming responses.
+    """
+    backend = HttpBackend(
+        url,
+        session=session,
+        retry_policy=retry_policy,
+        stream=stream,
+        timeout=timeout,
+        rng=rng,
+    )
+    if fresh_session:
+        backend.open_session(session, options)
+    return Connection(backend, default_options=options)

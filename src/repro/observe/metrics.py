@@ -112,6 +112,13 @@ class MetricsRegistry:
         for rule in outcome.quarantined:
             self.inc("rules_quarantined_total", 1, rule=rule)
 
+    def record_http(
+        self, route: str, status: int, seconds: float
+    ) -> None:
+        """Fold one HTTP request served by :mod:`repro.net.server`."""
+        self.inc("http_requests_total", route=route, status=str(status))
+        self.inc("http_request_seconds_total", seconds, route=route)
+
     def record_audit(self, trail: Any) -> None:
         """Count an audit trail's decisions by rule and outcome."""
         for record in trail:

@@ -1,0 +1,216 @@
+"""One frozen options object for every execution surface.
+
+Before this module existed, the same three knobs — budgets, safe mode,
+morsel parallelism — were threaded as loose keyword arguments through
+four different entrypoints (``execute``, ``execute_planned``,
+``run_guarded``, ``execute_analyzed``), the service's ``Session``, and
+the CLI.  :class:`ExecutionOptions` consolidates them: the
+:mod:`repro.api` facade, :meth:`repro.service.QueryService.submit`, and
+the HTTP request schema (:mod:`repro.net.protocol`) all carry this one
+immutable value, and :meth:`ExecutionOptions.to_wire` /
+:meth:`ExecutionOptions.from_wire` round-trip it local → service →
+socket without loss.
+
+Import discipline: this module depends only on the leaf dataclasses
+(:class:`~repro.resilience.budgets.ResourceBudget`,
+:class:`~repro.engine.parallel.ParallelOptions`) plus
+:mod:`repro.errors`, so every layer — engine, service, net, CLI — can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from .engine.parallel import ParallelOptions
+from .errors import ProtocolError
+from .resilience.budgets import ResourceBudget
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Everything that shapes one query execution, in one frozen value.
+
+    Attributes:
+        timeout: per-query wall-clock budget in seconds (None = none).
+        row_budget: rows the query may *process* (None = unlimited).
+        safe_mode: cross-check uniqueness rewrites against the
+            unrewritten plan; quarantine rules on a mismatch.
+        analyze: additionally run EXPLAIN ANALYZE instrumentation and
+            attach per-operator actuals to the outcome.
+        optimize: apply the rewrite rules at all (False = execute the
+            query exactly as written).
+        parallel: morsel-parallel execution knobs, or None for serial.
+
+    The class is frozen and built from frozen parts, so a value can key
+    caches, cross threads, and be shared between a session default and
+    a per-query override without defensive copies.
+    """
+
+    timeout: float | None = None
+    row_budget: int | None = None
+    safe_mode: bool = False
+    analyze: bool = False
+    optimize: bool = True
+    parallel: ParallelOptions | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.row_budget is not None and self.row_budget <= 0:
+            raise ValueError("row budget must be positive")
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        budget: ResourceBudget | None = None,
+        timeout: float | None = None,
+        row_budget: int | None = None,
+        safe_mode: bool = False,
+        analyze: bool = False,
+        optimize: bool = True,
+        parallel: "ParallelOptions | int | None" = None,
+    ) -> "ExecutionOptions":
+        """Build options from the looser spellings the API accepts.
+
+        ``budget`` expands into ``timeout``/``row_budget`` (explicit
+        fields win over the budget's); ``parallel`` accepts a plain
+        worker count as shorthand for ``ParallelOptions(workers=n)``.
+        """
+        if budget is not None:
+            if timeout is None:
+                timeout = budget.timeout
+            if row_budget is None:
+                row_budget = budget.row_budget
+        if isinstance(parallel, int):
+            parallel = (
+                ParallelOptions(workers=parallel) if parallel > 1 else None
+            )
+        return cls(
+            timeout=timeout,
+            row_budget=row_budget,
+            safe_mode=safe_mode,
+            analyze=analyze,
+            optimize=optimize,
+            parallel=parallel,
+        )
+
+    # -- derived views --------------------------------------------------
+
+    def budget(self) -> ResourceBudget | None:
+        """The :class:`ResourceBudget` these options imply, if any."""
+        if self.timeout is None and self.row_budget is None:
+            return None
+        return ResourceBudget(timeout=self.timeout, row_budget=self.row_budget)
+
+    def merged(self, override: "ExecutionOptions | None") -> "ExecutionOptions":
+        """These options with every non-default field of *override* on top.
+
+        Used by the service and the HTTP server to layer a per-query
+        request over a session's defaults: a field the request left at
+        its default keeps the session's value.
+        """
+        if override is None:
+            return self
+        changes = {}
+        for spec in fields(self):
+            value = getattr(override, spec.name)
+            default = spec.default
+            if value != default:
+                changes[spec.name] = value
+        return replace(self, **changes) if changes else self
+
+    # -- wire round-trip ------------------------------------------------
+
+    def to_wire(self) -> dict[str, Any]:
+        """A JSON-ready dict, omitting fields at their defaults."""
+        payload: dict[str, Any] = {}
+        if self.timeout is not None:
+            payload["timeout"] = self.timeout
+        if self.row_budget is not None:
+            payload["row_budget"] = self.row_budget
+        if self.safe_mode:
+            payload["safe_mode"] = True
+        if self.analyze:
+            payload["analyze"] = True
+        if not self.optimize:
+            payload["optimize"] = False
+        if self.parallel is not None:
+            payload["parallel"] = {
+                "workers": self.parallel.workers,
+                "morsel_size": self.parallel.morsel_size,
+                "min_parallel_rows": self.parallel.min_parallel_rows,
+            }
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any] | None) -> "ExecutionOptions":
+        """Parse the wire dict; unknown keys raise a typed error.
+
+        The strictness is deliberate: a typo'd option silently ignored
+        on the server would make local and remote execution diverge,
+        which is exactly what the unified facade exists to prevent.
+        """
+        if payload is None:
+            return cls()
+        if not isinstance(payload, Mapping):
+            raise ProtocolError("options must be a JSON object")
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ProtocolError(
+                f"unknown option(s): {', '.join(sorted(unknown))}"
+            )
+        kwargs: dict[str, Any] = {}
+        for name in ("timeout", "row_budget"):
+            if payload.get(name) is not None:
+                value = payload[name]
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    raise ProtocolError(f"option {name!r} must be a number")
+                kwargs[name] = int(value) if name == "row_budget" else float(value)
+        for name in ("safe_mode", "analyze", "optimize"):
+            if name in payload:
+                value = payload[name]
+                if not isinstance(value, bool):
+                    raise ProtocolError(f"option {name!r} must be a boolean")
+                kwargs[name] = value
+        parallel = payload.get("parallel")
+        if parallel is not None:
+            if isinstance(parallel, int) and not isinstance(parallel, bool):
+                kwargs["parallel"] = (
+                    ParallelOptions(workers=parallel) if parallel > 1 else None
+                )
+            elif isinstance(parallel, Mapping):
+                extra = set(parallel) - {
+                    "workers",
+                    "morsel_size",
+                    "min_parallel_rows",
+                }
+                if extra:
+                    raise ProtocolError(
+                        f"unknown parallel option(s): {', '.join(sorted(extra))}"
+                    )
+                try:
+                    kwargs["parallel"] = ParallelOptions(**dict(parallel))
+                except (TypeError, ValueError) as error:
+                    raise ProtocolError(
+                        f"invalid parallel options: {error}"
+                    ) from None
+            else:
+                raise ProtocolError(
+                    "option 'parallel' must be a worker count or an object"
+                )
+        try:
+            return cls(**kwargs)
+        except ValueError as error:
+            raise ProtocolError(f"invalid options: {error}") from None
+
+
+#: The all-defaults value layered under every merge.
+DEFAULT_OPTIONS = ExecutionOptions()

@@ -36,6 +36,8 @@ from .faults import (
     SITE_DLI,
     SITE_FINGERPRINT,
     SITE_INDEX_BUILD,
+    SITE_NET_ACCEPT,
+    SITE_NET_WRITE,
     SITE_OPERATOR,
     SITE_PLAN_CACHE,
     SITE_UNIQUENESS,
@@ -59,6 +61,8 @@ __all__ = [
     "SITE_DLI",
     "SITE_FINGERPRINT",
     "SITE_INDEX_BUILD",
+    "SITE_NET_ACCEPT",
+    "SITE_NET_WRITE",
     "SITE_OPERATOR",
     "SITE_PLAN_CACHE",
     "SITE_UNIQUENESS",

@@ -18,6 +18,8 @@ Sites (the strings the hooks pass to :meth:`FaultInjector.check`):
 ``fingerprint``           cache fingerprint computation (fail-closed paths)
 ``uniqueness``            Algorithm 1 verdicts (corrupt-verdict faults)
 ``dli_call``              every DL/I ``GU``/``GN``/``GNP`` call
+``net_accept``            HTTP request admission (:mod:`repro.net.server`)
+``net_write``             HTTP response/stream-chunk writes
 ========================  ====================================================
 
 Fault kinds:
@@ -54,6 +56,8 @@ SITE_OPERATOR = "operator_next"
 SITE_FINGERPRINT = "fingerprint"
 SITE_UNIQUENESS = "uniqueness"
 SITE_DLI = "dli_call"
+SITE_NET_ACCEPT = "net_accept"
+SITE_NET_WRITE = "net_write"
 
 ALL_SITES = (
     SITE_COMPILE,
@@ -64,6 +68,8 @@ ALL_SITES = (
     SITE_FINGERPRINT,
     SITE_UNIQUENESS,
     SITE_DLI,
+    SITE_NET_ACCEPT,
+    SITE_NET_WRITE,
 )
 
 KIND_EXCEPTION = "exception"

@@ -76,6 +76,10 @@ class GuardedOutcome:
         evicted: cache entries evicted after a mismatch.
         audit: the optimizer's audit trail — every theorem decision
             (fired or rejected, with witness) behind the rewrite.
+        analysis: the EXPLAIN ANALYZE
+            :class:`~repro.observe.analyze.AnalyzedExecution` when the
+            execution ran with ``analyze`` requested (see
+            :func:`repro.api.run_with_options`), else None.
     """
 
     result: Result
@@ -88,6 +92,7 @@ class GuardedOutcome:
     quarantined: list[str] = field(default_factory=list)
     evicted: int = 0
     audit: AuditTrail = field(default_factory=AuditTrail)
+    analysis: object | None = None
 
     def describe(self) -> str:
         """One line: rewrite trail, verification status, row count."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 import queue
 import threading
 
+from ..api import run_with_options
 from ..engine.database import Database
 from ..engine.parallel import (
     ParallelExecution,
@@ -40,10 +41,16 @@ from ..engine.parallel import (
 from ..engine.plan_cache import GLOBAL_PLAN_CACHE, PlanCache
 from ..engine.planner import PlannerOptions
 from ..engine.stats import Stats
-from ..errors import ServiceOverloadedError, ServiceShutdownError
+from ..errors import (
+    ServiceOverloadedError,
+    ServiceShutdownError,
+    TicketWaitTimeout,
+)
 from ..observe.metrics import MetricsRegistry
+from ..observe.trace import NULL_SPAN, TRACER
+from ..options import ExecutionOptions
 from ..resilience.budgets import ResourceBudget
-from ..resilience.guarded import GuardedOutcome, run_guarded
+from ..resilience.guarded import GuardedOutcome
 from .session import Session
 
 
@@ -57,11 +64,21 @@ class QueryTicket:
     shutdown all surface as their original typed exceptions).
     """
 
-    __slots__ = ("sql", "session_name", "_event", "_outcome", "_error")
+    __slots__ = (
+        "sql",
+        "session_name",
+        "request_id",
+        "_event",
+        "_outcome",
+        "_error",
+    )
 
-    def __init__(self, sql: str, session_name: str) -> None:
+    def __init__(
+        self, sql: str, session_name: str, request_id: str | None = None
+    ) -> None:
         self.sql = sql
         self.session_name = session_name
+        self.request_id = request_id
         self._event = threading.Event()
         self._outcome: GuardedOutcome | None = None
         self._error: BaseException | None = None
@@ -71,11 +88,15 @@ class QueryTicket:
         return self._event.is_set()
 
     def result(self, timeout: float | None = None) -> GuardedOutcome:
-        """Block for the outcome; re-raise the query's error if it failed."""
+        """Block for the outcome; re-raise the query's error if it failed.
+
+        An expired wait raises :class:`~repro.errors.TicketWaitTimeout`
+        — the *wait* timed out, not necessarily the query, which may
+        still be queued or running.  (The class also subclasses
+        :class:`TimeoutError` for pre-existing handlers.)
+        """
         if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"query did not complete within {timeout}s: {self.sql!r}"
-            )
+            raise TicketWaitTimeout(timeout, self.sql)
         if self._error is not None:
             raise self._error
         assert self._outcome is not None
@@ -92,8 +113,8 @@ class QueryTicket:
         self._event.set()
 
 
-#: Queue items are (session, ticket, sql, params); None is the shutdown
-#: sentinel (one per worker, enqueued after all pending work).
+#: Queue items are (session, ticket, sql, params, options); None is the
+#: shutdown sentinel (one per worker, enqueued after all pending work).
 _WorkItem = tuple
 
 
@@ -169,8 +190,15 @@ class QueryService:
         budget: ResourceBudget | None = None,
         planner_options: PlannerOptions | None = None,
         safe_mode: bool = False,
+        options: ExecutionOptions | None = None,
     ) -> Session:
-        """Open a session binding *database* and its execution settings."""
+        """Open a session binding *database* and its execution settings.
+
+        *options* sets the session's default
+        :class:`~repro.options.ExecutionOptions` directly; the legacy
+        ``budget``/``safe_mode`` arguments remain as shorthand and are
+        folded into an options value when *options* is not given.
+        """
         if self._shutdown.is_set():
             raise ServiceShutdownError()
         with self._state_lock:
@@ -184,6 +212,7 @@ class QueryService:
             budget=budget,
             planner_options=planner_options,
             safe_mode=safe_mode,
+            options=options,
         )
 
     # -- submission -----------------------------------------------------
@@ -195,6 +224,8 @@ class QueryService:
         params: dict | None = None,
         *,
         wait: bool = True,
+        options: ExecutionOptions | None = None,
+        request_id: str | None = None,
     ) -> QueryTicket:
         """Enqueue one query; returns a :class:`QueryTicket` immediately.
 
@@ -202,11 +233,17 @@ class QueryService:
         caller until a slot frees — backpressure.  With ``wait=False`` a
         full queue raises :class:`~repro.errors.ServiceOverloadedError`
         instead, so load-shedding callers get a typed signal.
+
+        *options* layers per-query
+        :class:`~repro.options.ExecutionOptions` over the session's
+        defaults (non-default fields win).  *request_id* tags the
+        ticket and the worker's trace span — the HTTP front end passes
+        the caller's ``X-Request-Id`` through here.
         """
         if self._shutdown.is_set():
             raise ServiceShutdownError()
-        ticket = QueryTicket(sql, session.name)
-        item = (session, ticket, sql, params)
+        ticket = QueryTicket(sql, session.name, request_id)
+        item = (session, ticket, sql, params, options)
         if wait:
             self._queue.put(item)
         else:
@@ -268,7 +305,7 @@ class QueryService:
                 return
             if item is None:
                 continue
-            _, ticket, _, _ = item
+            ticket = item[1]
             ticket._fail(ServiceShutdownError())
 
     def __enter__(self) -> "QueryService":
@@ -285,20 +322,38 @@ class QueryService:
             item = self._queue.get()
             if item is None:
                 return
-            session, ticket, sql, params = item
+            session, ticket, sql, params, options = item
+            effective = session.options.merged(options)
             stats = Stats()
-            try:
-                outcome = run_guarded(
-                    sql,
-                    session.database,
-                    params=params,
-                    budget=session.budget,
-                    safe_mode=session.safe_mode,
+            # Request-id propagation: the span carries the id the HTTP
+            # layer (or any submitter) attached, so one request can be
+            # followed socket -> queue -> worker in the trace tree.
+            span_cm = (
+                TRACER.span(
+                    "service.query",
                     stats=stats,
-                    planner_options=session.planner_options,
-                    plan_cache=self._plan_cache,
-                    parallel=self._parallel,
+                    session=session.name,
+                    **(
+                        {"request_id": ticket.request_id}
+                        if ticket.request_id
+                        else {}
+                    ),
                 )
+                if TRACER.enabled
+                else NULL_SPAN
+            )
+            try:
+                with span_cm:
+                    outcome = run_with_options(
+                        sql,
+                        session.database,
+                        params=params,
+                        options=effective,
+                        stats=stats,
+                        planner_options=session.planner_options,
+                        plan_cache=self._plan_cache,
+                        parallel=self._parallel,
+                    )
             except BaseException as error:
                 session._record(stats, failed=True)
                 self.metrics.inc(

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 from ..engine.database import Database
 from ..engine.planner import PlannerOptions
 from ..engine.stats import Stats
+from ..options import ExecutionOptions
 from ..resilience.budgets import ResourceBudget
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,11 +38,15 @@ class Session:
     Attributes:
         name: the session's metrics label (unique per service).
         database: the database every query of this session runs against.
-        budget: per-query resource budget, or None for unbudgeted runs.
+        options: the session's default
+            :class:`~repro.options.ExecutionOptions`; per-query options
+            passed to ``submit`` layer on top of these.
         planner_options: physical-planning knobs for this session.
-        safe_mode: cross-check rewrites against the unrewritten plan.
         stats: accumulated counters over every completed query.
         queries_completed / queries_failed: session-scoped outcomes.
+
+    ``budget`` and ``safe_mode`` remain readable as properties derived
+    from :attr:`options`, so pre-facade callers keep working.
     """
 
     def __init__(
@@ -52,19 +57,35 @@ class Session:
         budget: ResourceBudget | None = None,
         planner_options: PlannerOptions | None = None,
         safe_mode: bool = False,
+        options: ExecutionOptions | None = None,
     ) -> None:
         self._service = service
         self.database = database
         self.name = name
-        self.budget = budget
+        self.options = (
+            options
+            if options is not None
+            else ExecutionOptions.create(budget=budget, safe_mode=safe_mode)
+        )
         self.planner_options = planner_options
-        self.safe_mode = safe_mode
         self.stats = Stats()
         self.queries_completed = 0
         self.queries_failed = 0
         # Leaf lock: guards the accumulators only; never held while
         # executing a query or touching the service.
         self._lock = threading.Lock()
+
+    # -- legacy views over the options value ----------------------------
+
+    @property
+    def budget(self) -> ResourceBudget | None:
+        """The per-query budget the session's options imply."""
+        return self.options.budget()
+
+    @property
+    def safe_mode(self) -> bool:
+        """Whether queries default to safe-mode cross-checking."""
+        return self.options.safe_mode
 
     # -- submission convenience ----------------------------------------
 
@@ -74,10 +95,14 @@ class Session:
         params: dict | None = None,
         *,
         wait: bool = True,
+        options: ExecutionOptions | None = None,
+        request_id: str | None = None,
     ) -> "QueryTicket":
         """Enqueue one query on the owning service.  See
         :meth:`QueryService.submit`."""
-        return self._service.submit(self, sql, params, wait=wait)
+        return self._service.submit(
+            self, sql, params, wait=wait, options=options, request_id=request_id
+        )
 
     def submit_many(
         self, queries: list[str | tuple[str, dict | None]]

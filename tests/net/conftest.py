@@ -1,0 +1,46 @@
+"""Shared helpers for the network-layer tests: raw HTTP access (no
+client-side retry or decoding) and a server factory over the shared
+test databases."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.net.server import QueryServer
+
+
+def raw_post(url: str, path: str, payload, timeout: float = 10.0):
+    """One raw POST; returns ``(status, headers, decoded_body)`` without
+    retrying or raising on error statuses — tests inspect envelopes."""
+    data = (
+        payload
+        if isinstance(payload, bytes)
+        else json.dumps(payload).encode("utf-8")
+    )
+    request = urllib.request.Request(
+        url + path,
+        data=data,
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def raw_get(url: str, path: str, timeout: float = 10.0):
+    with urllib.request.urlopen(url + path, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+@pytest.fixture()
+def server(tiny_db):
+    """A two-worker server over the hand-written instance."""
+    with QueryServer(tiny_db, workers=2) as srv:
+        yield srv

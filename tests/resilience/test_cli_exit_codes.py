@@ -9,11 +9,14 @@ from repro.errors import (
     ParseError,
     QueryCancelled,
     QueryTimeout,
+    RemoteQueryError,
     ReproError,
     ResourceError,
     RewriteMismatchError,
     RowBudgetExceeded,
+    TicketWaitTimeout,
     TransientImsError,
+    TransientNetworkError,
 )
 
 
@@ -31,10 +34,19 @@ class TestExitCodeMap:
             (ParseError("bad token"), 2),
             (ExecutionError("type clash"), 2),
             (ImsError("segment trouble"), 2),
+            (TicketWaitTimeout(1.0, "SELECT 1"), 10),
+            (TransientNetworkError("conn reset", status=0), 11),
         ],
     )
     def test_mapping(self, error, code):
         assert exit_code_for(error) == code
+
+    def test_remote_error_maps_by_original_type(self):
+        """An error relayed over the wire keeps its local exit code."""
+        relayed = RemoteQueryError("RowBudgetExceeded", "too many rows", 413)
+        assert exit_code_for(relayed) == 5
+        unknown = RemoteQueryError("SomethingNovel", "???", 500)
+        assert exit_code_for(unknown) == 2
 
 
 class TestCliIntegration:

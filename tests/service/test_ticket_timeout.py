@@ -1,0 +1,32 @@
+"""QueryTicket.result(timeout=...) raises the typed wait-timeout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError, TicketWaitTimeout
+from repro.resilience import FAULTS, SITE_PLAN_CACHE
+from repro.service import QueryService
+
+
+def test_ticket_wait_timeout_is_typed(tiny_db):
+    with QueryService(workers=1) as service:
+        session = service.session(tiny_db)
+        with FAULTS.inject(SITE_PLAN_CACHE, kind="slow", delay=0.5, times=1):
+            ticket = session.submit("SELECT S.SNO FROM SUPPLIER S", wait=True)
+            with pytest.raises(TicketWaitTimeout) as excinfo:
+                ticket.result(timeout=0.05)
+            # The wait expired, not the query: the ticket still completes.
+            outcome = ticket.result(timeout=10)
+    error = excinfo.value
+    assert error.timeout == 0.05
+    assert "SELECT S.SNO FROM SUPPLIER S" in str(error)
+    assert len(outcome.result) == 4
+
+
+def test_ticket_wait_timeout_hierarchy():
+    """Subclasses both ServiceError and TimeoutError, so pre-facade
+    ``except TimeoutError`` handlers keep catching it."""
+    error = TicketWaitTimeout(1.0, "SELECT 1")
+    assert isinstance(error, ServiceError)
+    assert isinstance(error, TimeoutError)
