@@ -104,6 +104,8 @@ def run_with_options(
         plan_cache=plan_cache,
         planner_options=planner_options,
         parallel=parallel if parallel is not None else options.parallel,
+        engine_mode=options.engine_mode,
+        batch_rows=options.batch_rows,
     )
     if options.analyze and not outcome.mismatch:
         # Re-execute the winning form instrumented; the guarded result
@@ -113,6 +115,8 @@ def run_with_options(
             database,
             params=params,
             guard=budget.guard() if budget is not None else None,
+            engine_mode=options.engine_mode,
+            batch_rows=options.batch_rows,
         )
     return outcome
 
@@ -230,6 +234,8 @@ class Cursor:
         analyze: bool = _UNSET,  # type: ignore[assignment]
         optimize: bool = _UNSET,  # type: ignore[assignment]
         parallel: "ParallelOptions | int | None" = _UNSET,  # type: ignore[assignment]
+        engine_mode: str | None = _UNSET,  # type: ignore[assignment]
+        batch_rows: int | None = _UNSET,  # type: ignore[assignment]
         options: ExecutionOptions | None = None,
     ) -> "Cursor":
         """Execute *sql* with the connection's options plus overrides.
@@ -254,6 +260,8 @@ class Cursor:
             analyze=analyze,
             optimize=optimize,
             parallel=parallel,
+            engine_mode=engine_mode,
+            batch_rows=batch_rows,
         )
         self._executed = self.connection._backend.run(sql, params, resolved)
         self._position = 0
@@ -488,6 +496,8 @@ def _apply_overrides(
     analyze: Any = _UNSET,
     optimize: Any = _UNSET,
     parallel: Any = _UNSET,
+    engine_mode: Any = _UNSET,
+    batch_rows: Any = _UNSET,
 ) -> ExecutionOptions:
     """Layer explicitly-passed keyword overrides onto *base*."""
     values: dict[str, Any] = {
@@ -497,6 +507,8 @@ def _apply_overrides(
         "analyze": base.analyze,
         "optimize": base.optimize,
         "parallel": base.parallel,
+        "engine_mode": base.engine_mode,
+        "batch_rows": base.batch_rows,
     }
     if budget is not _UNSET and budget is not None:
         if not isinstance(budget, ResourceBudget):
@@ -519,6 +531,10 @@ def _apply_overrides(
                 ParallelOptions(workers=parallel) if parallel > 1 else None
             )
         values["parallel"] = parallel
+    if engine_mode is not _UNSET:
+        values["engine_mode"] = engine_mode
+    if batch_rows is not _UNSET:
+        values["batch_rows"] = batch_rows
     return ExecutionOptions(**values)
 
 

@@ -256,6 +256,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="drop the row-count cost gate so even small inputs take the "
         "parallel morsel paths (implies --workers 2 when unset)",
     )
+    run.add_argument(
+        "--engine-mode",
+        choices=("tuple", "vectorized", "auto"),
+        help="execution style: tuple (row-at-a-time interpreter), "
+        "vectorized (columnar batches), or auto (vectorize when safe); "
+        "default: the REPRO_ENGINE_MODE environment variable, else tuple",
+    )
+    run.add_argument(
+        "--batch-rows",
+        type=int,
+        metavar="N",
+        help="rows per column batch in vectorized mode",
+    )
     run.add_argument("sql", help="the query to execute")
 
     explain = commands.add_parser(
@@ -347,6 +360,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="cross-check rewrites against the unrewritten plan",
     )
     serve.add_argument(
+        "--engine-mode",
+        choices=("tuple", "vectorized", "auto"),
+        help="execution style for every served query (default: tuple)",
+    )
+    serve.add_argument(
         "--json",
         action="store_true",
         help="emit per-query outcomes and service metrics as JSON",
@@ -406,6 +424,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--no-optimize",
         action="store_true",
         help="execute the query as written, skipping the rewrite rules",
+    )
+    client.add_argument(
+        "--engine-mode",
+        choices=("tuple", "vectorized", "auto"),
+        help="execution style, enforced server-side (default: tuple)",
     )
     client.add_argument(
         "--param",
@@ -592,6 +615,8 @@ def _run_query(
         analyze=args.analyze,
         optimize=not args.no_optimize,
         parallel=_parallel_options(args),
+        engine_mode=args.engine_mode,
+        batch_rows=args.batch_rows,
     )
     with Connection.local(database, options=options) as connection:
         cursor = connection.execute(args.sql, params or None)
@@ -774,7 +799,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         parallel=parallel,
     ) as service:
         session = service.session(
-            database, budget=budget, safe_mode=args.safe_mode
+            database,
+            budget=budget,
+            safe_mode=args.safe_mode,
+            options=(
+                ExecutionOptions.create(
+                    timeout=args.timeout,
+                    row_budget=args.row_budget,
+                    safe_mode=args.safe_mode,
+                    engine_mode=args.engine_mode,
+                )
+                if args.engine_mode
+                else None
+            ),
         )
         tickets = service.submit_many(session, queries)
         for ticket in tickets:
@@ -839,6 +876,7 @@ def _serve_http(args: argparse.Namespace, database: Database) -> int:
         timeout=args.timeout,
         row_budget=args.row_budget,
         safe_mode=args.safe_mode,
+        engine_mode=args.engine_mode,
     )
     parallel = (
         ParallelOptions(workers=2, morsel_size=256, min_parallel_rows=1)
@@ -886,6 +924,7 @@ def cmd_client(args: argparse.Namespace) -> int:
         safe_mode=args.safe_mode,
         analyze=args.analyze,
         optimize=not args.no_optimize,
+        engine_mode=args.engine_mode,
     )
     params = _parse_params(args.param)
     with api_connect(

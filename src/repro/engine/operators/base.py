@@ -7,6 +7,12 @@ from typing import TYPE_CHECKING, Iterator
 from ...resilience.budgets import ExecutionGuard
 from ...resilience.faults import FAULTS, SITE_OPERATOR
 from ...types.values import SqlValue
+from ..columnar import (
+    DEFAULT_BATCH_ROWS,
+    ColumnBatch,
+    batches_from_rows,
+    resolve_engine_mode,
+)
 from ..evaluator import Evaluator
 from ..schema import RelSchema, Scope
 from ..stats import Stats
@@ -38,6 +44,15 @@ class ExecContext:
     scans, hash-join build/probe phases — split their input into
     row-range morsels on the shared pool; everything else runs the
     serial code unchanged.
+
+    *engine_mode* selects the execution style (see
+    :mod:`repro.engine.columnar`): ``"tuple"`` is the verified row
+    interpreter, ``"vectorized"`` drives the plan through
+    :meth:`PlanNode.batches`, and ``"auto"`` vectorizes unless the
+    fault injector is armed (chaos runs exercise the per-row trigger
+    schedule unless a test forces the vectorized path explicitly).
+    ``None`` inherits the process default
+    (:func:`repro.engine.columnar.default_engine_mode`).
     """
 
     def __init__(
@@ -48,6 +63,8 @@ class ExecContext:
         use_indexes: bool = True,
         guard: ExecutionGuard | None = None,
         parallel: "ParallelExecution | None" = None,
+        engine_mode: str | None = None,
+        batch_rows: int | None = None,
     ) -> None:
         from ..executor import Executor  # deferred to break the cycle
 
@@ -72,6 +89,17 @@ class ExecContext:
         self.batch_ticks = not FAULTS.armed
         if self.batch_ticks:
             self.tick = guard.tick if guard is not None else _tick_noop
+        mode = resolve_engine_mode(engine_mode)
+        self.engine_mode = mode
+        self.batch_rows = (
+            batch_rows if batch_rows and batch_rows > 0 else DEFAULT_BATCH_ROWS
+        )
+        # "vectorized" is an explicit opt-in and wins even with faults
+        # armed (the vectorized_eval site needs the batch path live);
+        # "auto" defers to the chaos suite's per-row schedules.
+        self.use_batches = mode == "vectorized" or (
+            mode == "auto" and not FAULTS.armed
+        )
 
     def tick(self, rows: int = 1) -> None:
         """One cooperative checkpoint, called per row by operator loops.
@@ -97,6 +125,22 @@ class PlanNode:
     def rows(self, ctx: ExecContext, outer: Scope | None = None) -> Iterator[tuple]:
         """Yield output rows.  *outer* carries correlation bindings."""
         raise NotImplementedError
+
+    def batches(
+        self, ctx: ExecContext, outer: Scope | None = None
+    ) -> Iterator[ColumnBatch]:
+        """Yield output as :class:`~repro.engine.columnar.ColumnBatch`\\ es.
+
+        The default re-batches :meth:`rows` — any operator without a
+        vectorized kernel (or one that declined to vectorize) keeps its
+        exact tuple semantics, including ticks and counters, while
+        vectorized parents consume it uniformly.  Overrides produce
+        batches natively and must preserve the row sequence byte for
+        byte.
+        """
+        yield from batches_from_rows(
+            self.rows(ctx, outer), len(self.schema), ctx.batch_rows
+        )
 
     def children(self) -> tuple["PlanNode", ...]:
         return ()

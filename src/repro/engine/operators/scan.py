@@ -51,6 +51,24 @@ class SeqScan(PlanNode):
             tick(pending)
             stats.rows_scanned += pending
 
+    def batches(self, ctx: ExecContext, outer: Scope | None = None):
+        """Vectorized scan: serve the table's cached columnar batches.
+
+        One guard tick per batch (the documented vectorized
+        granularity: totals are identical to the tuple path, the
+        checkpoints are just morsel-sized apart).
+        """
+        tick = ctx.tick
+        stats = ctx.stats
+        for batch in ctx.database.table(self.table_name).column_batches(
+            ctx.batch_rows
+        ):
+            tick(batch.length)
+            stats.rows_scanned += batch.length
+            stats.vectorized_batches += 1
+            stats.vectorized_rows += batch.length
+            yield batch
+
     def label(self) -> str:
         if self.alias != self.table_name:
             return f"SeqScan({self.table_name} AS {self.alias})"

@@ -493,6 +493,8 @@ def execute_plan(
     use_indexes: bool = True,
     guard: ExecutionGuard | None = None,
     parallel: "ParallelOptions | ParallelExecution | None" = None,
+    engine_mode: str | None = None,
+    batch_rows: int | None = None,
 ) -> Result:
     """Run a physical plan to completion.
 
@@ -505,6 +507,13 @@ def execute_plan(
     :class:`~repro.engine.parallel.ParallelExecution`) lets eligible
     operators split large inputs into morsels on the worker pool; it
     never changes the plan or the output sequence.
+
+    *engine_mode* picks the execution style: ``"tuple"`` streams rows
+    through the interpreter/compiled closures, ``"vectorized"`` drives
+    the plan through the operators' columnar ``batches()`` protocol,
+    and ``"auto"`` vectorizes exactly when faults are disarmed.  Like
+    *parallel*, the mode is execution-time only — same plan, same
+    output sequence.  *batch_rows* sizes the column batches.
     """
     ctx = ExecContext(
         database,
@@ -513,6 +522,8 @@ def execute_plan(
         use_indexes=use_indexes,
         guard=guard,
         parallel=parallel_execution(parallel),
+        engine_mode=engine_mode,
+        batch_rows=batch_rows,
     )
     # One attribute test when tracing is off — the hot path stays bare.
     span_cm = (
@@ -521,10 +532,16 @@ def execute_plan(
         else NULL_SPAN
     )
     with span_cm as span:
-        rows = list(plan.rows(ctx))
+        if ctx.use_batches:
+            rows = []
+            for batch in plan.batches(ctx):
+                rows.extend(batch.to_rows())
+        else:
+            rows = list(plan.rows(ctx))
         ctx.stats.rows_output += len(rows)
         if span:
             span.attributes["rows"] = len(rows)
+            span.attributes["engine_mode"] = ctx.engine_mode
             if guard is not None:
                 span.attributes["guard_rows"] = guard.rows_processed
     return Result(plan.schema.output_names(), rows)
@@ -540,6 +557,8 @@ def execute_planned(
     plan_cache: PlanCache | None = None,
     guard: ExecutionGuard | None = None,
     parallel: "ParallelOptions | ParallelExecution | None" = None,
+    engine_mode: str | None = None,
+    batch_rows: int | None = None,
 ) -> Result:
     """Plan and execute *query* with the physical engine.
 
@@ -557,6 +576,8 @@ def execute_planned(
     *parallel* is execution-time only: it does not enter the cache key,
     because parallel morsel execution never changes the plan shape or
     the result sequence — only which threads evaluate which row ranges.
+    *engine_mode* and *batch_rows* stay out of the key for the same
+    reason: the vectorized engine runs the identical plan, just batched.
     """
     options = options or PlannerOptions()
     if not use_indexes and options.index_scans:
@@ -613,4 +634,6 @@ def execute_planned(
             use_indexes=use_indexes,
             guard=guard,
             parallel=parallel,
+            engine_mode=engine_mode,
+            batch_rows=batch_rows,
         )

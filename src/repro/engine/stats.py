@@ -50,6 +50,12 @@ class Stats:
         parallel_joins: hash joins whose build and/or probe phase was
             partitioned across the worker pool.
         parallel_morsels: total morsel tasks dispatched to the pool.
+        vectorized_batches: column batches produced by vectorized
+            operator kernels (scan, mask-select, slice, probe).
+        vectorized_rows: rows flowing through those batches — compare
+            with ``predicate_evals`` to see the per-row dispatch avoided.
+        vectorized_fallbacks: batch-kernel failures recovered by
+            demoting (possibly mid-stream) to the tuple interpreter.
     """
 
     rows_scanned: int = 0
@@ -74,6 +80,9 @@ class Stats:
     parallel_scans: int = 0
     parallel_joins: int = 0
     parallel_morsels: int = 0
+    vectorized_batches: int = 0
+    vectorized_rows: int = 0
+    vectorized_fallbacks: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -37,8 +37,14 @@ class NodeStats:
     label: str
     loops: int = 0
     rows: int = 0
+    batches: int = 0  # column batches emitted (vectorized mode only)
     seconds: float = 0.0  # inclusive of children, like EXPLAIN ANALYZE
     est_rows: float | None = None
+    #: True while the node's batches() wrapper is live, so a batches
+    #: implementation that falls back through the node's own rows()
+    #: (the default re-batch, or an explicit tuple-path delegation)
+    #: does not double-count loops/rows/time.
+    suspended: bool = False
 
     @property
     def q_error(self) -> float | None:
@@ -77,6 +83,8 @@ class PlanAnalysis:
             f"loops={stats.loops}",
             f"time={stats.seconds * 1000:.3f} ms",
         ]
+        if stats.batches:
+            parts.append(f"batches={stats.batches}")
         if stats.est_rows is not None:
             parts.append(f"est rows={stats.est_rows:.0f}")
             parts.append(f"q-error={stats.q_error:.2f}")
@@ -106,6 +114,8 @@ class PlanAnalysis:
                 loops=stats.loops,
                 time_ms=stats.seconds * 1000,
             )
+            if stats.batches:
+                payload["batches"] = stats.batches
             if stats.est_rows is not None:
                 payload["est_rows"] = stats.est_rows
                 payload["q_error"] = stats.q_error
@@ -164,8 +174,14 @@ def instrument_plan(plan: Any) -> tuple[Any, PlanAnalysis]:
 def _instrument_node(node: Any, analysis: PlanAnalysis) -> None:
     stats = analysis.register(node)
     original = type(node).rows  # the plain function, not a bound method
+    original_batches = type(node).batches
 
     def counting_rows(ctx, outer=None, _node=node, _orig=original, _stats=stats):
+        if _stats.suspended:
+            # This node's batches() wrapper is already accounting; the
+            # inner rows() call is its tuple-path fallback, not a loop.
+            yield from _orig(_node, ctx, outer)
+            return
         _stats.loops += 1
         start = perf_counter()
         try:
@@ -179,8 +195,29 @@ def _instrument_node(node: Any, analysis: PlanAnalysis) -> None:
             _stats.seconds += perf_counter() - start
             raise
 
-    # An instance attribute shadows the class method for this clone only.
+    def counting_batches(
+        ctx, outer=None, _node=node, _orig=original_batches, _stats=stats
+    ):
+        _stats.loops += 1
+        _stats.suspended = True
+        start = perf_counter()
+        try:
+            for batch in _orig(_node, ctx, outer):
+                _stats.seconds += perf_counter() - start
+                _stats.rows += batch.length
+                _stats.batches += 1
+                yield batch
+                start = perf_counter()
+            _stats.seconds += perf_counter() - start
+        except BaseException:
+            _stats.seconds += perf_counter() - start
+            raise
+        finally:
+            _stats.suspended = False
+
+    # Instance attributes shadow the class methods for this clone only.
     node.rows = counting_rows
+    node.batches = counting_batches
 
 
 @dataclass
@@ -216,13 +253,17 @@ def execute_analyzed(
     options: Any | None = None,
     use_indexes: bool = True,
     guard: Any | None = None,
+    engine_mode: str | None = None,
+    batch_rows: int | None = None,
 ) -> AnalyzedExecution:
     """Plan *query*, execute an instrumented clone, return the actuals.
 
     Plans fresh (never from the plan cache — instrumented nodes must not
     be shared) and records per-node loops/rows/time plus the cost
-    model's estimates.  When tracing is enabled the per-operator actuals
-    are additionally attached to the global tracer as a span subtree.
+    model's estimates.  Under a vectorized *engine_mode* each node also
+    reports the column batches it emitted.  When tracing is enabled the
+    per-operator actuals are additionally attached to the global tracer
+    as a span subtree.
     """
     from ..engine.planner import Planner, PlannerOptions, execute_plan
     from ..engine.stats import Stats
@@ -248,6 +289,8 @@ def execute_analyzed(
             stats=stats,
             use_indexes=use_indexes,
             guard=guard,
+            engine_mode=engine_mode,
+            batch_rows=batch_rows,
         )
         analysis.wall_seconds = perf_counter() - start
         if span:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Mapping
 
+from .engine.columnar import ENGINE_MODES
 from .engine.parallel import ParallelOptions
 from .errors import ProtocolError
 from .resilience.budgets import ResourceBudget
@@ -42,6 +43,12 @@ class ExecutionOptions:
         optimize: apply the rewrite rules at all (False = execute the
             query exactly as written).
         parallel: morsel-parallel execution knobs, or None for serial.
+        engine_mode: ``"tuple"`` (row-at-a-time interpreter/compiled
+            closures), ``"vectorized"`` (columnar batches), ``"auto"``
+            (vectorize exactly when faults are disarmed), or None to
+            defer to :func:`repro.engine.columnar.default_engine_mode`.
+        batch_rows: rows per column batch in vectorized mode (None =
+            the engine default).
 
     The class is frozen and built from frozen parts, so a value can key
     caches, cross threads, and be shared between a session default and
@@ -54,12 +61,20 @@ class ExecutionOptions:
     analyze: bool = False
     optimize: bool = True
     parallel: ParallelOptions | None = None
+    engine_mode: str | None = None
+    batch_rows: int | None = None
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive")
         if self.row_budget is not None and self.row_budget <= 0:
             raise ValueError("row budget must be positive")
+        if self.engine_mode is not None and self.engine_mode not in ENGINE_MODES:
+            raise ValueError(
+                f"engine_mode must be one of {', '.join(ENGINE_MODES)}"
+            )
+        if self.batch_rows is not None and self.batch_rows <= 0:
+            raise ValueError("batch_rows must be positive")
 
     # -- construction ---------------------------------------------------
 
@@ -74,6 +89,8 @@ class ExecutionOptions:
         analyze: bool = False,
         optimize: bool = True,
         parallel: "ParallelOptions | int | None" = None,
+        engine_mode: str | None = None,
+        batch_rows: int | None = None,
     ) -> "ExecutionOptions":
         """Build options from the looser spellings the API accepts.
 
@@ -97,6 +114,8 @@ class ExecutionOptions:
             analyze=analyze,
             optimize=optimize,
             parallel=parallel,
+            engine_mode=engine_mode,
+            batch_rows=batch_rows,
         )
 
     # -- derived views --------------------------------------------------
@@ -145,6 +164,10 @@ class ExecutionOptions:
                 "morsel_size": self.parallel.morsel_size,
                 "min_parallel_rows": self.parallel.min_parallel_rows,
             }
+        if self.engine_mode is not None:
+            payload["engine_mode"] = self.engine_mode
+        if self.batch_rows is not None:
+            payload["batch_rows"] = self.batch_rows
         return payload
 
     @classmethod
@@ -180,6 +203,19 @@ class ExecutionOptions:
                 if not isinstance(value, bool):
                     raise ProtocolError(f"option {name!r} must be a boolean")
                 kwargs[name] = value
+        if payload.get("engine_mode") is not None:
+            value = payload["engine_mode"]
+            if not isinstance(value, str) or value not in ENGINE_MODES:
+                raise ProtocolError(
+                    "option 'engine_mode' must be one of "
+                    + ", ".join(repr(mode) for mode in ENGINE_MODES)
+                )
+            kwargs["engine_mode"] = value
+        if payload.get("batch_rows") is not None:
+            value = payload["batch_rows"]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProtocolError("option 'batch_rows' must be an integer")
+            kwargs["batch_rows"] = value
         parallel = payload.get("parallel")
         if parallel is not None:
             if isinstance(parallel, int) and not isinstance(parallel, bool):

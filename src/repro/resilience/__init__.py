@@ -41,6 +41,7 @@ from .faults import (
     SITE_OPERATOR,
     SITE_PLAN_CACHE,
     SITE_UNIQUENESS,
+    SITE_VECTORIZED_EVAL,
 )
 from .retry import RetryPolicy, call_with_retry
 
@@ -66,6 +67,7 @@ __all__ = [
     "SITE_OPERATOR",
     "SITE_PLAN_CACHE",
     "SITE_UNIQUENESS",
+    "SITE_VECTORIZED_EVAL",
     "call_with_retry",
     "reset_safe_mode_sampling",
     "run_guarded",

@@ -127,6 +127,8 @@ def run_guarded(
     plan_cache: PlanCache | None = None,
     use_indexes: bool = True,
     parallel=None,
+    engine_mode: str | None = None,
+    batch_rows: int | None = None,
 ) -> GuardedOutcome:
     """Optimize and execute *query* under *budget*, optionally verified.
 
@@ -152,6 +154,11 @@ def run_guarded(
             forwarded to the primary execution.  The safe-mode reference
             run stays serial on purpose: a diverse pair of executions is
             a stronger cross-check than two identical ones.
+        engine_mode / batch_rows: execution style for the primary run
+            (see :func:`~repro.engine.planner.execute_plan`).  The
+            safe-mode reference is pinned to the tuple interpreter for
+            the same diversity reason the parallel knob stays serial:
+            the verified answer comes from the row-at-a-time code path.
 
     Budget violations always propagate as
     :class:`~repro.errors.ResourceError` subclasses — no fallback ladder
@@ -190,6 +197,8 @@ def run_guarded(
             plan_cache=plan_cache,
             guard=guard,
             parallel=parallel,
+            engine_mode=engine_mode,
+            batch_rows=batch_rows,
         )
         if guarded_span is not None and guard is not None:
             guarded_span.attributes["guard_rows"] = guard.rows_processed
@@ -227,6 +236,7 @@ def run_guarded(
                 use_indexes=use_indexes,
                 plan_cache=plan_cache,
                 guard=budget.guard() if budget is not None else None,
+                engine_mode="tuple",
             )
         if reference.same_rows(result):
             return out

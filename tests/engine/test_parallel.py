@@ -72,9 +72,15 @@ def test_large_join_byte_identical_and_actually_parallel(big_db):
     assert parallel.rows == serial.rows
     assert parallel_stats.parallel_joins >= 1
     assert parallel_stats.parallel_morsels > 1
-    # Work accounting is thread-count independent.
+    # Work accounting is thread-count independent.  parallel_* and
+    # vectorized_* counters describe which code path ran (parallel joins
+    # delegate to the tuple machinery), so they legitimately differ.
     for name, value in serial_stats.as_dict().items():
-        if name.startswith("parallel") or name.startswith("plan_cache"):
+        if (
+            name.startswith("parallel")
+            or name.startswith("plan_cache")
+            or name.startswith("vectorized")
+        ):
             continue
         assert getattr(parallel_stats, name) == value, name
 

@@ -44,13 +44,18 @@ def test_compile_fault_falls_back_to_interpreter(tiny_db):
 
 
 def test_compiled_predicate_fails_mid_stream(tiny_db):
-    expected, clean = _clean(FILTER_SQL, tiny_db)
+    # Pinned to the tuple interpreter: this test verifies the per-row
+    # demotion arithmetic of the row-at-a-time path.  The vectorized
+    # path's demotion has its own site (vectorized_eval) and coverage.
+    expected, clean = _clean(FILTER_SQL, tiny_db, engine_mode="tuple")
 
     stats = Stats()
     # Let the closure evaluate two rows, then blow up once: the operator
     # must re-evaluate THAT row interpretively and finish the stream.
     with FAULTS.inject(SITE_COMPILED_EVAL, after=2, times=1):
-        result = execute_planned(FILTER_SQL, tiny_db, stats=stats)
+        result = execute_planned(
+            FILTER_SQL, tiny_db, stats=stats, engine_mode="tuple"
+        )
 
     assert result.same_rows(expected)
     assert stats.compile_fallbacks >= 1
@@ -93,9 +98,10 @@ def test_plan_cache_fault_replans(tiny_db):
 
 
 def test_operator_fault_is_typed_not_a_wrong_answer(tiny_db):
+    # Tuple-pinned: the after=3 trigger schedule counts per-row ticks.
     with FAULTS.inject(SITE_OPERATOR, after=3):
         with pytest.raises(InjectedFaultError) as info:
-            execute_planned(FILTER_SQL, tiny_db)
+            execute_planned(FILTER_SQL, tiny_db, engine_mode="tuple")
     assert info.value.site == "operator_next"
 
 
