@@ -50,11 +50,24 @@ from .engine.database import Database
 from .engine.parallel import ParallelOptions
 from .engine.plan_cache import PlanCache
 from .engine.stats import Stats
-from .errors import ProtocolError, ReproError
+from .errors import (
+    CatalogError,
+    ProtocolError,
+    ReproError,
+    ResourceError,
+    SqlError,
+)
 from .observe.analyze import execute_analyzed
 from .options import ExecutionOptions
 from .resilience.budgets import ResourceBudget
+from .resilience.deadline import Deadline
 from .resilience.guarded import GuardedOutcome, run_guarded
+from .resilience.health import (
+    SUBSYSTEM_OPTIMIZER,
+    SUBSYSTEM_PARALLEL,
+    SUBSYSTEM_PLAN_CACHE,
+    SUBSYSTEM_VECTORIZED,
+)
 from .sql.parser import parse_query
 
 #: Sentinel distinguishing "argument not passed" from an explicit None
@@ -72,6 +85,8 @@ def run_with_options(
     plan_cache: PlanCache | None = None,
     parallel: Any | None = None,
     planner_options: Any | None = None,
+    health: Any | None = None,
+    on_guard: Any | None = None,
 ) -> GuardedOutcome:
     """Execute *query* under one :class:`ExecutionOptions` value.
 
@@ -84,29 +99,88 @@ def run_with_options(
 
     *parallel* overrides ``options.parallel`` when not None (the service
     passes its live shared :class:`~repro.engine.parallel.ParallelExecution`).
+
+    Deadline semantics: when ``options.deadline`` is set, the effective
+    execution timeout is the smaller of ``options.timeout`` and the
+    deadline's remaining budget, and an already-expired deadline raises
+    :class:`~repro.errors.DeadlineExpiredError` here — before parsing,
+    planning, or touching a single operator.
+
+    *health* (a :class:`~repro.resilience.health.HealthTracker`) clamps
+    the execution to the ladder's current tiers — a demoted subsystem's
+    fast path is simply not requested — and is fed the outcome's fault
+    and success signals afterwards.  *on_guard* is forwarded to
+    :func:`~repro.resilience.guarded.run_guarded` so the caller can
+    cooperatively cancel mid-flight.
     """
     options = options if options is not None else ExecutionOptions()
-    budget = options.budget()
+    timeout = options.timeout
+    if options.deadline is not None:
+        # Raises DeadlineExpiredError when nothing is left: queue wait
+        # or network transit already spent the client's whole budget.
+        timeout = options.deadline.clamp_timeout(timeout)
+    budget = (
+        None
+        if timeout is None and options.row_budget is None
+        else ResourceBudget(timeout=timeout, row_budget=options.row_budget)
+    )
+    effective_parallel = parallel if parallel is not None else options.parallel
+    optimize = options.optimize
+    engine_mode = options.engine_mode
+    decision = None
+    if health is not None:
+        decision = health.decide(
+            {
+                SUBSYSTEM_VECTORIZED: engine_mode != "tuple",
+                SUBSYSTEM_PARALLEL: effective_parallel is not None,
+                SUBSYSTEM_OPTIMIZER: optimize,
+                SUBSYSTEM_PLAN_CACHE: True,
+            }
+        )
+        if not decision.granted(SUBSYSTEM_VECTORIZED) and engine_mode != "tuple":
+            engine_mode = "tuple"
+        if not decision.granted(SUBSYSTEM_PARALLEL):
+            effective_parallel = None
+        if not decision.granted(SUBSYSTEM_OPTIMIZER):
+            optimize = False
+        if not decision.granted(SUBSYSTEM_PLAN_CACHE):
+            # Bypass tier: a throwaway cache keeps the execution path
+            # identical while never reading or writing the shared one.
+            plan_cache = PlanCache()
     optimizer = None
-    if not options.optimize:
+    if not optimize:
         # An empty rule list turns run_guarded into plain planned
         # execution: no rewrite can fire, so safe mode has nothing to
         # cross-check and the audit trail stays empty.
         optimizer = Optimizer(database.catalog, rules=[])
-    outcome = run_guarded(
-        query,
-        database,
-        params=params,
-        budget=budget,
-        optimizer=optimizer,
-        safe_mode=options.safe_mode,
-        stats=stats,
-        plan_cache=plan_cache,
-        planner_options=planner_options,
-        parallel=parallel if parallel is not None else options.parallel,
-        engine_mode=options.engine_mode,
-        batch_rows=options.batch_rows,
-    )
+    try:
+        outcome = run_guarded(
+            query,
+            database,
+            params=params,
+            budget=budget,
+            optimizer=optimizer,
+            safe_mode=options.safe_mode,
+            stats=stats,
+            plan_cache=plan_cache,
+            planner_options=planner_options,
+            parallel=effective_parallel,
+            engine_mode=engine_mode,
+            batch_rows=options.batch_rows,
+            on_guard=on_guard,
+        )
+    except ReproError as error:
+        # Budget violations and user errors (bad SQL, unknown tables)
+        # say nothing about subsystem health; engine-level failures do.
+        if (
+            health is not None
+            and decision is not None
+            and not isinstance(error, (ResourceError, SqlError, CatalogError))
+        ):
+            health.observe(decision, stats=stats, error=error)
+        raise
+    if health is not None and decision is not None:
+        health.observe(decision, stats=outcome.stats, outcome=outcome)
     if options.analyze and not outcome.mismatch:
         # Re-execute the winning form instrumented; the guarded result
         # above stays the served answer, the analysis rides alongside.
@@ -115,9 +189,11 @@ def run_with_options(
             database,
             params=params,
             guard=budget.guard() if budget is not None else None,
-            engine_mode=options.engine_mode,
+            engine_mode=engine_mode,
             batch_rows=options.batch_rows,
         )
+        if health is not None:
+            outcome.analysis.health = health.tiers()
     return outcome
 
 
@@ -236,6 +312,8 @@ class Cursor:
         parallel: "ParallelOptions | int | None" = _UNSET,  # type: ignore[assignment]
         engine_mode: str | None = _UNSET,  # type: ignore[assignment]
         batch_rows: int | None = _UNSET,  # type: ignore[assignment]
+        deadline: "Deadline | float | None" = _UNSET,  # type: ignore[assignment]
+        priority: str = _UNSET,  # type: ignore[assignment]
         options: ExecutionOptions | None = None,
     ) -> "Cursor":
         """Execute *sql* with the connection's options plus overrides.
@@ -244,7 +322,8 @@ class Cursor:
         connection defaults wholesale; individual keyword arguments are
         then layered on top of whichever base applies.  ``budget``
         expands to ``timeout``/``row_budget``; ``parallel`` accepts a
-        plain worker count.
+        plain worker count; ``deadline`` accepts seconds-from-now as
+        shorthand for a :class:`~repro.resilience.deadline.Deadline`.
         """
         base = (
             options
@@ -262,6 +341,8 @@ class Cursor:
             parallel=parallel,
             engine_mode=engine_mode,
             batch_rows=batch_rows,
+            deadline=deadline,
+            priority=priority,
         )
         self._executed = self.connection._backend.run(sql, params, resolved)
         self._position = 0
@@ -498,6 +579,8 @@ def _apply_overrides(
     parallel: Any = _UNSET,
     engine_mode: Any = _UNSET,
     batch_rows: Any = _UNSET,
+    deadline: Any = _UNSET,
+    priority: Any = _UNSET,
 ) -> ExecutionOptions:
     """Layer explicitly-passed keyword overrides onto *base*."""
     values: dict[str, Any] = {
@@ -509,6 +592,8 @@ def _apply_overrides(
         "parallel": base.parallel,
         "engine_mode": base.engine_mode,
         "batch_rows": base.batch_rows,
+        "deadline": base.deadline,
+        "priority": base.priority,
     }
     if budget is not _UNSET and budget is not None:
         if not isinstance(budget, ResourceBudget):
@@ -535,6 +620,12 @@ def _apply_overrides(
         values["engine_mode"] = engine_mode
     if batch_rows is not _UNSET:
         values["batch_rows"] = batch_rows
+    if deadline is not _UNSET:
+        if isinstance(deadline, (int, float)) and not isinstance(deadline, bool):
+            deadline = Deadline.after(float(deadline))
+        values["deadline"] = deadline
+    if priority is not _UNSET:
+        values["priority"] = priority
     return ExecutionOptions(**values)
 
 

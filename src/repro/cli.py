@@ -68,7 +68,8 @@ NO, 2 generic library error, 3 other resource-budget error, 4 query
 timeout, 5 row budget exceeded, 6 query cancelled, 7 transient IMS
 failure with retries exhausted, 8 safe-mode rewrite mismatch, 9 service
 admission queue overloaded, 10 ticket wait timed out, 11 network
-failure with retries exhausted.  A :class:`~repro.errors.
+failure with retries exhausted, 12 deadline expired before execution
+began.  A :class:`~repro.errors.
 RemoteQueryError` relayed from a server maps by its *original* error
 type — a remote row-budget violation still exits 5.
 """
@@ -91,6 +92,7 @@ from .engine import (
 from .api import Connection
 from .api import connect as api_connect
 from .errors import (
+    DeadlineExpiredError,
     NetworkError,
     QueryCancelled,
     QueryTimeout,
@@ -214,6 +216,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         help="abort after processing this many rows (exit code 5)",
+    )
+    run.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        help="end-to-end deadline in milliseconds; a query whose budget "
+        "is already spent is rejected before any work (exit code 12)",
+    )
+    run.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        help="admission priority class (default interactive; batch is "
+        "shed first under load)",
     )
     run.add_argument(
         "--safe-mode",
@@ -409,6 +424,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         help="per-query row-processing budget (enforced server-side)",
+    )
+    client.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        help="end-to-end deadline in milliseconds, propagated via the "
+        "X-Deadline-Ms header (exit code 12 when already spent)",
+    )
+    client.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        help="admission priority class sent as X-Priority (default "
+        "interactive; batch is shed first under load)",
     )
     client.add_argument(
         "--safe-mode",
@@ -611,6 +639,12 @@ def _run_query(
     options = ExecutionOptions.create(
         timeout=args.timeout,
         row_budget=args.row_budget,
+        deadline=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None
+            else None
+        ),
+        priority=args.priority or "interactive",
         safe_mode=args.safe_mode,
         analyze=args.analyze,
         optimize=not args.no_optimize,
@@ -921,6 +955,12 @@ def cmd_client(args: argparse.Namespace) -> int:
     options = ExecutionOptions.create(
         timeout=args.timeout,
         row_budget=args.row_budget,
+        deadline=(
+            args.deadline_ms / 1000.0
+            if args.deadline_ms is not None
+            else None
+        ),
+        priority=args.priority or "interactive",
         safe_mode=args.safe_mode,
         analyze=args.analyze,
         optimize=not args.no_optimize,
@@ -1013,6 +1053,7 @@ _ERROR_EXIT_CODES: list[tuple[type[ReproError], int]] = [
     (QueryTimeout, 4),
     (RowBudgetExceeded, 5),
     (QueryCancelled, 6),
+    (DeadlineExpiredError, 12),
     (ResourceError, 3),
     (TransientImsError, 7),
     (RewriteMismatchError, 8),

@@ -134,6 +134,37 @@ class QueryCancelled(ResourceError):
         self.reason = reason
 
 
+class DeadlineExpiredError(ResourceError):
+    """Raised when a query's end-to-end deadline has already passed
+    *before* execution begins — queue wait (or network transit) consumed
+    the whole budget, so running the query would only produce an answer
+    nobody is still waiting for.
+
+    Distinct from :class:`QueryTimeout`: a timeout fires *during*
+    execution; an expired deadline is rejected up front without touching
+    a single operator.  HTTP maps it to 504, the CLI to exit code 12.
+
+    Attributes:
+        remaining_ms: milliseconds left on the deadline when it was
+            checked (zero or negative).
+        waited: seconds the query spent queued before the check, when
+            the rejection happened after admission (None otherwise).
+    """
+
+    def __init__(self, remaining_ms: float, waited: float | None = None) -> None:
+        where = (
+            f" after waiting {waited * 1000:.0f}ms in the admission queue"
+            if waited is not None
+            else ""
+        )
+        super().__init__(
+            f"deadline expired {max(0.0, -remaining_ms):.0f}ms before "
+            f"execution began{where}"
+        )
+        self.remaining_ms = remaining_ms
+        self.waited = waited
+
+
 class RewriteError(ReproError):
     """Raised when a rewrite rule is applied to an unsupported query."""
 
@@ -205,6 +236,31 @@ class ServiceOverloadedError(ServiceError):
         self.depth = depth
 
 
+class LoadShedError(ServiceOverloadedError):
+    """Raised when the adaptive admission controller sheds a query
+    because predicted queue delay is approaching typical deadlines.
+
+    Subclasses :class:`ServiceOverloadedError`, so it keeps the 429 /
+    ``Retry-After`` wire mapping and exit code 9 — shedding is the
+    *adaptive* form of the same backpressure contract, fired before the
+    queue is physically full and aimed at batch traffic first.
+
+    Attributes:
+        priority: the shed query's priority class.
+        predicted_wait: the controller's queue-delay estimate (seconds).
+    """
+
+    def __init__(self, priority: str, predicted_wait: float, depth: int) -> None:
+        ServiceError.__init__(
+            self,
+            f"load shed: {priority} query rejected, predicted queue wait "
+            f"{predicted_wait * 1000:.0f}ms approaches typical deadlines",
+        )
+        self.priority = priority
+        self.predicted_wait = predicted_wait
+        self.depth = depth
+
+
 class ServiceShutdownError(ServiceError):
     """Raised when work is submitted to a service that has shut down."""
 
@@ -261,6 +317,29 @@ class TransientNetworkError(NetworkError):
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
+
+
+class CircuitOpenError(TransientNetworkError):
+    """Raised by the client-side circuit breaker when the target server
+    has failed enough consecutive attempts that further requests are
+    pointless until a probe succeeds.
+
+    Subclasses :class:`TransientNetworkError` so the retry policy treats
+    an open circuit like any other transient condition — but the failure
+    is produced *without touching the network*, which is the point: a
+    sick server stops being hammered the moment the breaker opens.
+
+    Attributes:
+        retry_in: seconds until the breaker will allow a half-open probe.
+    """
+
+    def __init__(self, retry_in: float) -> None:
+        super().__init__(
+            f"circuit breaker open: next probe allowed in {retry_in:.3f}s",
+            status=0,
+            retry_after=retry_in,
+        )
+        self.retry_in = retry_in
 
 
 class RemoteQueryError(NetworkError):

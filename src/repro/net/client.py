@@ -26,10 +26,14 @@ from typing import Any
 
 from ..api import Connection, ExecutedQuery
 from ..errors import (
+    CircuitOpenError,
     ProtocolError,
     TransientNetworkError,
 )
 from ..options import ExecutionOptions
+from ..resilience.admission import PRIORITY_HEADER, PRIORITY_INTERACTIVE
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.deadline import DEADLINE_HEADER, Deadline
 from ..resilience.retry import RetryPolicy, call_with_retry
 from . import protocol
 from .protocol import CONTENT_NDJSON, REQUEST_ID_HEADER
@@ -55,6 +59,15 @@ class HttpBackend:
             for large results and exercises incremental delivery).
         timeout: socket timeout per HTTP attempt, in seconds.
         rng: randomness source for retry jitter (seedable for tests).
+        breaker: the client-side
+            :class:`~repro.resilience.breaker.CircuitBreaker` guarding
+            this server (a default one when None).  Consecutive
+            transient failures open it; an open breaker fails attempts
+            locally with :class:`~repro.errors.CircuitOpenError` —
+            which subclasses the retryable family carrying the time to
+            the next half-open probe as ``retry_after``, so the retry
+            loop sleeps exactly to the probe window instead of
+            hammering a dead socket.
     """
 
     remote = True
@@ -68,6 +81,7 @@ class HttpBackend:
         stream: bool = False,
         timeout: float = 30.0,
         rng: random.Random | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.url = url.rstrip("/")
         self.session = session
@@ -79,12 +93,22 @@ class HttpBackend:
         self.retries = 0  # cumulative wire retries, for tests/metrics
         self._rng = rng if rng is not None else random.Random()
         self._owned_session = False
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        # Per-call resilience headers (set by run(), cleared after):
+        # the deadline header is recomputed per *attempt* so a retry
+        # sends the budget actually remaining, not a stale snapshot.
+        self._deadline: Deadline | None = None
+        self._priority: str = PRIORITY_INTERACTIVE
 
     # -- the Connection backend interface -------------------------------
 
     def run(
         self, sql: str, params: dict | None, options: ExecutionOptions
     ) -> ExecutedQuery:
+        if options.deadline is not None:
+            # Fast-fail locally: an expired deadline must not even
+            # touch the network (the server would reject it anyway).
+            options.deadline.check()
         body: dict[str, Any] = {"sql": sql}
         encoded = protocol.encode_params(params)
         if encoded is not None:
@@ -92,11 +116,21 @@ class HttpBackend:
         if self.session is not None:
             body["session"] = self.session
         wire_options = options.to_wire()
+        # Deadline and priority ride the headers, recomputed per
+        # attempt; the body copy would freeze a stale remaining-ms.
+        wire_options.pop("deadline_ms", None)
+        wire_options.pop("priority", None)
         if wire_options:
             body["options"] = wire_options
         if self.stream:
             body["stream"] = True
-        return self._call_retrying("/v1/query", body, self._query_once)
+        self._deadline = options.deadline
+        self._priority = options.priority
+        try:
+            return self._call_retrying("/v1/query", body, self._query_once)
+        finally:
+            self._deadline = None
+            self._priority = PRIORITY_INTERACTIVE
 
     def close(self) -> None:
         """Close the server-side session if this backend opened it."""
@@ -249,18 +283,37 @@ class HttpBackend:
         error (transient ones pick up ``Retry-After``); socket-level
         failures become :class:`TransientNetworkError` so the retry
         policy treats a dropped connection like a 503.
+
+        The circuit breaker gates every attempt: an open circuit fails
+        here without touching the network, transient failures feed its
+        counter, and any response at all — even an error envelope —
+        counts as proof of life that closes it.
         """
+        try:
+            self.breaker.acquire()
+        except CircuitOpenError as error:
+            # Sleep the retry loop exactly to the half-open window.
+            self._pending_retry_after = error.retry_after
+            raise
         data = protocol.dumps(body) if body is not None else None
         request = urllib.request.Request(
             self.url + path, data=data, method=method
         )
         if data is not None:
             request.add_header("Content-Type", "application/json")
+        if self._deadline is not None:
+            request.add_header(
+                DEADLINE_HEADER, f"{self._deadline.to_wire_ms():.3f}"
+            )
+        if self._priority != PRIORITY_INTERACTIVE:
+            request.add_header(PRIORITY_HEADER, self._priority)
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout
             ) as response:
-                return response.status, response.headers, response.read()
+                result = response.status, response.headers, response.read()
+            self.breaker.record_success()
+            return result
         except urllib.error.HTTPError as error:
             raw = error.read()
             try:
@@ -270,6 +323,11 @@ class HttpBackend:
                 typed = self._statusline_error(error.code, raw)
             if isinstance(typed, TransientNetworkError):
                 self._pending_retry_after = typed.retry_after
+                self.breaker.record_failure()
+            else:
+                # A typed terminal envelope is a *working* server
+                # rejecting this particular request — proof of life.
+                self.breaker.record_success()
             raise typed from None
         except (
             urllib.error.URLError,
@@ -278,6 +336,7 @@ class HttpBackend:
             TimeoutError,
             http.client.HTTPException,
         ) as error:
+            self.breaker.record_failure()
             raise TransientNetworkError(
                 f"{method} {path} failed: {error!r}", status=0
             ) from None
@@ -303,6 +362,7 @@ def connect(
     stream: bool = False,
     timeout: float = 30.0,
     rng: random.Random | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> Connection:
     """Dial a :class:`~repro.net.server.QueryServer`; returns the same
     :class:`~repro.api.Connection` facade a local database gives.
@@ -314,7 +374,7 @@ def connect(
         session: bind queries to an existing named server session.
         fresh_session: open (and own) a new server-side session — it is
             closed again when the connection closes.
-        retry_policy / timeout / rng: transport knobs, see
+        retry_policy / timeout / rng / breaker: transport knobs, see
             :class:`HttpBackend`.
         stream: ask for NDJSON streaming responses.
     """
@@ -325,6 +385,7 @@ def connect(
         stream=stream,
         timeout=timeout,
         rng=rng,
+        breaker=breaker,
     )
     if fresh_session:
         backend.open_session(session, options)

@@ -32,6 +32,7 @@ from typing import Any, Iterable, Mapping
 
 from ..errors import (
     CatalogError,
+    DeadlineExpiredError,
     ExecutionError,
     InjectedFaultError,
     NetworkError,
@@ -48,6 +49,8 @@ from ..errors import (
     TransientImsError,
     UnsupportedQueryError,
 )
+from ..resilience.admission import PRIORITY_HEADER
+from ..resilience.deadline import DEADLINE_HEADER
 from ..types.values import NULL
 
 #: Content types both ends agree on.
@@ -61,9 +64,10 @@ REQUEST_ID_HEADER = "X-Request-Id"
 #: CLI exit-code table in :mod:`repro.cli`).  429/503 are the two
 #: retryable families: backpressure and drain/transient infrastructure.
 ERROR_STATUS: list[tuple[type[BaseException], int]] = [
-    (ServiceOverloadedError, 429),
+    (ServiceOverloadedError, 429),  # includes LoadShedError (shedding)
     (ServiceShutdownError, 503),
     (TicketWaitTimeout, 408),
+    (DeadlineExpiredError, 504),  # budget gone before execution began
     (QueryTimeout, 504),
     (RowBudgetExceeded, 413),
     (QueryCancelled, 503),

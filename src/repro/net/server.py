@@ -45,11 +45,24 @@ from ..errors import (
     ProtocolError,
     ReproError,
     ServiceShutdownError,
+    TicketWaitTimeout,
 )
 from ..observe.metrics import MetricsRegistry
 from ..observe.trace import NULL_SPAN, TRACER
 from ..options import ExecutionOptions
-from ..resilience.faults import FAULTS, SITE_NET_ACCEPT, SITE_NET_WRITE
+from ..resilience.admission import (
+    PRIORITIES,
+    PRIORITY_HEADER,
+    SheddingPolicy,
+)
+from ..resilience.deadline import DEADLINE_HEADER, Deadline
+from ..resilience.health import HealthPolicy
+from ..resilience.faults import (
+    FAULTS,
+    SITE_NET_ACCEPT,
+    SITE_NET_READ,
+    SITE_NET_WRITE,
+)
 from ..service import QueryService, Session
 from . import protocol
 from .protocol import (
@@ -99,6 +112,8 @@ class QueryServer:
         options: ExecutionOptions | None = None,
         metrics: MetricsRegistry | None = None,
         stream_chunk_rows: int = 1000,
+        shedding: SheddingPolicy | None = None,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         if stream_chunk_rows < 1:
             raise ValueError("stream_chunk_rows must be at least 1")
@@ -114,6 +129,8 @@ class QueryServer:
             parallel=parallel,
             plan_cache=plan_cache,
             metrics=self.metrics,
+            shedding=shedding,
+            health_policy=health_policy,
         )
         self._sessions: dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
@@ -196,14 +213,18 @@ class QueryServer:
         """Graceful shutdown: finish in-flight queries, then stop.
 
         New ``/v1/query`` requests observed after this point get a
-        retryable 503.  Admitted queries run to completion and their
-        responses flush before the listener closes.  Idempotent.
+        retryable 503.  Queries already *running* complete and their
+        responses flush before the listener closes; queries still
+        *queued* fail fast with the same retryable 503
+        (``cancel_queued=True``), so a full admission queue cannot
+        stretch the drain window — and the service's ledger counters
+        account every one (``service_drained_total``).  Idempotent.
         """
         if self._draining.is_set():
             self._stopped.wait()
             return
         self._draining.set()
-        self.service.shutdown(wait=True)
+        self.service.shutdown(wait=True, cancel_queued=True)
         self._httpd.shutdown()
         self._httpd.server_close()  # joins handler threads
         self._stopped.set()
@@ -300,8 +321,25 @@ class _Handler(BaseHTTPRequestHandler):
             app.metrics.record_http(route, status, perf_counter() - started)
 
     def _read_body(self) -> bytes:
+        """The request body, guarded by the ``net_read`` fault site.
+
+        An injected exception fault models the socket dying mid-read; a
+        ``corrupt`` fault mangles or truncates the bytes the way a
+        broken proxy would.  Either way the failure stays *inside this
+        request*: a short or unparsable body becomes a clean typed 400
+        envelope before any session or queue slot is touched.
+        """
         length = int(self.headers.get("Content-Length") or 0)
-        return self.rfile.read(length) if length else b""
+        if not length:
+            return b""
+        FAULTS.check(SITE_NET_READ)
+        data = FAULTS.corrupt(SITE_NET_READ, self.rfile.read(length))
+        if len(data) < length:
+            raise ProtocolError(
+                f"truncated request body: expected {length} bytes, "
+                f"got {len(data)}"
+            )
+        return data
 
     def _send_json(
         self,
@@ -386,12 +424,18 @@ class _Handler(BaseHTTPRequestHandler):
                 "workers": app.service.workers,
                 "queue_depth": app.service.queue_depth,
                 "sessions": app.session_names(),
+                # The degradation ladder: current tier per subsystem,
+                # plus the full error-budget detail for operators.
+                "health": app.service.health.tiers(),
+                "subsystems": app.service.health.snapshot(),
+                "admission": app.service.admission.snapshot(),
             },
         )
 
     def _handle_metrics(self) -> int:
         app = self.server.app
         app.metrics.record_caches()
+        app.service.health.export()  # publish the degraded gauges
         body = app.metrics.to_prometheus().encode("utf-8")
         FAULTS.check(SITE_NET_WRITE)
         self.send_response(200)
@@ -444,6 +488,7 @@ class _Handler(BaseHTTPRequestHandler):
         request = protocol.parse_query_request(
             protocol.parse_json(self._read_body())
         )
+        options = self._apply_resilience_headers(request["options"])
         session = app.get_session(request["session"])
         # wait=False: a full admission queue is the 429 backpressure
         # signal, never a silently blocked handler thread.
@@ -452,14 +497,61 @@ class _Handler(BaseHTTPRequestHandler):
             request["sql"],
             request["params"],
             wait=False,
-            options=request["options"],
+            options=options,
             request_id=self.request_id,
         )
-        outcome = ticket.result(timeout=request["wait_timeout"])
+        try:
+            outcome = ticket.result(timeout=request["wait_timeout"])
+        except TicketWaitTimeout:
+            # The client's wait is over; nobody will read the answer.
+            # Cancel so a queued query is dropped and a running one
+            # stops at its next cooperative checkpoint, instead of
+            # silently burning a worker (the abandoned-ticket leak).
+            ticket.cancel(f"HTTP wait abandoned ({self.request_id})")
+            app.metrics.inc("http_abandoned_total")
+            raise
         executed = executed_from_outcome(outcome, self.request_id)
         if request["stream"]:
             return self._stream_result(executed)
         return self._send_json(200, protocol.query_response(executed))
+
+    def _apply_resilience_headers(
+        self, options: ExecutionOptions
+    ) -> ExecutionOptions:
+        """Fold ``X-Deadline-Ms`` / ``X-Priority`` into the options.
+
+        Headers win over the body's options fields — they are the
+        transport-level spelling a proxy or gateway can set without
+        parsing the JSON.  The deadline header carries *remaining
+        milliseconds* and is re-anchored against this process's
+        monotonic clock on receipt.
+        """
+        import dataclasses
+
+        changes: dict[str, Any] = {}
+        raw_deadline = self.headers.get(DEADLINE_HEADER)
+        if raw_deadline is not None:
+            try:
+                ms = float(raw_deadline)
+            except ValueError:
+                raise ProtocolError(
+                    f"header {DEADLINE_HEADER} must be a number of "
+                    f"milliseconds, got {raw_deadline!r}"
+                ) from None
+            if ms < 0:
+                raise ProtocolError(
+                    f"header {DEADLINE_HEADER} must be non-negative"
+                )
+            changes["deadline"] = Deadline.from_wire_ms(ms)
+        raw_priority = self.headers.get(PRIORITY_HEADER)
+        if raw_priority is not None:
+            if raw_priority not in PRIORITIES:
+                raise ProtocolError(
+                    f"header {PRIORITY_HEADER} must be one of "
+                    + ", ".join(repr(p) for p in PRIORITIES)
+                )
+            changes["priority"] = raw_priority
+        return dataclasses.replace(options, **changes) if changes else options
 
     def _stream_result(self, executed: Any) -> int:
         """NDJSON: header, chunked rows with incremental flush, footer."""

@@ -228,13 +228,16 @@ class AnalyzedExecution:
     plan: Any
     analysis: PlanAnalysis
     stats: Any
+    #: subsystem → degradation-ladder tier when the execution ran under
+    #: a health tracker (see :mod:`repro.resilience.health`), else None.
+    health: dict[str, str] | None = None
 
     def explain(self) -> str:
         """The plan tree annotated with actuals (and estimates)."""
         return self.plan.explain(analysis=self.analysis)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "wall_ms": self.analysis.wall_seconds * 1000,
             "plan": self.analysis.to_dict(self.plan),
             "stats": {
@@ -243,6 +246,9 @@ class AnalyzedExecution:
                 if value
             },
         }
+        if self.health is not None:
+            payload["health"] = dict(self.health)
+        return payload
 
 
 def execute_analyzed(

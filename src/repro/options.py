@@ -26,7 +26,9 @@ from typing import Any, Mapping
 from .engine.columnar import ENGINE_MODES
 from .engine.parallel import ParallelOptions
 from .errors import ProtocolError
+from .resilience.admission import PRIORITIES, PRIORITY_INTERACTIVE
 from .resilience.budgets import ResourceBudget
+from .resilience.deadline import Deadline
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,15 @@ class ExecutionOptions:
             defer to :func:`repro.engine.columnar.default_engine_mode`.
         batch_rows: rows per column batch in vectorized mode (None =
             the engine default).
+        deadline: end-to-end :class:`~repro.resilience.deadline.Deadline`
+            — the instant the *client* stops caring.  Queue wait spends
+            it, the effective execution timeout is clamped to what is
+            left, and an already-expired deadline is rejected before any
+            operator runs.  Crosses the wire as remaining milliseconds
+            (``deadline_ms``).
+        priority: admission priority class — ``"interactive"``
+            (default, shed last) or ``"batch"`` (shed first under
+            load).
 
     The class is frozen and built from frozen parts, so a value can key
     caches, cross threads, and be shared between a session default and
@@ -63,6 +74,8 @@ class ExecutionOptions:
     parallel: ParallelOptions | None = None
     engine_mode: str | None = None
     batch_rows: int | None = None
+    deadline: Deadline | None = None
+    priority: str = PRIORITY_INTERACTIVE
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -75,6 +88,10 @@ class ExecutionOptions:
             )
         if self.batch_rows is not None and self.batch_rows <= 0:
             raise ValueError("batch_rows must be positive")
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {', '.join(PRIORITIES)}"
+            )
 
     # -- construction ---------------------------------------------------
 
@@ -91,12 +108,16 @@ class ExecutionOptions:
         parallel: "ParallelOptions | int | None" = None,
         engine_mode: str | None = None,
         batch_rows: int | None = None,
+        deadline: "Deadline | float | None" = None,
+        priority: str = PRIORITY_INTERACTIVE,
     ) -> "ExecutionOptions":
         """Build options from the looser spellings the API accepts.
 
         ``budget`` expands into ``timeout``/``row_budget`` (explicit
         fields win over the budget's); ``parallel`` accepts a plain
-        worker count as shorthand for ``ParallelOptions(workers=n)``.
+        worker count as shorthand for ``ParallelOptions(workers=n)``;
+        ``deadline`` accepts plain seconds-from-now as shorthand for
+        ``Deadline.after(seconds)``.
         """
         if budget is not None:
             if timeout is None:
@@ -107,6 +128,8 @@ class ExecutionOptions:
             parallel = (
                 ParallelOptions(workers=parallel) if parallel > 1 else None
             )
+        if isinstance(deadline, (int, float)):
+            deadline = Deadline.after(float(deadline))
         return cls(
             timeout=timeout,
             row_budget=row_budget,
@@ -116,6 +139,8 @@ class ExecutionOptions:
             parallel=parallel,
             engine_mode=engine_mode,
             batch_rows=batch_rows,
+            deadline=deadline,
+            priority=priority,
         )
 
     # -- derived views --------------------------------------------------
@@ -168,6 +193,12 @@ class ExecutionOptions:
             payload["engine_mode"] = self.engine_mode
         if self.batch_rows is not None:
             payload["batch_rows"] = self.batch_rows
+        if self.deadline is not None:
+            # Remaining milliseconds, re-anchored by the receiving hop:
+            # the two processes share no clock, monotonic or otherwise.
+            payload["deadline_ms"] = self.deadline.to_wire_ms()
+        if self.priority != PRIORITY_INTERACTIVE:
+            payload["priority"] = self.priority
         return payload
 
     @classmethod
@@ -182,7 +213,10 @@ class ExecutionOptions:
             return cls()
         if not isinstance(payload, Mapping):
             raise ProtocolError("options must be a JSON object")
-        known = {spec.name for spec in fields(cls)}
+        # The deadline travels as remaining milliseconds, not as the
+        # local Deadline object, so the wire name differs from the field.
+        known = {spec.name for spec in fields(cls)} - {"deadline"}
+        known.add("deadline_ms")
         unknown = set(payload) - known
         if unknown:
             raise ProtocolError(
@@ -216,6 +250,25 @@ class ExecutionOptions:
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ProtocolError("option 'batch_rows' must be an integer")
             kwargs["batch_rows"] = value
+        if payload.get("deadline_ms") is not None:
+            value = payload["deadline_ms"]
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                raise ProtocolError(
+                    "option 'deadline_ms' must be a non-negative number"
+                )
+            kwargs["deadline"] = Deadline.from_wire_ms(float(value))
+        if payload.get("priority") is not None:
+            value = payload["priority"]
+            if not isinstance(value, str) or value not in PRIORITIES:
+                raise ProtocolError(
+                    "option 'priority' must be one of "
+                    + ", ".join(repr(p) for p in PRIORITIES)
+                )
+            kwargs["priority"] = value
         parallel = payload.get("parallel")
         if parallel is not None:
             if isinstance(parallel, int) and not isinstance(parallel, bool):

@@ -1,10 +1,12 @@
 """Guarded execution: fault injection, budgets, retry, verified fallback.
 
-This package hardens the fast paths PR 1 introduced.  Three pillars:
+This package hardens the fast paths PR 1 introduced.  Three pillars,
+plus the self-protection layer PR 7 added:
 
 * :mod:`~repro.resilience.faults` — a deterministic, seedable
   :class:`FaultInjector` with named hook sites inside the predicate
-  compiler, plan cache, hash-index build, operator loops, and DL/I.
+  compiler, plan cache, hash-index build, operator loops, DL/I, and the
+  HTTP accept/read/write paths.
 * :mod:`~repro.resilience.budgets` — per-query
   :class:`ResourceBudget`/:class:`ExecutionGuard` (wall-clock timeout,
   row budgets, cooperative cancellation) checked from operator loops.
@@ -13,19 +15,38 @@ This package hardens the fast paths PR 1 introduced.  Three pillars:
   cross-checking uniqueness-based rewrites against the unrewritten
   plan, quarantining rules and evicting poisoned cache entries on a
   mismatch.
+* :mod:`~repro.resilience.deadline` /
+  :mod:`~repro.resilience.admission` /
+  :mod:`~repro.resilience.breaker` /
+  :mod:`~repro.resilience.health` — end-to-end :class:`Deadline`
+  propagation, priority-aware adaptive load shedding, the client-side
+  :class:`CircuitBreaker`, and the :class:`HealthTracker` degradation
+  ladder converting repeated fallbacks into sticky, self-healing
+  demotions.
 
 Import discipline: this ``__init__`` pulls in only the leaf modules
-(faults/budgets/retry), which depend on nothing but :mod:`repro.errors`.
-:mod:`~repro.resilience.guarded` imports the engine — which imports
-:mod:`repro.cache`, which imports :mod:`repro.resilience.faults` — so it
-is exposed lazily (PEP 562) to keep the import graph acyclic.
+(faults/budgets/retry/deadline/admission/breaker/health), which depend
+on nothing but :mod:`repro.errors`.  :mod:`~repro.resilience.guarded`
+imports the engine — which imports :mod:`repro.cache`, which imports
+:mod:`repro.resilience.faults` — so it is exposed lazily (PEP 562) to
+keep the import graph acyclic.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from .admission import (
+    AdmissionController,
+    PRIORITIES,
+    PRIORITY_BATCH,
+    PRIORITY_HEADER,
+    PRIORITY_INTERACTIVE,
+    SheddingPolicy,
+)
+from .breaker import CircuitBreaker
 from .budgets import CLOCK_CHECK_INTERVAL, ExecutionGuard, ResourceBudget
+from .deadline import DEADLINE_HEADER, Deadline
 from .faults import (
     ALL_SITES,
     FAULTS,
@@ -37,11 +58,22 @@ from .faults import (
     SITE_FINGERPRINT,
     SITE_INDEX_BUILD,
     SITE_NET_ACCEPT,
+    SITE_NET_READ,
     SITE_NET_WRITE,
     SITE_OPERATOR,
     SITE_PLAN_CACHE,
     SITE_UNIQUENESS,
     SITE_VECTORIZED_EVAL,
+)
+from .health import (
+    HealthPolicy,
+    HealthTracker,
+    LADDER,
+    SUBSYSTEMS,
+    SUBSYSTEM_OPTIMIZER,
+    SUBSYSTEM_PARALLEL,
+    SUBSYSTEM_PLAN_CACHE,
+    SUBSYSTEM_VECTORIZED,
 )
 from .retry import RetryPolicy, call_with_retry
 
@@ -49,12 +81,23 @@ _LAZY = ("run_guarded", "GuardedOutcome", "reset_safe_mode_sampling")
 
 __all__ = [
     "ALL_SITES",
+    "AdmissionController",
     "CLOCK_CHECK_INTERVAL",
+    "CircuitBreaker",
+    "DEADLINE_HEADER",
+    "Deadline",
     "ExecutionGuard",
     "FAULTS",
     "FaultInjector",
     "FaultSpec",
     "GuardedOutcome",
+    "HealthPolicy",
+    "HealthTracker",
+    "LADDER",
+    "PRIORITIES",
+    "PRIORITY_BATCH",
+    "PRIORITY_HEADER",
+    "PRIORITY_INTERACTIVE",
     "ResourceBudget",
     "RetryPolicy",
     "SITE_COMPILE",
@@ -63,11 +106,18 @@ __all__ = [
     "SITE_FINGERPRINT",
     "SITE_INDEX_BUILD",
     "SITE_NET_ACCEPT",
+    "SITE_NET_READ",
     "SITE_NET_WRITE",
     "SITE_OPERATOR",
     "SITE_PLAN_CACHE",
     "SITE_UNIQUENESS",
     "SITE_VECTORIZED_EVAL",
+    "SUBSYSTEMS",
+    "SUBSYSTEM_OPTIMIZER",
+    "SUBSYSTEM_PARALLEL",
+    "SUBSYSTEM_PLAN_CACHE",
+    "SUBSYSTEM_VECTORIZED",
+    "SheddingPolicy",
     "call_with_retry",
     "reset_safe_mode_sampling",
     "run_guarded",

@@ -1,0 +1,165 @@
+"""Client-side circuit breaker: stop hammering a server that is down.
+
+Bounded retry (PR 5) protects one *request*; the breaker protects the
+*server* across requests.  Each consecutive transient failure — socket
+error, 429, 503, injected accept fault — increments a counter; at the
+threshold the breaker **opens** and every subsequent attempt fails
+locally with :class:`~repro.errors.CircuitOpenError` without touching
+the network.  After a jittered recovery delay the breaker goes
+**half-open**: exactly one probe request is let through, and its fate
+decides — success closes the breaker, failure re-opens it with the
+delay doubled (capped).  The jitter matters at fleet scale: a thousand
+clients whose breakers opened together must not probe together.
+
+State machine::
+
+    CLOSED --(failures >= threshold)--> OPEN
+    OPEN   --(recovery delay passed)--> HALF_OPEN  (one probe allowed)
+    HALF_OPEN --(probe succeeds)-->     CLOSED     (delay resets)
+    HALF_OPEN --(probe fails)-->        OPEN       (delay doubles)
+
+Because :class:`~repro.errors.CircuitOpenError` subclasses
+:class:`~repro.errors.TransientNetworkError` carrying the time until
+the next probe as ``retry_after``, the existing retry policy composes
+with the breaker for free: a retry loop sleeps exactly until the
+half-open window instead of burning attempts against a dead socket.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable
+
+from ..errors import CircuitOpenError
+
+#: Breaker states (exposed for tests and ``/healthz``-style snapshots).
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One breaker guarding one upstream (a client holds one per server).
+
+    Args:
+        failure_threshold: consecutive transient failures that open the
+            breaker.
+        recovery_time: base seconds the breaker stays open before the
+            first half-open probe; doubles per consecutive re-open.
+        max_recovery_time: cap on the doubling.
+        jitter: fraction of the recovery delay drawn uniformly and
+            *added*, de-synchronizing probes across a client fleet.
+        clock / rng: injectable for deterministic tests.
+
+    Thread-safe: all transitions run under one leaf lock; the half-open
+    single-probe guarantee holds across threads sharing a backend.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 6,
+        recovery_time: float = 0.2,
+        max_recovery_time: float = 5.0,
+        jitter: float = 0.5,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        rng: random.Random | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_time <= 0 or max_recovery_time < recovery_time:
+            raise ValueError("recovery times must be positive and ordered")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.max_recovery_time = max_recovery_time
+        self.jitter = jitter
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._failures = 0
+        self._open_until = 0.0
+        self._current_recovery = recovery_time
+        self._probe_in_flight = False
+        self.opens = 0  # cumulative, for tests/metrics
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, with the open→half-open clock edge applied."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def snapshot(self) -> dict:
+        """JSON-ready diagnostic view."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "recovery_time": self._current_recovery,
+            }
+
+    # -- the gate -------------------------------------------------------
+
+    def acquire(self) -> None:
+        """Gate one attempt: pass, or raise :class:`CircuitOpenError`.
+
+        In half-open state exactly one caller passes (the probe);
+        everyone else fails fast until its verdict is recorded.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == STATE_CLOSED:
+                return
+            if self._state == STATE_HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            raise CircuitOpenError(max(0.0, self._open_until - self._clock()))
+
+    def record_success(self) -> None:
+        """The attempt succeeded: close (and reset the backoff)."""
+        with self._lock:
+            self._failures = 0
+            self._probe_in_flight = False
+            if self._state != STATE_CLOSED:
+                self._state = STATE_CLOSED
+                self._current_recovery = self.recovery_time
+
+    def record_failure(self) -> None:
+        """The attempt failed transiently: count it, maybe open."""
+        with self._lock:
+            self._advance()
+            if self._state == STATE_HALF_OPEN:
+                # The probe failed: re-open with the delay doubled.
+                self._probe_in_flight = False
+                self._current_recovery = min(
+                    self._current_recovery * 2.0, self.max_recovery_time
+                )
+                self._open(self._current_recovery)
+                return
+            self._failures += 1
+            if self._state == STATE_CLOSED and (
+                self._failures >= self.failure_threshold
+            ):
+                self._open(self._current_recovery)
+
+    # -- internals (call under the lock) --------------------------------
+
+    def _advance(self) -> None:
+        if self._state == STATE_OPEN and self._clock() >= self._open_until:
+            self._state = STATE_HALF_OPEN
+            self._probe_in_flight = False
+
+    def _open(self, delay: float) -> None:
+        self._state = STATE_OPEN
+        self.opens += 1
+        jittered = delay * (1.0 + self.jitter * self._rng.random())
+        self._open_until = self._clock() + jittered

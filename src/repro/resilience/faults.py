@@ -20,6 +20,7 @@ Sites (the strings the hooks pass to :meth:`FaultInjector.check`):
 ``uniqueness``            Algorithm 1 verdicts (corrupt-verdict faults)
 ``dli_call``              every DL/I ``GU``/``GN``/``GNP`` call
 ``net_accept``            HTTP request admission (:mod:`repro.net.server`)
+``net_read``              HTTP request-body reads (truncation/socket faults)
 ``net_write``             HTTP response/stream-chunk writes
 ========================  ====================================================
 
@@ -59,6 +60,7 @@ SITE_FINGERPRINT = "fingerprint"
 SITE_UNIQUENESS = "uniqueness"
 SITE_DLI = "dli_call"
 SITE_NET_ACCEPT = "net_accept"
+SITE_NET_READ = "net_read"
 SITE_NET_WRITE = "net_write"
 
 ALL_SITES = (
@@ -72,6 +74,7 @@ ALL_SITES = (
     SITE_UNIQUENESS,
     SITE_DLI,
     SITE_NET_ACCEPT,
+    SITE_NET_READ,
     SITE_NET_WRITE,
 )
 

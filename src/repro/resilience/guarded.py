@@ -24,6 +24,7 @@ rewrite layer, which the reference execution bypasses entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..cache import evict_by_text
 from ..core.rewrite.engine import Optimizer, quarantine_rule
@@ -39,7 +40,7 @@ from ..sql.ast import Query
 from ..sql.parser import parse_query
 from ..sql.printer import to_sql
 from ..types.values import SqlValue
-from .budgets import ResourceBudget
+from .budgets import ExecutionGuard, ResourceBudget
 
 #: Per-query-text execution counters driving safe-mode sampling.
 _sample_counters: dict[str, int] = {}
@@ -129,6 +130,7 @@ def run_guarded(
     parallel=None,
     engine_mode: str | None = None,
     batch_rows: int | None = None,
+    on_guard: Callable[[ExecutionGuard], None] | None = None,
 ) -> GuardedOutcome:
     """Optimize and execute *query* under *budget*, optionally verified.
 
@@ -159,6 +161,12 @@ def run_guarded(
             safe-mode reference is pinned to the tuple interpreter for
             the same diversity reason the parallel knob stays serial:
             the verified answer comes from the row-at-a-time code path.
+        on_guard: called with the primary execution's
+            :class:`~repro.resilience.budgets.ExecutionGuard` before the
+            first operator runs, so an external owner (a service ticket
+            whose client abandoned the wait) can cooperatively cancel
+            mid-flight.  When no budget was given, an unlimited guard is
+            created just so there is a cancellation point to hand out.
 
     Budget violations always propagate as
     :class:`~repro.errors.ResourceError` subclasses — no fallback ladder
@@ -187,6 +195,10 @@ def run_guarded(
         outcome = optimizer.optimize(parsed)
 
         guard = budget.guard() if budget is not None else None
+        if on_guard is not None:
+            if guard is None:
+                guard = ExecutionGuard()
+            on_guard(guard)
         result = execute_planned(
             outcome.query,
             database,

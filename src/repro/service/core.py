@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 
 from ..api import run_with_options
 from ..engine.database import Database
@@ -42,6 +43,7 @@ from ..engine.plan_cache import GLOBAL_PLAN_CACHE, PlanCache
 from ..engine.planner import PlannerOptions
 from ..engine.stats import Stats
 from ..errors import (
+    QueryCancelled,
     ServiceOverloadedError,
     ServiceShutdownError,
     TicketWaitTimeout,
@@ -49,8 +51,10 @@ from ..errors import (
 from ..observe.metrics import MetricsRegistry
 from ..observe.trace import NULL_SPAN, TRACER
 from ..options import ExecutionOptions
-from ..resilience.budgets import ResourceBudget
+from ..resilience.admission import AdmissionController, SheddingPolicy
+from ..resilience.budgets import ExecutionGuard, ResourceBudget
 from ..resilience.guarded import GuardedOutcome
+from ..resilience.health import HealthPolicy, HealthTracker
 from .session import Session
 
 
@@ -71,6 +75,10 @@ class QueryTicket:
         "_event",
         "_outcome",
         "_error",
+        "_cancel_lock",
+        "_guard",
+        "_cancelled",
+        "_cancel_reason",
     )
 
     def __init__(
@@ -82,10 +90,48 @@ class QueryTicket:
         self._event = threading.Event()
         self._outcome: GuardedOutcome | None = None
         self._error: BaseException | None = None
+        self._cancel_lock = threading.Lock()  # leaf: guard attach vs cancel
+        self._guard: ExecutionGuard | None = None
+        self._cancelled = False
+        self._cancel_reason = ""
 
     def done(self) -> bool:
         """Whether the query has finished (successfully or not)."""
         return self._event.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called (the query may still
+        run to completion if it was already past its last checkpoint)."""
+        return self._cancelled
+
+    def cancel(self, reason: str = "") -> None:
+        """Abandon the query: stop it consuming worker time.
+
+        Safe from any thread at any point in the ticket's life.  A
+        still-queued query is dropped by the worker without executing;
+        a running query is cooperatively cancelled through its
+        :class:`~repro.resilience.budgets.ExecutionGuard` and fails with
+        :class:`~repro.errors.QueryCancelled` at its next tick; a
+        finished query is unaffected.  This is how the HTTP front end
+        stops an abandoned wait (client gave up, deadline expired) from
+        burning a worker on an answer nobody will read.
+        """
+        with self._cancel_lock:
+            self._cancelled = True
+            self._cancel_reason = reason
+            guard = self._guard
+        if guard is not None:
+            guard.cancel(reason)
+
+    def _attach_guard(self, guard: ExecutionGuard) -> None:
+        """Worker-side: connect the live execution's guard, honouring a
+        cancellation that raced ahead of the attach."""
+        with self._cancel_lock:
+            self._guard = guard
+            cancelled, reason = self._cancelled, self._cancel_reason
+        if cancelled:
+            guard.cancel(reason)
 
     def result(self, timeout: float | None = None) -> GuardedOutcome:
         """Block for the outcome; re-raise the query's error if it failed.
@@ -113,8 +159,9 @@ class QueryTicket:
         self._event.set()
 
 
-#: Queue items are (session, ticket, sql, params, options); None is the
-#: shutdown sentinel (one per worker, enqueued after all pending work).
+#: Queue items are (session, ticket, sql, params, options, enqueued_at);
+#: None is the shutdown sentinel (one per worker, enqueued after all
+#: pending work).
 _WorkItem = tuple
 
 
@@ -143,6 +190,14 @@ class QueryService:
         metrics: registry the service folds per-query outcomes into
             (a private registry by default; pass
             :data:`~repro.observe.metrics.PROCESS_METRICS` to publish).
+        shedding: adaptive admission tuning (a
+            :class:`~repro.resilience.admission.SheddingPolicy`); batch
+            queries are shed once predicted queue wait approaches
+            typical deadlines, long before the hard queue bound.
+        health_policy: error-budget tuning for the service's private
+            :class:`~repro.resilience.health.HealthTracker` — the
+            degradation ladder that converts repeated subsystem
+            fallbacks into sticky demotions with timed probation.
     """
 
     def __init__(
@@ -153,6 +208,8 @@ class QueryService:
         parallel: ParallelOptions | ParallelExecution | None = None,
         plan_cache: PlanCache | None = None,
         metrics: MetricsRegistry | None = None,
+        shedding: SheddingPolicy | None = None,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -165,6 +222,11 @@ class QueryService:
             plan_cache if plan_cache is not None else GLOBAL_PLAN_CACHE
         )
         self._parallel = parallel_execution(parallel)
+        # Service-scoped on purpose: a chaos test demoting subsystems on
+        # one service must never poison another service (or the tests
+        # that run after it), so neither tracker is a process global.
+        self.admission = AdmissionController(shedding)
+        self.health = HealthTracker(health_policy, metrics=self.metrics)
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._shutdown = threading.Event()
         self._state_lock = threading.Lock()  # leaf: session naming, shutdown
@@ -239,11 +301,38 @@ class QueryService:
         defaults (non-default fields win).  *request_id* tags the
         ticket and the worker's trace span — the HTTP front end passes
         the caller's ``X-Request-Id`` through here.
+
+        Admission order (each gate rejects before any work is queued):
+        shutdown → expired deadline
+        (:class:`~repro.errors.DeadlineExpiredError` — the budget is
+        already gone, so executing would waste a worker on a dead
+        answer) → adaptive shedding
+        (:class:`~repro.errors.LoadShedError` for batch traffic when
+        predicted queue wait approaches typical deadlines) → the hard
+        queue bound.
         """
         if self._shutdown.is_set():
             raise ServiceShutdownError()
+        effective = session.options.merged(options)
+        if effective.deadline is not None:
+            remaining = effective.deadline.remaining()
+            if remaining <= 0:
+                self.metrics.inc(
+                    "service_deadline_rejected_total", session=session.name
+                )
+                effective.deadline.check()  # raises DeadlineExpiredError
+            self.admission.observe_deadline(remaining)
+        try:
+            self.admission.admit(
+                effective.priority, self._queue.qsize(), self.queue_depth
+            )
+        except ServiceOverloadedError:
+            self.metrics.inc(
+                "service_shed_total", priority=effective.priority
+            )
+            raise
         ticket = QueryTicket(sql, session.name, request_id)
-        item = (session, ticket, sql, params, options)
+        item = (session, ticket, sql, params, options, time.monotonic())
         if wait:
             self._queue.put(item)
         else:
@@ -278,18 +367,27 @@ class QueryService:
 
     # -- lifecycle ------------------------------------------------------
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True, *, cancel_queued: bool = False) -> None:
         """Stop accepting work, drain pending queries, stop the workers.
 
-        Queries already admitted still execute; tickets stranded behind
-        the rejection (submitted concurrently with shutdown, after the
-        sentinels) fail with
-        :class:`~repro.errors.ServiceShutdownError`.  Idempotent.
+        With ``cancel_queued=False`` (default) queries already admitted
+        still execute before the workers exit.  With
+        ``cancel_queued=True`` — the graceful-drain contract the HTTP
+        server uses on SIGTERM — only queries already *running* finish;
+        everything still queued fails immediately with
+        :class:`~repro.errors.ServiceShutdownError` (HTTP 503, which is
+        retryable) so a full queue cannot stretch the drain window.
+        Either way no ticket is stranded: every admitted query ends
+        completed, failed, or drained, and the
+        ``service_drained_total`` counter accounts the drained ones.
+        Idempotent.
         """
         with self._state_lock:
             if self._shutdown.is_set():
                 return
             self._shutdown.set()
+        if cancel_queued:
+            self._fail_stranded()
         for _ in self._threads:
             self._queue.put(None)
         if wait:
@@ -306,6 +404,9 @@ class QueryService:
             if item is None:
                 continue
             ticket = item[1]
+            self.metrics.inc(
+                "service_drained_total", session=ticket.session_name
+            )
             ticket._fail(ServiceShutdownError())
 
     def __enter__(self) -> "QueryService":
@@ -322,8 +423,38 @@ class QueryService:
             item = self._queue.get()
             if item is None:
                 return
-            session, ticket, sql, params, options = item
+            session, ticket, sql, params, options, enqueued_at = item
+            # The observed queue wait is the shedding controller's
+            # ground truth — and the slice of the client's deadline the
+            # queue already spent.
+            waited = time.monotonic() - enqueued_at
+            self.admission.observe_wait(waited)
             effective = session.options.merged(options)
+            if ticket.cancelled:
+                # The caller abandoned the wait while we were queued:
+                # don't burn a worker on an answer nobody will read.
+                self.metrics.inc(
+                    "service_abandoned_total", session=session.name
+                )
+                ticket._fail(QueryCancelled(ticket._cancel_reason))
+                continue
+            if effective.deadline is not None:
+                try:
+                    # Queue wait spent the budget: reject with zero
+                    # work, annotated with where the time went.
+                    effective.deadline.check(waited=waited)
+                except BaseException as error:
+                    self.metrics.inc(
+                        "service_deadline_expired_total", session=session.name
+                    )
+                    self.metrics.inc(
+                        "service_failed_total",
+                        session=session.name,
+                        error=type(error).__name__,
+                    )
+                    session._record(Stats(), failed=True)
+                    ticket._fail(error)
+                    continue
             stats = Stats()
             # Request-id propagation: the span carries the id the HTTP
             # layer (or any submitter) attached, so one request can be
@@ -353,6 +484,8 @@ class QueryService:
                         planner_options=session.planner_options,
                         plan_cache=self._plan_cache,
                         parallel=self._parallel,
+                        health=self.health,
+                        on_guard=ticket._attach_guard,
                     )
             except BaseException as error:
                 session._record(stats, failed=True)

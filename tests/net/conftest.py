@@ -13,9 +13,10 @@ import pytest
 from repro.net.server import QueryServer
 
 
-def raw_post(url: str, path: str, payload, timeout: float = 10.0):
+def raw_post(url: str, path: str, payload, timeout: float = 10.0, headers=None):
     """One raw POST; returns ``(status, headers, decoded_body)`` without
-    retrying or raising on error statuses — tests inspect envelopes."""
+    retrying or raising on error statuses — tests inspect envelopes.
+    *headers* adds/overrides request headers (e.g. ``X-Deadline-Ms``)."""
     data = (
         payload
         if isinstance(payload, bytes)
@@ -25,7 +26,7 @@ def raw_post(url: str, path: str, payload, timeout: float = 10.0):
         url + path,
         data=data,
         method="POST",
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:

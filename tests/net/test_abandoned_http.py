@@ -1,0 +1,34 @@
+"""The abandoned-ticket leak, HTTP edition: a handler whose client
+wait times out must cancel the ticket so no worker executes (or keeps
+executing) an answer nobody will read."""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience import FAULTS, SITE_PLAN_CACHE
+
+from .conftest import raw_get, raw_post
+
+SQL = "SELECT SNO FROM SUPPLIER"
+
+
+def test_abandoned_wait_cancels_the_ticket(server):
+    """Block the single execution path, then ask for an answer faster
+    than it can come: the request 408s, the ticket is cancelled, and
+    the abandonment lands on both metric ledgers."""
+    with FAULTS.inject(SITE_PLAN_CACHE, kind="slow", delay=0.5, times=4):
+        status, _headers, body = raw_post(
+            server.url,
+            "/v1/query",
+            {"sql": SQL, "wait_timeout": 0.05},
+        )
+    assert status == 408
+    assert json.loads(body)["error"]["type"] == "TicketWaitTimeout"
+    metrics = raw_get(server.url, "/metrics")[2].decode()
+    assert "http_abandoned_total 1" in metrics
+
+    # The server is not poisoned: the next query completes normally.
+    status, _headers, body = raw_post(server.url, "/v1/query", {"sql": SQL})
+    assert status == 200
+    assert json.loads(body)["row_count"] > 0

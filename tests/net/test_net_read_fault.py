@@ -1,0 +1,77 @@
+"""The ``net_read`` fault site: request bodies are a chaos surface.
+
+A truncated body (client died mid-upload, proxy cut the stream) must
+produce a clean typed 400 envelope — never a hang, a stack trace, or a
+half-parsed request — and the server must keep serving afterwards."""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience import FAULTS, SITE_NET_READ
+
+from .conftest import raw_get, raw_post
+
+QUERY = {"sql": "SELECT SNO FROM SUPPLIER"}
+
+
+def test_injected_read_exception_is_a_retryable_503(server):
+    with FAULTS.inject(SITE_NET_READ, kind="exception", times=1):
+        status, headers, body = raw_post(server.url, "/v1/query", QUERY)
+    envelope = json.loads(body)["error"]
+    assert status == 503
+    assert envelope["type"] == "InjectedFaultError"
+    assert envelope["retryable"] is True
+    assert "Retry-After" in headers
+
+
+def test_truncated_body_is_a_clean_400_envelope(server):
+    """Chop the body mid-read: the server sees fewer bytes than
+    Content-Length promised and must answer with a typed
+    ProtocolError envelope, not an exception or a stall."""
+    with FAULTS.inject(
+        SITE_NET_READ,
+        kind="corrupt",
+        corruptor=lambda data: data[: len(data) // 2],
+        times=1,
+    ):
+        status, _headers, body = raw_post(server.url, "/v1/query", QUERY)
+    envelope = json.loads(body)["error"]
+    assert status == 400
+    assert envelope["type"] == "ProtocolError"
+    assert "truncated request body" in envelope["message"]
+    assert envelope["retryable"] is False
+
+
+def test_server_survives_read_faults(server):
+    """After both fault shapes the listener still serves good traffic
+    — the fault is scoped to the one poisoned request."""
+    with FAULTS.inject(SITE_NET_READ, kind="exception", times=1):
+        raw_post(server.url, "/v1/query", QUERY)
+    with FAULTS.inject(
+        SITE_NET_READ,
+        kind="corrupt",
+        corruptor=lambda data: data[:3],
+        times=1,
+    ):
+        raw_post(server.url, "/v1/query", QUERY)
+    status, _headers, body = raw_post(server.url, "/v1/query", QUERY)
+    assert status == 200
+    assert json.loads(body)["row_count"] > 0
+    status, _headers, body = raw_get(server.url, "/healthz")
+    assert status == 200
+    assert json.loads(body)["status"] == "ok"
+
+
+def test_garbled_body_bytes_are_a_400_not_a_crash(server):
+    """Bit-rot rather than truncation: same length, broken JSON."""
+    with FAULTS.inject(
+        SITE_NET_READ,
+        kind="corrupt",
+        corruptor=lambda data: b"\xff" * len(data),
+        times=1,
+    ):
+        status, _headers, body = raw_post(server.url, "/v1/query", QUERY)
+    envelope = json.loads(body)["error"]
+    assert status == 400
+    assert envelope["type"] == "ProtocolError"

@@ -1,0 +1,107 @@
+"""Adaptive admission control: the EWMA estimators and the batch-first
+shedding decision, with interactive traffic immune by construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LoadShedError, ServiceOverloadedError
+from repro.resilience.admission import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    AdmissionController,
+    SheddingPolicy,
+)
+
+
+POLICY = SheddingPolicy(
+    target_delay=1.0, batch_shed_at=0.5, wait_smoothing=0.5, min_queue=1
+)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SheddingPolicy(target_delay=0.0)
+    with pytest.raises(ValueError):
+        SheddingPolicy(batch_shed_at=1.5)
+    with pytest.raises(ValueError):
+        SheddingPolicy(wait_smoothing=0.0)
+    with pytest.raises(ValueError):
+        SheddingPolicy(min_queue=-1)
+
+
+def test_wait_ewma_converges_toward_observations():
+    controller = AdmissionController(POLICY)
+    assert controller.predicted_wait() == 0.0
+    for _ in range(20):
+        controller.observe_wait(2.0)
+    assert controller.predicted_wait() == pytest.approx(2.0, abs=0.01)
+
+
+def test_typical_deadline_defaults_then_tracks_declarations():
+    controller = AdmissionController(POLICY)
+    assert controller.typical_deadline() == POLICY.target_delay
+    controller.observe_deadline(4.0)
+    assert controller.typical_deadline() == pytest.approx(4.0)
+    controller.observe_deadline(2.0)  # EWMA, not last-writer-wins
+    assert controller.typical_deadline() == pytest.approx(3.0)
+    controller.observe_deadline(-1.0)  # expired budgets are not typical
+    assert controller.typical_deadline() == pytest.approx(3.0)
+
+
+def test_interactive_is_never_shed_here():
+    controller = AdmissionController(POLICY)
+    for _ in range(10):
+        controller.observe_wait(100.0)  # catastrophic predicted wait
+    controller.admit(PRIORITY_INTERACTIVE, queue_length=50, depth=64)
+
+
+def test_batch_sheds_once_predicted_wait_crosses_the_threshold():
+    controller = AdmissionController(POLICY)
+    # Predicted 0.6s vs threshold 1.0 * 0.5 = 0.5s → shed.
+    for _ in range(20):
+        controller.observe_wait(0.6)
+    with pytest.raises(LoadShedError) as caught:
+        controller.admit(PRIORITY_BATCH, queue_length=3, depth=64)
+    error = caught.value
+    assert error.priority == PRIORITY_BATCH
+    assert error.predicted_wait == pytest.approx(0.6, abs=0.01)
+    # LoadShedError is retryable backpressure, wire-compatible with 429.
+    assert isinstance(error, ServiceOverloadedError)
+    assert controller.shed_total == 1
+
+
+def test_batch_admitted_below_the_threshold():
+    controller = AdmissionController(POLICY)
+    for _ in range(20):
+        controller.observe_wait(0.3)  # under the 0.5s threshold
+    controller.admit(PRIORITY_BATCH, queue_length=3, depth=64)
+    assert controller.shed_total == 0
+
+
+def test_an_idle_queue_admits_everything():
+    """A stale estimate from the last storm must not shed traffic
+    arriving at an empty service."""
+    controller = AdmissionController(POLICY)
+    for _ in range(10):
+        controller.observe_wait(100.0)
+    controller.admit(PRIORITY_BATCH, queue_length=0, depth=64)
+
+
+def test_declared_deadlines_raise_the_shedding_bar():
+    controller = AdmissionController(POLICY)
+    for _ in range(20):
+        controller.observe_wait(0.6)  # would shed against the 1s default
+    for _ in range(20):
+        controller.observe_deadline(10.0)  # patient clients
+    controller.admit(PRIORITY_BATCH, queue_length=3, depth=64)
+
+
+def test_snapshot_is_json_ready():
+    import json
+
+    controller = AdmissionController(POLICY)
+    controller.observe_wait(0.25)
+    snapshot = controller.snapshot()
+    assert snapshot["predicted_wait_ms"] == pytest.approx(125.0)
+    json.dumps(snapshot)

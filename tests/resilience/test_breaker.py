@@ -1,0 +1,163 @@
+"""Circuit-breaker state machine on a fake clock and seeded RNG:
+opening, the single half-open probe, geometric backoff, and the typed
+fast-fail callers compose with the retry policy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import CircuitOpenError, TransientNetworkError
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    defaults = dict(
+        failure_threshold=3,
+        recovery_time=1.0,
+        max_recovery_time=4.0,
+        jitter=0.0,  # deterministic timing for the state tests
+    )
+    defaults.update(kwargs)
+    breaker = CircuitBreaker(
+        clock=clock, rng=random.Random(0), **defaults
+    )
+    return breaker, clock
+
+
+def trip(breaker):
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(recovery_time=1.0, max_recovery_time=0.5)
+    with pytest.raises(ValueError):
+        CircuitBreaker(jitter=2.0)
+
+
+def test_opens_at_the_threshold_only():
+    breaker, _ = make_breaker()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED
+    breaker.acquire()  # still passing
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    assert breaker.opens == 1
+
+
+def test_success_resets_the_failure_count():
+    breaker, _ = make_breaker()
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED
+
+
+def test_open_breaker_fails_fast_with_time_to_probe():
+    breaker, clock = make_breaker()
+    trip(breaker)
+    with pytest.raises(CircuitOpenError) as caught:
+        breaker.acquire()
+    error = caught.value
+    # The typed error composes with the retry loop: it is a transient
+    # network failure whose retry_after lands on the half-open window.
+    assert isinstance(error, TransientNetworkError)
+    assert error.retry_after == pytest.approx(1.0)
+    clock.advance(0.6)
+    with pytest.raises(CircuitOpenError) as caught:
+        breaker.acquire()
+    assert caught.value.retry_after == pytest.approx(0.4)
+
+
+def test_half_open_admits_exactly_one_probe():
+    breaker, clock = make_breaker()
+    trip(breaker)
+    clock.advance(1.0)
+    assert breaker.state == STATE_HALF_OPEN
+    breaker.acquire()  # the probe
+    with pytest.raises(CircuitOpenError):
+        breaker.acquire()  # concurrent caller: fail fast
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    breaker.acquire()  # closed again: everyone passes
+
+
+def test_failed_probe_reopens_with_doubled_capped_delay():
+    breaker, clock = make_breaker()
+    trip(breaker)
+    delays = []
+    for _ in range(4):
+        clock.advance(breaker.max_recovery_time)
+        breaker.acquire()  # probe
+        breaker.record_failure()
+        delays.append(breaker.snapshot()["recovery_time"])
+    assert delays == [2.0, 4.0, 4.0, 4.0]  # doubled, then capped
+    assert breaker.opens == 5  # initial open + four re-opens
+
+
+def test_probe_success_resets_the_backoff():
+    breaker, clock = make_breaker()
+    trip(breaker)
+    clock.advance(1.0)
+    breaker.acquire()
+    breaker.record_failure()  # re-open at 2.0
+    clock.advance(4.0)
+    breaker.acquire()
+    breaker.record_success()  # close, reset backoff
+    trip(breaker)
+    with pytest.raises(CircuitOpenError) as caught:
+        breaker.acquire()
+    assert caught.value.retry_after == pytest.approx(1.0)  # base again
+
+
+def test_jitter_extends_but_never_shortens_the_window():
+    breaker = CircuitBreaker(
+        failure_threshold=1,
+        recovery_time=1.0,
+        max_recovery_time=4.0,
+        jitter=0.5,
+        clock=FakeClock(),
+        rng=random.Random(42),
+    )
+    for _ in range(20):
+        breaker.record_failure()  # open with a fresh jittered window
+        with pytest.raises(CircuitOpenError) as caught:
+            breaker.acquire()
+        assert 1.0 <= caught.value.retry_after <= 1.5
+        breaker.record_success()
+
+
+def test_snapshot_is_json_ready():
+    import json
+
+    breaker, _ = make_breaker()
+    trip(breaker)
+    snapshot = breaker.snapshot()
+    assert snapshot["state"] == STATE_OPEN
+    assert snapshot["opens"] == 1
+    json.dumps(snapshot)

@@ -1,0 +1,137 @@
+"""Deadline value semantics: remaining-ms wire form, re-anchoring,
+expiry enforcement, and the timeout clamp — all on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlineExpiredError
+from repro.options import ExecutionOptions
+from repro.resilience.deadline import DEADLINE_HEADER, Deadline
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_after_measures_remaining_on_the_injected_clock():
+    clock = FakeClock()
+    deadline = Deadline.after(2.0, clock=clock)
+    assert deadline.remaining() == pytest.approx(2.0)
+    clock.advance(0.5)
+    assert deadline.remaining() == pytest.approx(1.5)
+    assert deadline.remaining_ms() == pytest.approx(1500.0)
+    assert not deadline.expired
+
+
+def test_expiry_is_inclusive_at_zero():
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    clock.advance(1.0)
+    assert deadline.expired
+    assert deadline.remaining() == pytest.approx(0.0)
+
+
+def test_wire_form_is_remaining_ms_floored_at_zero():
+    clock = FakeClock()
+    deadline = Deadline.after(0.25, clock=clock)
+    assert deadline.to_wire_ms() == pytest.approx(250.0)
+    clock.advance(1.0)  # long expired: the wire form must not go negative
+    assert deadline.to_wire_ms() == 0.0
+
+
+def test_from_wire_ms_reanchors_on_the_local_clock():
+    """The receiving hop re-anchors remaining-ms against its own clock,
+    so clock skew between processes cannot extend the budget."""
+    sender = FakeClock(now=5000.0)
+    receiver = FakeClock(now=17.0)  # wildly different epoch: irrelevant
+    wire = Deadline.after(1.0, clock=sender).to_wire_ms()
+    local = Deadline.from_wire_ms(wire, clock=receiver)
+    assert local.remaining() == pytest.approx(1.0)
+    receiver.advance(0.4)
+    assert local.remaining() == pytest.approx(0.6)
+
+
+def test_check_raises_typed_error_with_wait_annotation():
+    clock = FakeClock()
+    deadline = Deadline.after(0.1, clock=clock)
+    clock.advance(0.35)
+    with pytest.raises(DeadlineExpiredError) as caught:
+        deadline.check(waited=0.3)
+    error = caught.value
+    assert error.remaining_ms == pytest.approx(-250.0)
+    assert error.waited == pytest.approx(0.3)
+    assert "deadline expired" in str(error)
+
+
+def test_check_returns_remaining_when_alive():
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    assert deadline.check() == pytest.approx(1.0)
+
+
+def test_clamp_timeout_takes_the_smaller_budget():
+    clock = FakeClock()
+    deadline = Deadline.after(0.5, clock=clock)
+    # Caller's own timeout is looser: the deadline wins.
+    assert deadline.clamp_timeout(10.0) == pytest.approx(0.5)
+    # Caller's timeout is tighter: it stands.
+    assert deadline.clamp_timeout(0.1) == pytest.approx(0.1)
+    # No caller timeout: the deadline is the whole budget.
+    assert deadline.clamp_timeout(None) == pytest.approx(0.5)
+    clock.advance(1.0)
+    with pytest.raises(DeadlineExpiredError):
+        deadline.clamp_timeout(10.0)
+
+
+def test_equality_ignores_the_clock():
+    a = Deadline(expires_at=42.0, clock=FakeClock())
+    b = Deadline(expires_at=42.0, clock=FakeClock(7.0))
+    assert a == b
+
+
+def test_header_name_is_stable():
+    # The wire contract: changing this breaks deployed clients.
+    assert DEADLINE_HEADER == "X-Deadline-Ms"
+
+
+# -- options integration ------------------------------------------------
+
+
+def test_options_wire_round_trip_preserves_remaining_budget():
+    clock = FakeClock()
+    options = ExecutionOptions.create(
+        deadline=Deadline.after(2.0, clock=clock), priority="batch"
+    )
+    wire = options.to_wire()
+    assert wire["deadline_ms"] == pytest.approx(2000.0)
+    assert wire["priority"] == "batch"
+    restored = ExecutionOptions.from_wire(wire)
+    assert restored.deadline is not None
+    assert restored.deadline.remaining() == pytest.approx(2.0, abs=0.05)
+    assert restored.priority == "batch"
+
+
+def test_options_create_accepts_seconds_shorthand():
+    options = ExecutionOptions.create(deadline=1.5)
+    assert options.deadline is not None
+    assert options.deadline.remaining() == pytest.approx(1.5, abs=0.05)
+
+
+def test_options_default_priority_is_interactive_and_off_the_wire():
+    options = ExecutionOptions.create(timeout=1.0)
+    assert options.priority == "interactive"
+    assert "priority" not in options.to_wire()
+    assert "deadline_ms" not in options.to_wire()
+
+
+def test_options_reject_unknown_priority():
+    with pytest.raises(ValueError):
+        ExecutionOptions.create(priority="best-effort")

@@ -1,0 +1,97 @@
+"""Abandoned tickets must not burn workers: a cancelled-but-queued
+query is dropped before execution, a cancelled-while-running query is
+cooperatively stopped through its guard, and every path lands in the
+metrics ledger."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import QueryService
+from repro.errors import QueryCancelled
+from repro.resilience import FAULTS, SITE_OPERATOR, SITE_PLAN_CACHE
+from repro.workloads import SupplierScale, build_database, generate
+
+SQL = "SELECT SNO FROM SUPPLIER"
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database(
+        generate(SupplierScale(suppliers=8, parts_per_supplier=2))
+    )
+
+
+def test_cancel_while_queued_skips_execution(db):
+    with FAULTS.inject(SITE_PLAN_CACHE, kind="slow", delay=0.3):
+        with QueryService(workers=1) as service:
+            session = service.session(db)
+            blocker = service.submit(session, SQL)
+            queued = service.submit(session, SQL)
+            queued.cancel("client went away")
+            assert queued.cancelled
+            blocker.result(30)
+            with pytest.raises(QueryCancelled) as caught:
+                queued.result(30)
+            assert "client went away" in str(caught.value)
+            assert service.metrics.value(
+                "service_abandoned_total", session=session.name
+            ) == 1
+            # The skipped query consumed no execution: only the blocker
+            # completed, nothing else was recorded against the session.
+            assert session.snapshot()["completed"] == 1
+
+
+def test_cancel_while_running_stops_via_the_guard(db):
+    """A query stalled mid-operator must die with QueryCancelled at its
+    next guard tick once the ticket is cancelled — the cooperative
+    cancel reaches the live execution through the attached guard."""
+    with FAULTS.inject(SITE_OPERATOR, kind="slow", delay=0.05, times=200):
+        with QueryService(workers=1) as service:
+            session = service.session(db)
+            ticket = service.submit(session, SQL)
+            # Let the worker attach the guard and start executing.
+            deadline = time.monotonic() + 5.0
+            while ticket._guard is None and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert ticket._guard is not None, "worker never attached a guard"
+            ticket.cancel("operator lost patience")
+            with pytest.raises(QueryCancelled):
+                ticket.result(30)
+            assert service.metrics.value(
+                "service_failed_total",
+                session=session.name,
+                error="QueryCancelled",
+            ) == 1
+
+
+def test_cancel_racing_the_attach_is_not_lost(db):
+    """Cancelling concurrently with the worker picking the query up
+    must never strand the ticket: whichever side wins, the ticket
+    completes with either a result or QueryCancelled."""
+    for _ in range(10):
+        with QueryService(workers=1) as service:
+            session = service.session(db)
+            ticket = service.submit(session, SQL)
+            canceller = threading.Thread(target=ticket.cancel, args=("race",))
+            canceller.start()
+            canceller.join()
+            try:
+                outcome = ticket.result(10)
+                assert outcome.result is not None  # cancel arrived too late
+            except QueryCancelled:
+                pass  # cancel won
+            assert ticket.done()
+
+
+def test_cancel_after_completion_is_a_no_op(db):
+    with QueryService(workers=1) as service:
+        session = service.session(db)
+        ticket = service.submit(session, SQL)
+        outcome = ticket.result(30)
+        ticket.cancel("too late")
+        # The completed outcome is untouched and re-readable.
+        assert ticket.result(0.1) is outcome

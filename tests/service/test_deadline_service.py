@@ -1,0 +1,104 @@
+"""Deadline propagation through the query service: rejection before
+work at submit, rejection after queue wait, and the ledger counters
+that account every rejected budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryService
+from repro.errors import DeadlineExpiredError
+from repro.options import ExecutionOptions
+from repro.resilience import FAULTS, SITE_PLAN_CACHE
+from repro.resilience.deadline import Deadline
+from repro.workloads import SupplierScale, build_database, generate
+
+SQL = "SELECT SNO FROM SUPPLIER"
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database(
+        generate(SupplierScale(suppliers=8, parts_per_supplier=2))
+    )
+
+
+def test_live_deadline_executes_normally(db):
+    with QueryService(workers=1) as service:
+        session = service.session(db)
+        options = ExecutionOptions.create(deadline=30.0)
+        outcome = service.submit(session, SQL, options=options).result(30)
+        assert len(outcome.result) > 0
+    assert service.metrics.value("service_deadline_rejected_total") == 0
+
+
+def test_expired_deadline_rejected_at_submit_with_zero_work(db):
+    with QueryService(workers=1) as service:
+        session = service.session(db)
+        options = ExecutionOptions.create(deadline=Deadline.after(-1.0))
+        with pytest.raises(DeadlineExpiredError):
+            service.submit(session, SQL, options=options)
+        # Rejected before admission: nothing was queued or executed.
+        assert service.metrics.value(
+            "service_deadline_rejected_total", session=session.name
+        ) == 1
+        assert service.metrics.value("service_submitted_total") == 0
+        assert session.snapshot()["completed"] == 0
+
+
+def test_queue_wait_spends_the_deadline(db):
+    """A deadline that is alive at submit but dead when a worker picks
+    the query up must fail without executing, with the queue wait
+    annotated on the error."""
+    with FAULTS.inject(SITE_PLAN_CACHE, kind="slow", delay=0.4):
+        with QueryService(workers=1) as service:
+            session = service.session(db)
+            blocker = service.submit(session, SQL)  # occupies the worker
+            doomed = service.submit(
+                session,
+                SQL,
+                options=ExecutionOptions.create(deadline=0.05),
+            )
+            assert blocker.result(30).result is not None
+            with pytest.raises(DeadlineExpiredError) as caught:
+                doomed.result(30)
+            assert caught.value.waited is not None
+            assert caught.value.waited >= 0.05
+            assert service.metrics.value(
+                "service_deadline_expired_total", session=session.name
+            ) == 1
+            # The ledger still balances: the expiry is a failure.
+            assert session.snapshot()["failed"] == 1
+
+
+def test_deadline_clamps_the_execution_timeout(db):
+    """Inside execution the remaining deadline acts as the timeout: a
+    query slower than its budget dies with QueryTimeout mid-flight even
+    though the caller's own --timeout was far looser.  The scan must
+    cross the guard's 256-tick clock-check interval, hence the cross
+    join and the per-operator stall."""
+    from repro.errors import QueryTimeout
+    from repro.resilience import SITE_OPERATOR
+
+    big = build_database(
+        generate(SupplierScale(suppliers=20, parts_per_supplier=10))
+    )
+    with FAULTS.inject(SITE_OPERATOR, kind="slow", delay=0.002, times=2000):
+        with QueryService(workers=1) as service:
+            session = service.session(big)
+            ticket = service.submit(
+                session,
+                "SELECT S.SNO FROM SUPPLIER S, PARTS P",
+                options=ExecutionOptions.create(deadline=0.15, timeout=30.0),
+            )
+            with pytest.raises(QueryTimeout):
+                ticket.result(60)
+
+
+def test_submit_feeds_the_typical_deadline_estimate(db):
+    with QueryService(workers=1) as service:
+        session = service.session(db)
+        options = ExecutionOptions.create(deadline=5.0)
+        service.submit(session, SQL, options=options).result(30)
+        typical = service.admission.typical_deadline()
+        assert typical == pytest.approx(5.0, abs=0.2)

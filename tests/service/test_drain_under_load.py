@@ -1,0 +1,125 @@
+"""Drain under load: shutdown with a full queue completes in-flight
+queries, fails queued ones fast with the retryable shutdown error, and
+strands zero tickets — the ledger counters must balance exactly."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import QueryService
+from repro.errors import ServiceShutdownError
+from repro.resilience import FAULTS, SITE_PLAN_CACHE
+from repro.workloads import SupplierScale, build_database, generate
+
+SQL = "SELECT SNO FROM SUPPLIER"
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database(
+        generate(SupplierScale(suppliers=8, parts_per_supplier=2))
+    )
+
+
+def metric(service, name, **labels):
+    return service.metrics.value(name, **labels) or 0
+
+
+def metric_sum(service, name):
+    """Total over every label combination of one counter family."""
+    return sum(
+        value
+        for family, _labels, value in service.metrics.series()
+        if family == name
+    )
+
+
+def test_cancel_queued_drain_fails_fast_and_strands_nothing(db):
+    with FAULTS.inject(SITE_PLAN_CACHE, kind="slow", delay=0.3):
+        service = QueryService(workers=1, queue_depth=16)
+        session = service.session(db)
+        tickets = [service.submit(session, SQL) for _ in range(6)]
+        # Wait for the worker to actually pick the first query up, so
+        # "in-flight" is a fact and not a race.
+        deadline = time.monotonic() + 5.0
+        while tickets[0]._guard is None and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert tickets[0]._guard is not None
+        # SIGTERM semantics: running queries finish, queued ones 503.
+        service.shutdown(wait=True, cancel_queued=True)
+
+    completed, drained = 0, 0
+    for ticket in tickets:
+        assert ticket.done(), "drain stranded a ticket"
+        try:
+            outcome = ticket.result(0.1)
+        except ServiceShutdownError:
+            drained += 1
+        else:
+            assert outcome.result is not None
+            completed += 1
+    # At least the in-flight query finished; at least one was drained
+    # (the queue was 5 deep behind a 0.3s stall).
+    assert completed >= 1
+    assert drained >= 1
+    assert completed + drained == len(tickets)
+    # The metrics ledger tells the same story (counters carry the
+    # session label).
+    name = session.name
+    assert metric(service, "service_submitted_total", session=name) == len(
+        tickets
+    )
+    assert metric(service, "service_completed_total", session=name) == completed
+    assert metric(service, "service_drained_total", session=name) == drained
+
+
+def test_default_drain_still_executes_the_queue(db):
+    """Without cancel_queued the drain is the old lossless one: every
+    admitted query runs to completion before the workers exit."""
+    with FAULTS.inject(SITE_PLAN_CACHE, kind="slow", delay=0.05):
+        service = QueryService(workers=1, queue_depth=16)
+        session = service.session(db)
+        tickets = [service.submit(session, SQL) for _ in range(4)]
+        service.shutdown(wait=True)
+    for ticket in tickets:
+        assert ticket.result(0.1).result is not None
+    assert metric_sum(service, "service_completed_total") == len(tickets)
+    assert metric_sum(service, "service_drained_total") == 0
+
+
+def test_drain_is_idempotent_and_rejects_new_work(db):
+    service = QueryService(workers=1)
+    session = service.session(db)
+    service.shutdown(wait=True, cancel_queued=True)
+    service.shutdown(wait=True, cancel_queued=True)  # no-op, no error
+    with pytest.raises(ServiceShutdownError):
+        service.submit(session, SQL)
+
+
+def test_ledger_balances_under_mixed_outcomes(db):
+    """submitted == completed + failed + abandoned + drained at
+    quiescence — the chaos harness's core no-stranded-work invariant,
+    checked here on a deterministic miniature."""
+    with FAULTS.inject(SITE_PLAN_CACHE, kind="slow", delay=0.2):
+        service = QueryService(workers=1, queue_depth=16)
+        session = service.session(db)
+        tickets = [service.submit(session, SQL) for _ in range(5)]
+        tickets[2].cancel("abandoned mid-queue")
+        service.shutdown(wait=True, cancel_queued=True)
+    for ticket in tickets:
+        assert ticket.done()
+        try:
+            ticket.result(0.1)
+        except Exception:
+            pass
+    submitted = metric_sum(service, "service_submitted_total")
+    accounted = (
+        metric_sum(service, "service_completed_total")
+        + metric_sum(service, "service_failed_total")
+        + metric_sum(service, "service_abandoned_total")
+        + metric_sum(service, "service_drained_total")
+    )
+    assert submitted == len(tickets)
+    assert accounted == submitted

@@ -1,0 +1,80 @@
+"""Adaptive load shedding at the service's admission gate: batch
+traffic is the shock absorber, interactive traffic keeps the queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryService
+from repro.errors import LoadShedError
+from repro.options import ExecutionOptions
+from repro.resilience import FAULTS, SITE_PLAN_CACHE
+from repro.resilience.admission import SheddingPolicy
+from repro.workloads import SupplierScale, build_database, generate
+
+SQL = "SELECT SNO FROM SUPPLIER"
+
+#: Aggressive policy: one observed wait is enough to move the estimate,
+#: and batch sheds as soon as predicted wait reaches half the (default
+#: 0.2s) typical deadline.
+POLICY = SheddingPolicy(
+    target_delay=0.2, batch_shed_at=0.5, wait_smoothing=1.0, min_queue=1
+)
+
+BATCH = ExecutionOptions.create(priority="batch")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database(
+        generate(SupplierScale(suppliers=8, parts_per_supplier=2))
+    )
+
+
+def saturate(service, session):
+    """Stall the single worker and back the queue up far enough that
+    observed waits exceed the shedding threshold."""
+    tickets = [service.submit(session, SQL) for _ in range(4)]
+    return tickets
+
+
+def test_batch_is_shed_under_predicted_delay(db):
+    with FAULTS.inject(SITE_PLAN_CACHE, kind="slow", delay=0.3):
+        with QueryService(workers=1, shedding=POLICY) as service:
+            session = service.session(db)
+            tickets = saturate(service, session)
+            # Wait until the worker has dequeued at least one stalled
+            # query, so an observed wait has fed the EWMA.
+            tickets[1].result(30)
+            assert service.admission.predicted_wait() >= 0.1
+            with pytest.raises(LoadShedError) as caught:
+                service.submit(session, SQL, options=BATCH)
+            assert caught.value.priority == "batch"
+            assert service.metrics.value(
+                "service_shed_total", priority="batch"
+            ) == 1
+            # Interactive traffic is still admitted past the shedder.
+            survivor = service.submit(session, SQL)
+            assert survivor.result(30).result is not None
+            for ticket in tickets:
+                ticket.result(30)
+
+
+def test_shed_error_is_retryable_backpressure(db):
+    """LoadShedError must map to the 429 family so existing retrying
+    clients treat shedding exactly like a full queue."""
+    from repro.errors import ServiceOverloadedError
+    from repro.net.protocol import status_for_error
+
+    error = LoadShedError("batch", 0.4, 64)
+    assert isinstance(error, ServiceOverloadedError)
+    assert status_for_error(error) == 429
+
+
+def test_batch_flows_freely_on_an_idle_service(db):
+    with QueryService(workers=2, shedding=POLICY) as service:
+        session = service.session(db)
+        for _ in range(5):
+            outcome = service.submit(session, SQL, options=BATCH).result(30)
+            assert outcome.result is not None
+    assert service.metrics.value("service_shed_total", priority="batch") == 0
