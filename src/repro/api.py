@@ -114,6 +114,14 @@ def run_with_options(
     cooperatively cancel mid-flight.
     """
     options = options if options is not None else ExecutionOptions()
+    if options.scan_ranges:
+        # Scatter-gather shard execution: run against a read-only
+        # row-range view.  Everything below (planner, caches, health)
+        # sees the view's own fingerprint, so nothing aliases the full
+        # database.
+        from .engine.sliced import SlicedDatabase
+
+        database = SlicedDatabase.wrap(database, options.scan_ranges)
     timeout = options.timeout
     if options.deadline is not None:
         # Raises DeadlineExpiredError when nothing is left: queue wait

@@ -21,7 +21,7 @@ Usage::
                              [--workers N] [--queue-depth N]
                              [--parallel-scan] [--timeout SECONDS]
                              [--row-budget N] [--safe-mode] [--json]
-                             [--http PORT] [--host ADDR]
+                             [--http PORT] [--host ADDR] [--shards N]
     python -m repro client   URL [--session NAME] [--stream]
                              [--timeout SECONDS] [--row-budget N]
                              [--safe-mode] [--analyze] [--no-optimize]
@@ -52,7 +52,10 @@ Usage::
   PORT`` it instead starts the network server
   (:class:`~repro.net.server.QueryServer`) on that port and serves
   until SIGTERM/SIGINT, then drains gracefully — in-flight queries
-  complete before the listener closes.
+  complete before the listener closes.  ``--shards N`` (with
+  ``--http``) serves a sharded cluster instead: N worker processes
+  behind the :class:`~repro.cluster.ClusterFrontend` front end (see
+  ``docs/cluster.md``).
 * ``client`` executes one query against a running ``serve --http``
   server through the same :class:`~repro.api.Connection` facade local
   code uses, with bounded retry on 429/transient faults.
@@ -92,18 +95,9 @@ from .engine import (
 from .api import Connection
 from .api import connect as api_connect
 from .errors import (
-    DeadlineExpiredError,
-    NetworkError,
-    QueryCancelled,
-    QueryTimeout,
-    RemoteQueryError,
     ReproError,
-    ResourceError,
-    RewriteMismatchError,
-    RowBudgetExceeded,
-    ServiceOverloadedError,
-    TicketWaitTimeout,
-    TransientImsError,
+    exit_code_for as _exit_code_for,
+    exit_code_summary,
 )
 from .options import ExecutionOptions
 from .observe import (
@@ -317,6 +311,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve",
         help="run a batch of queries through the embedded query service",
+        epilog=exit_code_summary(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     source = serve.add_mutually_exclusive_group()
     source.add_argument(
@@ -397,10 +393,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         metavar="ADDR",
         help="bind address for --http (default 127.0.0.1)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="with --http: serve a sharded cluster of N worker "
+        "processes behind an asyncio front end (key-bound point "
+        "queries route to one shard; partitioned scans scatter-gather)",
+    )
 
     client = commands.add_parser(
         "client",
         help="execute one query against a running `serve --http` server",
+        epilog=exit_code_summary(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     client.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8080")
     client.add_argument(
@@ -797,6 +803,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: batch through the embedded service, or — with
     ``--http`` — the network server until SIGTERM/SIGINT."""
+    if args.shards is not None:
+        if args.http is None:
+            print("error: --shards requires --http", file=sys.stderr)
+            return 2
+        return _serve_cluster_http(args)
     database = _load_database(args)
     if args.http is not None:
         return _serve_http(args, database)
@@ -950,6 +961,72 @@ def _serve_http(args: argparse.Namespace, database: Database) -> int:
     return 0
 
 
+def _serve_cluster_http(args: argparse.Namespace) -> int:
+    """``repro serve --http PORT --shards N``: the sharded cluster."""
+    import signal
+    import threading
+
+    from .cluster import ClusterFrontend, ClusterCoordinator, WorkerConfig, WorkerSource
+
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.script:
+        with open(args.script) as handle:
+            source = WorkerSource.from_script(handle.read())
+    else:
+        source = WorkerSource.from_factory(
+            "repro.workloads.supplier:build_database"
+        )
+    options = ExecutionOptions.create(
+        timeout=args.timeout,
+        row_budget=args.row_budget,
+        safe_mode=args.safe_mode,
+        engine_mode=args.engine_mode,
+    )
+    config = WorkerConfig(
+        host="127.0.0.1",
+        threads=args.workers,
+        queue_depth=args.queue_depth,
+        parallel_workers=2 if args.parallel_scan else None,
+        options_wire=options.to_wire() or None,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum: int, _frame: Any) -> None:
+        print(
+            f"-- signal {signum}: draining cluster (workers finish in-flight "
+            "queries)",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    previous_handlers = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _request_stop),
+        signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+    }
+    coordinator = ClusterCoordinator(source, args.shards, config=config)
+    try:
+        with ClusterFrontend(
+            coordinator,
+            host=args.host,
+            port=args.http,
+            owns_coordinator=True,
+        ) as frontend:
+            print(
+                f"-- serving {args.shards} shard(s) on {frontend.url}",
+                file=sys.stderr,
+                flush=True,
+            )
+            stop.wait()
+            # __exit__ drains the front end, then the worker fleet.
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    print("-- drained", file=sys.stderr)
+    return 0
+
+
 def cmd_client(args: argparse.Namespace) -> int:
     """``repro client``: one query over the wire via the facade."""
     options = ExecutionOptions.create(
@@ -1048,36 +1125,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Exit-code taxonomy, matched subclass-first (see module docstring).
-_ERROR_EXIT_CODES: list[tuple[type[ReproError], int]] = [
-    (QueryTimeout, 4),
-    (RowBudgetExceeded, 5),
-    (QueryCancelled, 6),
-    (DeadlineExpiredError, 12),
-    (ResourceError, 3),
-    (TransientImsError, 7),
-    (RewriteMismatchError, 8),
-    (ServiceOverloadedError, 9),
-    (TicketWaitTimeout, 10),
-    (NetworkError, 11),
-]
-
-#: Error-type name → exit code, for errors relayed over the wire: a
-#: remote row-budget violation arrives as a RemoteQueryError carrying
-#: the original type name and still exits 5.
-_NAME_EXIT_CODES: dict[str, int] = {
-    cls.__name__: code for cls, code in _ERROR_EXIT_CODES
-}
-
-
-def exit_code_for(error: ReproError) -> int:
-    """Map a typed error to its CLI exit code (2 for the base class)."""
-    if isinstance(error, RemoteQueryError):
-        return _NAME_EXIT_CODES.get(error.error_type, 2)
-    for cls, code in _ERROR_EXIT_CODES:
-        if isinstance(error, cls):
-            return code
-    return 2
+# The exit-code taxonomy lives in repro.errors (single source of
+# truth, shared with the --help epilogs and docs/cli.md); re-exported
+# here for backward compatibility with callers of cli.exit_code_for.
+exit_code_for = _exit_code_for
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -1,0 +1,49 @@
+"""Multi-process cluster: shard workers, key-aware routing, scatter-gather.
+
+The GIL caps a single worker-thread :class:`~repro.service.QueryService`
+at roughly one core of Python work, so scaling past it means
+shared-nothing *processes*.  This package provides that layer:
+
+* :class:`~repro.cluster.ring.HashRing` — a deterministic consistent-hash
+  ring (virtual nodes, stable across process restarts) mapping keys to
+  shards.
+* :class:`~repro.cluster.coordinator.ClusterCoordinator` — spawns N
+  worker processes, each a full :class:`~repro.net.server.QueryServer`
+  over a replica of the database, monitors them, and respawns any that
+  die.
+* :class:`~repro.cluster.frontend.ClusterFrontend` — an ``asyncio`` HTTP
+  front end speaking the existing :mod:`repro.net.protocol`, so the
+  stock client and CLI work unchanged.  It routes uniqueness-bound
+  point queries (Theorem 1: a query bound on a candidate key identifies
+  at most one row, hence exactly one shard) to a single worker via the
+  ring, scatter-gathers partitionable scans across every shard with an
+  order-preserving merge, and falls back to hash-routing whole queries
+  otherwise — always correct, because every worker holds a replica.
+* :func:`~repro.cluster.frontend.serve_cluster` — one context manager
+  building the coordinator + front end pair.
+
+Scatter-gather rides the ``scan_ranges`` execution option: each worker
+executes the *same* SQL over a contiguous row-range slice of the
+driving table (see :mod:`repro.engine.sliced`), and the front end
+merges the shard results into output byte-identical to single-node
+execution.
+"""
+
+from .coordinator import ClusterCoordinator, WorkerHandle
+from .frontend import ClusterFrontend, serve_cluster
+from .ring import HashRing
+from .scatter import MergeSpec, classify_scatter, merge_shard_rows
+from .worker import WorkerConfig, WorkerSource
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterFrontend",
+    "HashRing",
+    "MergeSpec",
+    "WorkerConfig",
+    "WorkerHandle",
+    "WorkerSource",
+    "classify_scatter",
+    "merge_shard_rows",
+    "serve_cluster",
+]

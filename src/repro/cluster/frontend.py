@@ -1,0 +1,881 @@
+"""The asyncio front end: one listening socket over N shard workers.
+
+The front end is the cluster's only client-facing surface.  It speaks
+the exact :mod:`repro.net.protocol` HTTP/JSON contract a single
+:class:`~repro.net.server.QueryServer` speaks — the stock
+:class:`~repro.net.client.HttpBackend` connects to it unchanged — and
+multiplexes every client connection over one asyncio event loop, so a
+thousand idle keep-alive connections cost one thread, not a thousand.
+
+Per query it picks one of three routes, compiled once per SQL text and
+cached:
+
+* **point** — the Theorem 1 fast path
+  (:func:`~repro.cluster.routing.detect_point_route`): a candidate key
+  fully bound by constants identifies ≤ 1 row, which hash-partitioning
+  places on exactly one shard.  Fan-out 1, counted in
+  ``cluster_single_shard_routes_total``.
+* **scatter** — the classifier
+  (:func:`~repro.cluster.scatter.classify_scatter`) proved per-shard
+  outputs recombine byte-identically: the same SQL fans out to every
+  shard with a per-shard ``scan_ranges`` slice of the driving table,
+  and :func:`~repro.cluster.scatter.merge_shard_rows` reassembles one
+  response.  Any shard failure fails the whole request with that
+  shard's typed envelope — a partial row set is never returned.
+* **forward** — everything else goes whole to one replica shard chosen
+  by ring-hashing the (session, SQL) pair, which spreads unclassified
+  load while keeping a given query text's plan/analysis caches warm on
+  one worker.
+
+Resilience inheritance: the client's ``X-Deadline-Ms`` is re-anchored
+here and re-emitted per shard hop with the budget *actually remaining*
+at fan-out time, and ``X-Priority`` rides through untouched, so each
+worker's admission controller sheds with the same priority lattice and
+deadline awareness it has standalone.  Shard connection failures map to
+retryable 503 envelopes (the worker is respawning; a client retry lands
+on the fresh process).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import uuid
+from typing import Any
+
+from ..observe.metrics import MetricsRegistry
+from ..resilience.admission import PRIORITY_HEADER
+from ..resilience.deadline import DEADLINE_HEADER, Deadline
+from ..sql.parser import parse_query
+from .coordinator import ClusterCoordinator, WorkerHandle
+from .ring import canonical_key
+from .routing import PointRoute, detect_point_route
+from .scatter import MergeSpec, classify_scatter, merge_shard_rows, partition_ranges
+from .worker import WorkerConfig, WorkerSource
+
+__all__ = ["ClusterFrontend", "serve_cluster"]
+
+#: Upper bound on compiled route templates kept per front end; SQL
+#: texts are typically few (applications template their queries).
+_ROUTE_CACHE_SIZE = 512
+
+#: Per-shard-hop connect timeout (seconds).  Workers are local
+#: processes; anything slower than this is a dead or wedged worker.
+_CONNECT_TIMEOUT = 5.0
+
+
+class _Route:
+    """Compiled routing decision for one SQL text."""
+
+    __slots__ = ("kind", "point", "merge")
+
+    def __init__(
+        self,
+        kind: str,
+        point: PointRoute | None = None,
+        merge: MergeSpec | None = None,
+    ) -> None:
+        self.kind = kind  # "point" | "scatter" | "forward"
+        self.point = point
+        self.merge = merge
+
+
+class _ShardReply:
+    """One worker's HTTP response, undecoded."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: dict[str, str], body: bytes) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ClusterFrontend:
+    """Asyncio HTTP front end over a :class:`ClusterCoordinator`.
+
+    The event loop runs on a dedicated thread; :meth:`start` returns
+    once the listening port is bound, :meth:`drain` stops accepting,
+    closes the loop and (when the front end owns it) drains the
+    coordinator.  Usable as a context manager.
+
+    Args:
+        coordinator: the worker fleet (started here if not already).
+        host: listening interface.
+        port: listening port (0 picks a free one).
+        owns_coordinator: drain the coordinator on :meth:`drain`.
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        owns_coordinator: bool = False,
+    ) -> None:
+        self.coordinator = coordinator
+        self.host = host
+        self.port = port
+        self.owns_coordinator = owns_coordinator
+        self.metrics = MetricsRegistry()
+        self._routes: dict[str, _Route] = {}
+        self._routes_lock = threading.Lock()
+        # name → options wire form, replayed onto respawned workers so
+        # a session survives its shard's death.
+        self._sessions: dict[str, Any] = {}
+        self._sessions_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stopping = False
+        coordinator.on_respawn = self._replay_sessions
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ClusterFrontend":
+        if self._thread is not None:
+            return self
+        self.coordinator.start()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-cluster-frontend", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise TimeoutError("cluster front end did not start in 30s")
+        return self
+
+    def drain(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._begin_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        if self.owns_coordinator:
+            self.coordinator.drain()
+
+    close = drain
+
+    def __enter__(self) -> "ClusterFrontend":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.drain()
+        return False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._serve_client, self.host, self.port)
+            )
+            self._server = server
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            loop.run_forever()
+            # _begin_shutdown stopped the loop; finish closing.
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+        except BaseException as error:  # pragma: no cover - startup race
+            self._startup_error = error
+            self._ready.set()
+        finally:
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                loop.close()
+
+    def _begin_shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        loop = self._loop
+        if loop is not None:
+            loop.stop()
+
+    # -- connection handling --------------------------------------------
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                close = headers.get("connection", "").lower() == "close"
+                try:
+                    await self._dispatch(method, path, headers, body, writer)
+                except _Respond as respond:
+                    await self._send_json(
+                        writer,
+                        respond.status,
+                        respond.payload,
+                        respond.extra_headers,
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except Exception as error:
+                    await self._send_json(
+                        writer, 500, _internal_envelope(error)
+                    )
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        except asyncio.LimitOverrunError:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, _version = lines[0].split(" ", 2)
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        headers: dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.metrics.inc("cluster_requests_total")
+        if method == "POST" and path == "/v1/query":
+            await self._handle_query(headers, body, writer)
+        elif method == "POST" and path == "/v1/session":
+            await self._handle_session_open(headers, body)
+        elif method == "DELETE" and path.startswith("/v1/session/"):
+            await self._handle_session_close(path, headers, body)
+        elif method == "GET" and path == "/healthz":
+            await self._handle_healthz()
+        elif method == "GET" and path == "/metrics":
+            await self._send_metrics(writer)
+        else:
+            raise _Respond(
+                404,
+                {
+                    "error": {
+                        "type": "NotFound",
+                        "message": f"no such endpoint: {path}",
+                        "status": 404,
+                        "retryable": False,
+                    }
+                },
+            )
+
+    # -- query routing --------------------------------------------------
+
+    def _route_for(self, sql: str) -> _Route:
+        with self._routes_lock:
+            route = self._routes.get(sql)
+        if route is not None:
+            return route
+        route = self._compile_route(sql)
+        with self._routes_lock:
+            self._routes[sql] = route
+            while len(self._routes) > _ROUTE_CACHE_SIZE:
+                self._routes.pop(next(iter(self._routes)))
+        return route
+
+    def _compile_route(self, sql: str) -> _Route:
+        database = self.coordinator.database
+        try:
+            query = parse_query(sql)
+        except Exception:
+            # Forward: the worker produces the real, typed parse error.
+            return _Route("forward")
+        point = detect_point_route(query, database.catalog)
+        if point is not None:
+            return _Route("point", point=point)
+        if self.coordinator.shards > 1:
+            merge = classify_scatter(sql, database)
+            if merge is not None:
+                return _Route("scatter", merge=merge)
+        return _Route("forward")
+
+    async def _handle_query(
+        self,
+        headers: dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            payload = None
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("sql"), str
+        ):
+            # Malformed request: any shard produces the same 400.
+            reply = await self._forward_to_shard(0, "POST", "/v1/query", headers, body)
+            await self._relay(writer, reply, headers)
+            return
+
+        sql = payload["sql"]
+        params = payload.get("params")
+        session = payload.get("session")
+        stream = bool(payload.get("stream", False))
+        route = self._route_for(sql)
+
+        if route.kind == "point":
+            key = route.point.routing_key(
+                params if isinstance(params, dict) else None
+            )
+            if key is not None:
+                shard = self.coordinator.ring.lookup(key)
+                self.metrics.inc("cluster_single_shard_routes_total")
+                self.metrics.inc("cluster_shard_requests_total", shard=shard)
+                reply = await self._forward_to_shard(
+                    shard, "POST", "/v1/query", headers, body
+                )
+                await self._relay(writer, reply, headers)
+                return
+            # A host variable the key needs is missing: fall through to
+            # the forward path (the worker raises the typed error).
+
+        if route.kind == "scatter":
+            await self._scatter_query(
+                route.merge, payload, headers, writer, stream
+            )
+            return
+
+        shard = self.coordinator.ring.lookup(
+            canonical_key((session or "default", sql))
+        )
+        self.metrics.inc("cluster_forward_routes_total")
+        self.metrics.inc("cluster_shard_requests_total", shard=shard)
+        reply = await self._forward_to_shard(shard, "POST", "/v1/query", headers, body)
+        await self._relay(writer, reply, headers)
+
+    async def _scatter_query(
+        self,
+        merge: MergeSpec,
+        payload: dict,
+        headers: dict[str, str],
+        writer: asyncio.StreamWriter,
+        stream: bool,
+    ) -> None:
+        shards = self.coordinator.shards
+        total = len(self.coordinator.database.table(merge.table).rows)
+        ranges = partition_ranges(total, shards)
+        self.metrics.inc("cluster_scatter_total")
+        self.metrics.inc("cluster_scatter_fanout_total", shards)
+
+        requests = []
+        for shard, (start, stop) in enumerate(ranges):
+            shard_payload = dict(payload)
+            # The front end reassembles the rows; workers always answer
+            # with a plain JSON body, never a stream.
+            shard_payload.pop("stream", None)
+            options = dict(shard_payload.get("options") or {})
+            options["scan_ranges"] = {merge.table: [start, stop]}
+            shard_payload["options"] = options
+            self.metrics.inc("cluster_shard_requests_total", shard=shard)
+            requests.append(
+                self._forward_to_shard(
+                    shard,
+                    "POST",
+                    "/v1/query",
+                    headers,
+                    json.dumps(shard_payload, default=str).encode("utf-8"),
+                )
+            )
+        replies = await asyncio.gather(*requests, return_exceptions=True)
+
+        # All-or-nothing: the first failing shard's envelope (or a
+        # retryable 503 for a dead socket) answers the whole request —
+        # a partial row set must never look like a result.
+        for shard, reply in enumerate(replies):
+            if isinstance(reply, BaseException):
+                raise _Respond(*_unreachable_envelope(shard, reply))
+            if reply.status != 200:
+                await self._relay(writer, reply, headers)
+                return
+
+        decoded = [reply.json() for reply in replies]
+        shard_rows = [body.get("rows", []) for body in decoded]
+        merged = merge_shard_rows(merge, [
+            [tuple(row) for row in rows] for rows in shard_rows
+        ])
+
+        first = decoded[0]
+        response: dict[str, Any] = {
+            "request_id": headers.get("x-request-id")
+            or first.get("request_id")
+            or uuid.uuid4().hex[:12],
+            "columns": first.get("columns", []),
+            "rows": [list(row) for row in merged],
+            "row_count": len(merged),
+            "final_sql": first.get("final_sql", ""),
+            "rewritten": first.get("rewritten", False),
+            "rules": first.get("rules", []),
+            "mismatch": any(body.get("mismatch") for body in decoded),
+            "stats": _sum_stats(decoded),
+        }
+        if first.get("analysis") is not None:
+            analysis = dict(first["analysis"])
+            analysis["scatter"] = {
+                "table": merge.table,
+                "mode": merge.mode,
+                "shards": shards,
+                "ranges": [[start, stop] for start, stop in ranges],
+                "rows_per_shard": [len(rows) for rows in shard_rows],
+            }
+            response["analysis"] = analysis
+        if stream:
+            await self._stream_response(writer, response)
+        else:
+            await self._send_json(writer, 200, response)
+
+    async def _stream_response(
+        self, writer: asyncio.StreamWriter, response: dict
+    ) -> None:
+        """Re-emit a merged result as NDJSON, mirroring the worker's
+        stream shape (header, row chunks, sealing footer)."""
+        rows = response.pop("rows")
+        count = response.pop("row_count")
+        lines = [json.dumps(response, separators=(",", ":"), default=str)]
+        chunk_rows = self.coordinator.config.stream_chunk_rows
+        for start in range(0, len(rows), chunk_rows):
+            chunk = rows[start : start + chunk_rows]
+            lines.append(
+                json.dumps(
+                    {"rows": chunk}, separators=(",", ":"), default=str
+                )
+            )
+        lines.append(
+            json.dumps(
+                {"end": True, "row_count": count}, separators=(",", ":")
+            )
+        )
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- sessions -------------------------------------------------------
+
+    async def _handle_session_open(
+        self, headers: dict[str, str], body: bytes
+    ) -> None:
+        """Broadcast the open to every shard so any route can use the
+        session; remember the spec to replay onto respawned workers."""
+        replies = await asyncio.gather(
+            *[
+                self._forward_to_shard(s, "POST", "/v1/session", headers, body)
+                for s in range(self.coordinator.shards)
+            ],
+            return_exceptions=True,
+        )
+        first_ok: _ShardReply | None = None
+        for shard, reply in enumerate(replies):
+            if isinstance(reply, BaseException):
+                raise _Respond(*_unreachable_envelope(shard, reply))
+            if reply.status != 200:
+                raise _Respond(reply.status, reply.json())
+            if first_ok is None:
+                first_ok = reply
+        decoded = first_ok.json()
+        with self._sessions_lock:
+            self._sessions[decoded["session"]] = {
+                "name": decoded["session"],
+                "options": decoded.get("options"),
+            }
+        raise _Respond(200, decoded)
+
+    async def _handle_session_close(
+        self, path: str, headers: dict[str, str], body: bytes
+    ) -> None:
+        name = path[len("/v1/session/") :]
+        with self._sessions_lock:
+            self._sessions.pop(name, None)
+        replies = await asyncio.gather(
+            *[
+                self._forward_to_shard(s, "DELETE", path, headers, body)
+                for s in range(self.coordinator.shards)
+            ],
+            return_exceptions=True,
+        )
+        for shard, reply in enumerate(replies):
+            if isinstance(reply, BaseException):
+                raise _Respond(*_unreachable_envelope(shard, reply))
+            if reply.status != 200:
+                raise _Respond(reply.status, reply.json())
+        raise _Respond(200, replies[0].json())
+
+    def _replay_sessions(self, handle: WorkerHandle) -> None:
+        """Coordinator respawn callback (monitor thread, not the event
+        loop): re-open every tracked session on the fresh worker with
+        blocking I/O so the worker is fully usable before routing
+        resumes sending it traffic."""
+        self.metrics.inc("cluster_worker_respawns_total")
+        with self._sessions_lock:
+            specs = list(self._sessions.values())
+        if not specs:
+            return
+        import urllib.request
+
+        url = self.coordinator.worker_url(handle.shard_id)
+        for spec in specs:
+            payload = {"name": spec["name"]}
+            if spec.get("options"):
+                payload["options"] = spec["options"]
+            request = urllib.request.Request(
+                f"{url}/v1/session",
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=10.0):
+                    pass
+            except Exception:
+                pass  # the session's first query will surface the gap
+
+    # -- health & metrics -----------------------------------------------
+
+    async def _handle_healthz(self) -> None:
+        shards = self.coordinator.snapshot()
+        probes = await asyncio.gather(
+            *[
+                self._probe_health(entry["shard"])
+                for entry in shards
+            ],
+            return_exceptions=True,
+        )
+        for entry, probe in zip(shards, probes):
+            if isinstance(probe, BaseException) or probe is None:
+                entry["health"] = None
+                entry["reachable"] = False
+            else:
+                entry["health"] = probe
+                entry["reachable"] = True
+            self.metrics.set(
+                "cluster_shard_up",
+                1.0 if entry["reachable"] and entry["alive"] else 0.0,
+                shard=entry["shard"],
+            )
+        all_up = all(e["alive"] and e["reachable"] for e in shards)
+        raise _Respond(
+            200,
+            {
+                "status": "ok" if all_up else "degraded",
+                "shards": shards,
+                "shard_count": self.coordinator.shards,
+                "respawns": self.coordinator.respawn_count(),
+                "ring": {
+                    "vnodes": self.coordinator.ring.vnodes,
+                    "seed": self.coordinator.ring.seed,
+                },
+            },
+        )
+
+    async def _probe_health(self, shard: int) -> dict | None:
+        try:
+            reply = await self._forward_to_shard(
+                shard, "GET", "/healthz", {}, b""
+            )
+        except Exception:
+            return None
+        if reply.status != 200:
+            return None
+        return reply.json()
+
+    async def _send_metrics(self, writer: asyncio.StreamWriter) -> None:
+        for entry in self.coordinator.snapshot():
+            self.metrics.set(
+                "cluster_shard_up",
+                1.0 if entry["alive"] else 0.0,
+                shard=entry["shard"],
+            )
+        self.metrics.set(
+            "cluster_worker_respawns_total",
+            float(self.coordinator.respawn_count()),
+        )
+        body = self.metrics.to_prometheus().encode("utf-8")
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- shard transport ------------------------------------------------
+
+    def _hop_headers(self, client_headers: dict[str, str]) -> dict[str, str]:
+        """Headers for one worker hop: deadline re-anchored to the
+        budget remaining *now*, priority and request id passed through."""
+        hop: dict[str, str] = {}
+        raw_deadline = client_headers.get(DEADLINE_HEADER.lower())
+        if raw_deadline is not None:
+            try:
+                deadline = Deadline.from_wire_ms(float(raw_deadline))
+                hop[DEADLINE_HEADER] = f"{max(0.0, deadline.to_wire_ms()):.3f}"
+            except ValueError:
+                hop[DEADLINE_HEADER] = raw_deadline
+        priority = client_headers.get(PRIORITY_HEADER.lower())
+        if priority is not None:
+            hop[PRIORITY_HEADER] = priority
+        request_id = client_headers.get("x-request-id")
+        if request_id is not None:
+            hop["X-Request-Id"] = request_id
+        return hop
+
+    async def _forward_to_shard(
+        self,
+        shard: int,
+        method: str,
+        path: str,
+        client_headers: dict[str, str],
+        body: bytes,
+    ) -> _ShardReply:
+        """One HTTP exchange with one worker (fresh connection,
+        ``Connection: close`` — ports move across respawns, so cached
+        connections would pin dead incarnations)."""
+        try:
+            url = self.coordinator.worker_url(shard)
+        except KeyError:
+            raise ConnectionError(f"unknown shard {shard}") from None
+        _scheme, _, rest = url.partition("://")
+        host, _, port = rest.partition(":")
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, int(port)), timeout=_CONNECT_TIMEOUT
+        )
+        try:
+            headers = self._hop_headers(client_headers)
+            lines = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}"]
+            for name, value in headers.items():
+                lines.append(f"{name}: {value}")
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(body)}")
+            lines.append("Connection: close")
+            head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+
+            raw_head = await reader.readuntil(b"\r\n\r\n")
+            head_lines = raw_head.decode("latin-1").split("\r\n")
+            status = int(head_lines[0].split(" ", 2)[1])
+            reply_headers: dict[str, str] = {}
+            for line in head_lines[1:]:
+                if ":" in line:
+                    name, _, value = line.partition(":")
+                    reply_headers[name.strip().lower()] = value.strip()
+            length = reply_headers.get("content-length")
+            if length is not None:
+                reply_body = await reader.readexactly(int(length))
+            else:
+                reply_body = await reader.read()
+            return _ShardReply(status, reply_headers, reply_body)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- response plumbing ----------------------------------------------
+
+    async def _relay(
+        self,
+        writer: asyncio.StreamWriter,
+        reply: _ShardReply,
+        client_headers: dict[str, str],
+    ) -> None:
+        """Pass one worker response through verbatim (body and the
+        headers that matter: content type, retry-after, request id)."""
+        passthrough = {}
+        for name in ("content-type", "retry-after", "x-request-id"):
+            if name in reply.headers:
+                passthrough[name] = reply.headers[name]
+        head_lines = [f"HTTP/1.1 {reply.status} {_reason(reply.status)}"]
+        for name, value in passthrough.items():
+            head_lines.append(f"{name}: {value}")
+        head_lines.append(f"Content-Length: {len(reply.body)}")
+        head = ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + reply.body)
+        await writer.drain()
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, separators=(",", ":"), default=str).encode(
+            "utf-8"
+        )
+        lines = [
+            f"HTTP/1.1 {status} {_reason(status)}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+class _Respond(Exception):
+    """Control-flow: a handler's final (status, payload) response."""
+
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        super().__init__(status)
+        self.status = status
+        self.payload = payload
+        self.extra_headers = extra_headers
+
+
+def _unreachable_envelope(
+    shard: int, error: BaseException
+) -> tuple[int, dict, dict[str, str]]:
+    """A dead/unreachable worker → a retryable 503 with Retry-After:
+    the monitor respawns it, so a client retry lands on the fresh
+    process.  Never a partial result."""
+    payload = {
+        "error": {
+            "type": "TransientNetworkError",
+            "message": (
+                f"shard {shard} unreachable"
+                f" ({type(error).__name__}: {error})"
+            ),
+            "status": 503,
+            "retryable": True,
+            "retry_after": 0.5,
+        }
+    }
+    return 503, payload, {"Retry-After": "0.5"}
+
+
+def _internal_envelope(error: BaseException) -> dict:
+    return {
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "status": 500,
+            "retryable": False,
+        }
+    }
+
+
+def _sum_stats(decoded: list[dict]) -> dict:
+    """Merge per-shard stats: numeric values sum, others keep first."""
+    merged: dict[str, Any] = {}
+    for body in decoded:
+        for name, value in (body.get("stats") or {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                merged.setdefault(name, value)
+            else:
+                merged[name] = merged.get(name, 0) + value
+    return merged
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _reason(status: int) -> str:
+    return _REASONS.get(status, "Unknown")
+
+
+def serve_cluster(
+    source: WorkerSource,
+    shards: int,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: WorkerConfig | None = None,
+    ring_seed: int = 0,
+    respawn: bool = True,
+) -> ClusterFrontend:
+    """Build and start a whole cluster: N workers plus the front end.
+
+    Returns the started :class:`ClusterFrontend` (which owns the
+    coordinator — draining the front end drains the fleet).  Use as a
+    context manager::
+
+        with serve_cluster(WorkerSource.from_script(sql), shards=4) as fe:
+            conn = repro.connect(fe.url)
+    """
+    coordinator = ClusterCoordinator(
+        source,
+        shards,
+        config=config,
+        ring_seed=ring_seed,
+        respawn=respawn,
+    )
+    frontend = ClusterFrontend(
+        coordinator, host=host, port=port, owns_coordinator=True
+    )
+    return frontend.start()

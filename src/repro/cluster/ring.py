@@ -1,0 +1,156 @@
+"""Deterministic consistent-hash ring with virtual nodes.
+
+Routing decisions must be *stable across process restarts*: a point
+query for supplier ``S3`` has to land on the same shard today,
+tomorrow, and after the front end is bounced, or per-shard caches and
+diagnostics become useless.  Python's builtin ``hash`` is salted per
+process (``PYTHONHASHSEED``), so the ring hashes with
+:func:`hashlib.blake2b` keyed by an explicit seed instead.
+
+Each shard contributes ``vnodes`` points on a 64-bit ring; a key is
+owned by the first shard point at or clockwise-after the key's hash.
+Virtual nodes keep ownership roughly uniform and — the classic
+consistent-hashing property — adding or removing one shard of N only
+remaps ~K/N of K keys (the property suite in
+``tests/properties/test_hash_ring.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing", "canonical_key"]
+
+_SPACE_BYTES = 8  # 64-bit ring positions
+
+
+def canonical_key(parts: Iterable[object]) -> str:
+    """Flatten a routing key (e.g. ``("SUPPLIER", 3)``) to a stable string.
+
+    ``None`` and numeric values format deterministically via ``repr``;
+    strings are taken as-is.  The unit separator keeps ``("AB", "C")``
+    distinct from ``("A", "BC")``.
+    """
+
+    rendered = []
+    for part in parts:
+        rendered.append(part if isinstance(part, str) else repr(part))
+    return "\x1f".join(rendered)
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to shard ids.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard identifiers (ints for cluster use; any string-able
+        value works, which the property tests exploit).
+    vnodes:
+        Ring points per shard.  More points → smoother balance, larger
+        remap cost when membership changes.
+    seed:
+        Keyed-hash seed.  Two rings built with the same shards, vnodes
+        and seed produce identical lookups in any process.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[object] = (),
+        *,
+        vnodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self._vnodes = int(vnodes)
+        self._seed = int(seed)
+        self._points: list[int] = []
+        self._owners: list[object] = []
+        self._shards: dict[object, tuple[int, ...]] = {}
+        for shard in shards:
+            self.add_shard(shard)
+
+    # -- membership ---------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[object, ...]:
+        return tuple(self._shards)
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: object) -> bool:
+        return shard in self._shards
+
+    def add_shard(self, shard: object) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on ring")
+        points = tuple(
+            self._hash(f"shard\x1f{shard!r}\x1f{replica}")
+            for replica in range(self._vnodes)
+        )
+        self._shards[shard] = points
+        for point in points:
+            index = bisect.bisect_left(self._points, point)
+            # Collisions across shards are astronomically unlikely in a
+            # 64-bit space but must still be deterministic: first-added
+            # shard keeps the point.
+            if index < len(self._points) and self._points[index] == point:
+                continue
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove_shard(self, shard: object) -> None:
+        if shard not in self._shards:
+            raise KeyError(shard)
+        del self._shards[shard]
+        keep_points: list[int] = []
+        keep_owners: list[object] = []
+        for point, owner in zip(self._points, self._owners):
+            if owner != shard:
+                keep_points.append(point)
+                keep_owners.append(owner)
+        self._points = keep_points
+        self._owners = keep_owners
+
+    # -- lookup -------------------------------------------------------
+
+    def lookup(self, key: object) -> object:
+        """Return the shard owning *key*.
+
+        *key* may be a string, or any iterable of parts (tuples are
+        canonicalised via :func:`canonical_key`).
+        """
+
+        if not self._points:
+            raise LookupError("hash ring has no shards")
+        if isinstance(key, str):
+            canonical = key
+        elif isinstance(key, (tuple, list)):
+            canonical = canonical_key(key)
+        else:
+            canonical = repr(key)
+        position = self._hash(f"key\x1f{canonical}")
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):
+            index = 0  # wrap: clockwise past the top of the ring
+        return self._owners[index]
+
+    def _hash(self, text: str) -> int:
+        digest = hashlib.blake2b(
+            text.encode("utf-8"),
+            digest_size=_SPACE_BYTES,
+            key=self._seed.to_bytes(8, "big", signed=True),
+        ).digest()
+        return int.from_bytes(digest, "big")

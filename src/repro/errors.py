@@ -355,3 +355,52 @@ class RemoteQueryError(NetworkError):
         super().__init__(f"{error_type}: {message}")
         self.error_type = error_type
         self.status = status
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+
+#: The CLI's exit-code taxonomy, matched subclass-first — the single
+#: source of truth shared by :mod:`repro.cli`, its ``--help`` epilogs,
+#: and ``docs/cli.md``.  Codes 0–2 are structural (success, a ``check``
+#: NO verdict, and the generic :class:`ReproError` fallback).
+CLI_EXIT_CODES: list[tuple[type[ReproError], int]] = [
+    (QueryTimeout, 4),
+    (RowBudgetExceeded, 5),
+    (QueryCancelled, 6),
+    (DeadlineExpiredError, 12),
+    (ResourceError, 3),
+    (TransientImsError, 7),
+    (RewriteMismatchError, 8),
+    (ServiceOverloadedError, 9),
+    (TicketWaitTimeout, 10),
+    (NetworkError, 11),
+]
+
+#: Error-type name → exit code, for errors relayed over the wire: a
+#: remote row-budget violation arrives as a RemoteQueryError carrying
+#: the original type name and still exits 5.
+_NAME_EXIT_CODES: dict[str, int] = {
+    cls.__name__: code for cls, code in CLI_EXIT_CODES
+}
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Map a typed error to its CLI exit code (2 for the base class)."""
+    if isinstance(error, RemoteQueryError):
+        return _NAME_EXIT_CODES.get(error.error_type, 2)
+    for cls, code in CLI_EXIT_CODES:
+        if isinstance(error, cls):
+            return code
+    return 2
+
+
+def exit_code_summary() -> str:
+    """One-line-per-code text for CLI ``--help`` epilogs, kept in sync
+    with :data:`CLI_EXIT_CODES` by construction."""
+    lines = ["exit codes:"]
+    ordered = sorted(CLI_EXIT_CODES, key=lambda pair: pair[1])
+    for cls, code in ordered:
+        lines.append(f"  {code:>2}  {cls.__name__}")
+    lines.append("   2  any other ReproError")
+    return "\n".join(lines)

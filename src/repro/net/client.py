@@ -205,11 +205,21 @@ class HttpBackend:
 
         hint = self._pending_retry_after
         self._pending_retry_after = None
-        # The server's hint is authoritative but capped by the policy's
-        # max_delay so a misbehaving server cannot stall the client.
+        # The server's hint *replaces* the backoff schedule: a shedding
+        # 429 predicts when the admission queue will actually have
+        # room, and that estimate beats the exponential schedule in
+        # both directions (an early fixed backoff just gets shed again;
+        # a late one wastes the freed slot).  Capped by the policy's
+        # max_delay so a misbehaving server cannot stall the client,
+        # and jittered like every other sleep so the herd of clients a
+        # shedding episode rejects does not return in lockstep.
         if hint is not None:
-            seconds = max(seconds, min(hint, self.retry_policy.max_delay))
-        time.sleep(seconds)
+            seconds = min(hint, self.retry_policy.max_delay)
+            if self.retry_policy.jitter:
+                seconds -= (
+                    seconds * self.retry_policy.jitter * self._rng.random()
+                )
+        time.sleep(max(0.0, seconds))
 
     def _query_once(self, path: str, body: dict) -> ExecutedQuery:
         status, headers, raw = self._raw_request("POST", path, body)

@@ -85,6 +85,11 @@ ERROR_STATUS: list[tuple[type[BaseException], int]] = [
 #: Default Retry-After (seconds) attached to retryable statuses.
 ERROR_RETRY_AFTER = 1.0
 
+#: Ceiling on the advertised Retry-After, whatever the error reports.
+#: A shedding controller under a pathological spike can predict queue
+#: waits far beyond anything a client should sleep on one attempt.
+ERROR_RETRY_AFTER_CAP = 5.0
+
 #: Statuses a client may retry (with the envelope's ``retryable`` flag
 #: as the authoritative signal when an envelope is present).
 RETRYABLE_STATUSES = frozenset({429, 503})
@@ -101,6 +106,22 @@ def status_for_error(error: BaseException) -> int:
     return 500
 
 
+def retry_after_for_error(error: BaseException) -> float:
+    """The Retry-After hint (seconds) to advertise for *error*.
+
+    A :class:`~repro.errors.LoadShedError` carries the admission
+    controller's own queue-delay prediction — the single best estimate
+    of when retrying will actually succeed — so that is what the 429
+    advertises (capped; a pathological spike can predict waits no
+    client should sleep through in one attempt).  Everything else gets
+    the fixed default.
+    """
+    predicted = getattr(error, "predicted_wait", None)
+    if isinstance(predicted, (int, float)) and predicted > 0:
+        return round(min(float(predicted), ERROR_RETRY_AFTER_CAP), 3)
+    return ERROR_RETRY_AFTER
+
+
 def error_envelope(
     error: BaseException, request_id: str | None = None
 ) -> tuple[int, dict[str, Any]]:
@@ -113,7 +134,7 @@ def error_envelope(
         "retryable": status in RETRYABLE_STATUSES,
     }
     if status in RETRYABLE_STATUSES:
-        body["retry_after"] = ERROR_RETRY_AFTER
+        body["retry_after"] = retry_after_for_error(error)
     if request_id:
         body["request_id"] = request_id
     return status, {"error": body}

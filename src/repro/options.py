@@ -60,6 +60,13 @@ class ExecutionOptions:
         priority: admission priority class — ``"interactive"``
             (default, shed last) or ``"batch"`` (shed first under
             load).
+        scan_ranges: row-range slices applied to named tables for the
+            duration of this execution, as ``(table, start, stop)``
+            triples.  The scatter-gather layer sets one slice of the
+            driving table per shard; execution then runs against a
+            read-only :class:`~repro.engine.sliced.SlicedDatabase`
+            view.  Crosses the wire as ``{"scan_ranges": {table:
+            [start, stop]}}``.
 
     The class is frozen and built from frozen parts, so a value can key
     caches, cross threads, and be shared between a session default and
@@ -76,6 +83,7 @@ class ExecutionOptions:
     batch_rows: int | None = None
     deadline: Deadline | None = None
     priority: str = PRIORITY_INTERACTIVE
+    scan_ranges: tuple[tuple[str, int, int], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -92,6 +100,32 @@ class ExecutionOptions:
             raise ValueError(
                 f"priority must be one of {', '.join(PRIORITIES)}"
             )
+        if self.scan_ranges is not None:
+            seen: set[str] = set()
+            for entry in self.scan_ranges:
+                if len(entry) != 3:
+                    raise ValueError(
+                        "scan_ranges entries must be (table, start, stop)"
+                    )
+                table, start, stop = entry
+                if not isinstance(table, str) or not table:
+                    raise ValueError("scan_ranges table must be a name")
+                if table.upper() in seen:
+                    raise ValueError(
+                        f"duplicate scan range for table {table.upper()}"
+                    )
+                seen.add(table.upper())
+                if (
+                    not isinstance(start, int)
+                    or not isinstance(stop, int)
+                    or isinstance(start, bool)
+                    or isinstance(stop, bool)
+                    or start < 0
+                    or stop < start
+                ):
+                    raise ValueError(
+                        f"invalid scan range [{start}, {stop}) for {table}"
+                    )
 
     # -- construction ---------------------------------------------------
 
@@ -110,6 +144,7 @@ class ExecutionOptions:
         batch_rows: int | None = None,
         deadline: "Deadline | float | None" = None,
         priority: str = PRIORITY_INTERACTIVE,
+        scan_ranges: "Mapping[str, tuple[int, int]] | tuple[tuple[str, int, int], ...] | None" = None,
     ) -> "ExecutionOptions":
         """Build options from the looser spellings the API accepts.
 
@@ -130,6 +165,13 @@ class ExecutionOptions:
             )
         if isinstance(deadline, (int, float)):
             deadline = Deadline.after(float(deadline))
+        if isinstance(scan_ranges, Mapping):
+            scan_ranges = tuple(
+                (table, start, stop)
+                for table, (start, stop) in sorted(scan_ranges.items())
+            )
+        elif scan_ranges is not None:
+            scan_ranges = tuple(tuple(entry) for entry in scan_ranges)
         return cls(
             timeout=timeout,
             row_budget=row_budget,
@@ -141,6 +183,7 @@ class ExecutionOptions:
             batch_rows=batch_rows,
             deadline=deadline,
             priority=priority,
+            scan_ranges=scan_ranges,
         )
 
     # -- derived views --------------------------------------------------
@@ -199,6 +242,11 @@ class ExecutionOptions:
             payload["deadline_ms"] = self.deadline.to_wire_ms()
         if self.priority != PRIORITY_INTERACTIVE:
             payload["priority"] = self.priority
+        if self.scan_ranges is not None:
+            payload["scan_ranges"] = {
+                table: [start, stop]
+                for table, start, stop in self.scan_ranges
+            }
         return payload
 
     @classmethod
@@ -269,6 +317,30 @@ class ExecutionOptions:
                     + ", ".join(repr(p) for p in PRIORITIES)
                 )
             kwargs["priority"] = value
+        if payload.get("scan_ranges") is not None:
+            value = payload["scan_ranges"]
+            if not isinstance(value, Mapping):
+                raise ProtocolError(
+                    "option 'scan_ranges' must map table names to "
+                    "[start, stop] pairs"
+                )
+            entries = []
+            for table, window in sorted(value.items()):
+                if (
+                    not isinstance(table, str)
+                    or not isinstance(window, (list, tuple))
+                    or len(window) != 2
+                    or any(
+                        not isinstance(edge, int) or isinstance(edge, bool)
+                        for edge in window
+                    )
+                ):
+                    raise ProtocolError(
+                        "option 'scan_ranges' must map table names to "
+                        "[start, stop] pairs"
+                    )
+                entries.append((table, int(window[0]), int(window[1])))
+            kwargs["scan_ranges"] = tuple(entries)
         parallel = payload.get("parallel")
         if parallel is not None:
             if isinstance(parallel, int) and not isinstance(parallel, bool):

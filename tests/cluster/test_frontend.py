@@ -1,0 +1,235 @@
+"""Front-end behaviours: Theorem 1 point routing (fan-out exactly 1),
+session broadcast and replay onto respawned workers, healthz
+aggregation, and resilience-header forwarding."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterFrontend,
+    WorkerConfig,
+    WorkerSource,
+)
+
+from .conftest import FACTORY, get_json, get_text, post_json
+
+
+def metric(text: str, name: str, labels: str = "") -> float:
+    needle = f"repro_{name}{labels}"
+    for line in text.splitlines():
+        if line.startswith(needle + " ") or line == needle:
+            return float(line.rsplit(" ", 1)[1])
+    return 0.0
+
+
+class TestPointRouting:
+    def test_key_bound_queries_fan_out_to_exactly_one_shard(self, cluster):
+        """A workload of key-bound point queries routes every request
+        to a single shard: cluster_single_shard_routes_total equals the
+        request count, and per-shard request counters sum to it (one
+        worker request per client request — fan-out exactly 1)."""
+        before_text = get_text(cluster.url, "/metrics")
+        before_point = metric(before_text, "cluster_single_shard_routes_total")
+        before_shard_reqs = [
+            metric(
+                before_text,
+                "cluster_shard_requests_total",
+                '{shard="%d"}' % s,
+            )
+            for s in range(cluster.coordinator.shards)
+        ]
+
+        requests = 12
+        for sno in range(1, requests + 1):
+            status, _h, body = post_json(
+                cluster.url,
+                "/v1/query",
+                {"sql": f"SELECT SNAME FROM SUPPLIER WHERE SNO = {sno}"},
+            )
+            assert status == 200, body
+            assert len(body["rows"]) <= 1  # Theorem 1: at most one row
+
+        after_text = get_text(cluster.url, "/metrics")
+        after_point = metric(after_text, "cluster_single_shard_routes_total")
+        after_shard_reqs = [
+            metric(
+                after_text,
+                "cluster_shard_requests_total",
+                '{shard="%d"}' % s,
+            )
+            for s in range(cluster.coordinator.shards)
+        ]
+        assert after_point - before_point == requests
+        fanout = sum(after_shard_reqs) - sum(before_shard_reqs)
+        assert fanout == requests  # exactly one worker hop per request
+
+    def test_point_route_result_matches_scatter(self, cluster):
+        """The fast path returns the same row the scatter path would."""
+        point = "SELECT SNAME FROM SUPPLIER WHERE SNO = 5"
+        scan = "SELECT ALL S.SNAME FROM SUPPLIER S WHERE S.SNO = 5"
+        _s1, _h1, body_point = post_json(
+            cluster.url, "/v1/query", {"sql": point}
+        )
+        _s2, _h2, body_scan = post_json(
+            cluster.url, "/v1/query", {"sql": scan}
+        )
+        assert body_point["rows"] == body_scan["rows"]
+
+    def test_host_var_point_query_routes_by_param(self, cluster):
+        before = metric(
+            get_text(cluster.url, "/metrics"),
+            "cluster_single_shard_routes_total",
+        )
+        status, _h, body = post_json(
+            cluster.url,
+            "/v1/query",
+            {
+                "sql": "SELECT SNAME FROM SUPPLIER WHERE SNO = :SNO",
+                "params": {"SNO": 3},
+            },
+        )
+        assert status == 200, body
+        after = metric(
+            get_text(cluster.url, "/metrics"),
+            "cluster_single_shard_routes_total",
+        )
+        assert after - before == 1
+
+
+class TestResilienceHeaders:
+    def test_deadline_forwarded_and_enforced(self, cluster):
+        """An effectively-zero deadline reaches the worker and comes
+        back as the typed 504 envelope."""
+        status, _h, body = post_json(
+            cluster.url,
+            "/v1/query",
+            {"sql": "SELECT ALL S.SNO FROM SUPPLIER S"},
+            headers={"X-Deadline-Ms": "0.0001"},
+        )
+        assert status == 504
+        assert body["error"]["type"] == "DeadlineExpiredError"
+
+    def test_priority_header_validated_by_worker(self, cluster):
+        status, _h, body = post_json(
+            cluster.url,
+            "/v1/query",
+            {"sql": "SELECT ALL S.SNO FROM SUPPLIER S"},
+            headers={"X-Priority": "bogus"},
+        )
+        assert status == 400
+        assert body["error"]["type"] == "ProtocolError"
+
+
+class TestSessions:
+    def test_session_open_reaches_every_shard(self, cluster):
+        status, _h, body = post_json(
+            cluster.url,
+            "/v1/session",
+            {"name": "broadcast-check", "options": {"row_budget": 100000}},
+        )
+        assert status == 200
+        assert body["session"] == "broadcast-check"
+        # Every worker knows the session: any routed query under it
+        # succeeds regardless of which shard it lands on.
+        for sno in range(1, 7):
+            status, _h, body = post_json(
+                cluster.url,
+                "/v1/query",
+                {
+                    "sql": f"SELECT SNAME FROM SUPPLIER WHERE SNO = {sno}",
+                    "session": "broadcast-check",
+                },
+            )
+            assert status == 200, body
+        status, _h, body = post_json(
+            cluster.url,
+            "/v1/query",
+            {
+                "sql": "SELECT ALL S.SNO FROM SUPPLIER S",
+                "session": "broadcast-check",
+            },
+        )
+        assert status == 200, body
+
+
+class TestSessionReplayAfterRespawn:
+    @pytest.fixture()
+    def fleet(self):
+        coordinator = ClusterCoordinator(
+            WorkerSource.from_factory(FACTORY),
+            shards=2,
+            config=WorkerConfig(threads=2, queue_depth=16),
+            monitor_interval=0.1,
+        )
+        with ClusterFrontend(coordinator, owns_coordinator=True) as fe:
+            yield fe
+
+    def test_respawned_worker_relearns_sessions(self, fleet):
+        status, _h, _b = post_json(
+            fleet.url, "/v1/session", {"name": "durable"}
+        )
+        assert status == 200
+        killed_pid = fleet.coordinator.kill_shard(0)
+        deadline = time.time() + 15.0
+        while time.time() < deadline:
+            handle = fleet.coordinator.handle(0)
+            if handle.alive() and handle.pid != killed_pid:
+                break
+            time.sleep(0.1)
+        # Give the replay callback a moment after the respawn.
+        time.sleep(0.5)
+        health = get_json(fleet.url, "/healthz")
+        fresh = next(s for s in health["shards"] if s["shard"] == 0)
+        assert fresh["respawns"] >= 1
+        assert "durable" in fresh["health"]["sessions"]
+
+    def test_closed_sessions_are_not_replayed(self, fleet):
+        post_json(fleet.url, "/v1/session", {"name": "ephemeral"})
+        import urllib.request
+
+        request = urllib.request.Request(
+            fleet.url + "/v1/session/ephemeral", method="DELETE"
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert response.status == 200
+        killed_pid = fleet.coordinator.kill_shard(1)
+        deadline = time.time() + 15.0
+        while time.time() < deadline:
+            handle = fleet.coordinator.handle(1)
+            if handle.alive() and handle.pid != killed_pid:
+                break
+            time.sleep(0.1)
+        time.sleep(0.5)
+        health = get_json(fleet.url, "/healthz")
+        fresh = next(s for s in health["shards"] if s["shard"] == 1)
+        assert "ephemeral" not in fresh["health"]["sessions"]
+
+
+class TestHealthAggregation:
+    def test_healthz_includes_every_shard(self, cluster):
+        health = get_json(cluster.url, "/healthz")
+        assert health["status"] == "ok"
+        assert health["shard_count"] == cluster.coordinator.shards
+        assert len(health["shards"]) == cluster.coordinator.shards
+        for entry in health["shards"]:
+            assert entry["alive"] is True
+            assert entry["reachable"] is True
+            # The embedded per-shard healthz is the worker's own body.
+            assert entry["health"]["status"] == "ok"
+            assert "subsystems" in entry["health"]
+
+    def test_metrics_exports_shard_gauges(self, cluster):
+        text = get_text(cluster.url, "/metrics")
+        for shard in range(cluster.coordinator.shards):
+            assert metric(
+                text, "cluster_shard_up", '{shard="%d"}' % shard
+            ) == 1.0
+
+    def test_unknown_endpoint_is_404(self, cluster):
+        status, _h, body = post_json(cluster.url, "/v1/nonsense", {})
+        assert status == 404
+        assert body["error"]["type"] == "NotFound"

@@ -1,0 +1,169 @@
+"""Scatter classification and merge correctness, without processes.
+
+Every classified query is executed per-slice via ``scan_ranges`` and
+merged with :func:`merge_shard_rows`; the result must equal single-node
+execution exactly (same rows, same order).  Queries the classifier
+rejects fall back to single-shard routing, so a rejection is always
+safe — these tests pin the *reasons* for the important rejections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_with_options
+from repro.cluster.scatter import (
+    classify_scatter,
+    merge_shard_rows,
+    partition_ranges,
+)
+from repro.options import ExecutionOptions
+from repro.workloads.queries import PAPER_QUERIES
+from repro.workloads.supplier import build_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database()
+
+
+def scatter_execute(sql, db, spec, shards=3, params=None):
+    total = len(db.table(spec.table).rows)
+    shard_rows = []
+    for start, stop in partition_ranges(total, shards):
+        outcome = run_with_options(
+            sql,
+            database=db,
+            params=params,
+            options=ExecutionOptions.create(
+                scan_ranges={spec.table: (start, stop)}
+            ),
+        )
+        shard_rows.append(outcome.result.rows)
+    return merge_shard_rows(spec, shard_rows)
+
+
+class TestPartitionRanges:
+    def test_covers_every_row_exactly_once(self):
+        for total in (0, 1, 7, 100):
+            for shards in (1, 2, 3, 7):
+                ranges = partition_ranges(total, shards)
+                assert len(ranges) == shards
+                covered = [
+                    i for start, stop in ranges for i in range(start, stop)
+                ]
+                assert covered == list(range(total))
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            partition_ranges(10, 0)
+
+
+class TestClassification:
+    def test_every_paper_query_classifies(self, db):
+        """All of E1–E11 scatter (this is what makes E19 meaningful)."""
+        for query in PAPER_QUERIES:
+            spec = classify_scatter(query.sql, db)
+            assert spec is not None, query.example
+            assert spec.mode in ("concat", "concat_dedup", "set")
+
+    def test_union_root_falls_back(self, db):
+        sql = (
+            "SELECT S.SNO FROM SUPPLIER S "
+            "UNION SELECT P.SNO FROM PARTS P"
+        )
+        # Both operands reference distinct tables once; the sorted
+        # UNION root still cannot recombine per-slice outputs by
+        # concatenation, and the classifier must refuse.
+        assert classify_scatter(sql, db) is None
+
+    def test_table_referenced_twice_falls_back(self, db):
+        sql = (
+            "SELECT S1.SNO FROM SUPPLIER S1, SUPPLIER S2 "
+            "WHERE S1.SNO = S2.SNO"
+        )
+        assert classify_scatter(sql, db) is None
+
+    def test_table_inside_subquery_falls_back(self, db):
+        """A driving table referenced from a subquery would be silently
+        sliced inside the subquery too, changing its meaning."""
+        sql = (
+            "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS "
+            "(SELECT * FROM SUPPLIER T WHERE T.SNO = S.SNO)"
+        )
+        spec = classify_scatter(sql, db)
+        assert spec is None or spec.table != "SUPPLIER"
+
+    def test_order_by_becomes_merge_keys(self, db):
+        sql = (
+            "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S "
+            "ORDER BY SNAME DESC, SNO"
+        )
+        spec = classify_scatter(sql, db)
+        assert spec is not None
+        assert spec.order_keys == ((1, False), (0, True))
+
+
+class TestMergeMatchesSingleNode:
+    @pytest.mark.parametrize(
+        "query", PAPER_QUERIES, ids=[q.example for q in PAPER_QUERIES]
+    )
+    def test_paper_queries_byte_identical(self, db, query):
+        spec = classify_scatter(query.sql, db)
+        assert spec is not None
+        single = run_with_options(
+            query.sql, database=db, params=query.params
+        ).result.rows
+        merged = scatter_execute(
+            query.sql, db, spec, shards=3, params=query.params
+        )
+        assert merged == single, query.example
+
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_shard_count_does_not_change_results(self, db, shards):
+        sql = (
+            "SELECT ALL S.SNO, P.PNO FROM SUPPLIER S, PARTS P "
+            "WHERE S.SNO = P.SNO ORDER BY PNO, SNO"
+        )
+        spec = classify_scatter(sql, db)
+        assert spec is not None
+        single = run_with_options(sql, database=db).result.rows
+        assert scatter_execute(sql, db, spec, shards=shards) == single
+
+    def test_distinct_query_dedups_across_shards(self, db):
+        """Rows duplicated across slice boundaries collapse exactly as
+        a single-node DISTINCT would collapse them."""
+        sql = "SELECT DISTINCT S.SCITY FROM SUPPLIER S"
+        spec = classify_scatter(sql, db)
+        assert spec is not None
+        assert spec.mode in ("set", "concat_dedup")
+        single = run_with_options(sql, database=db).result.rows
+        assert scatter_execute(sql, db, spec, shards=4) == single
+
+
+class TestMergeSpecMechanics:
+    def test_unknown_mode_rejected(self):
+        from repro.cluster.scatter import MergeSpec
+
+        with pytest.raises(ValueError):
+            merge_shard_rows(
+                MergeSpec(table="T", mode="bogus"), [[(1,)], [(2,)]]
+            )
+
+    def test_concat_preserves_shard_order(self):
+        from repro.cluster.scatter import MergeSpec
+
+        spec = MergeSpec(table="T", mode="concat")
+        assert merge_shard_rows(spec, [[(2,)], [(1,)]]) == [(2,), (1,)]
+
+    def test_order_keys_stable_sort(self):
+        from repro.cluster.scatter import MergeSpec
+
+        spec = MergeSpec(
+            table="T", mode="concat", order_keys=((0, True),)
+        )
+        merged = merge_shard_rows(
+            spec, [[(1, "a"), (2, "b")], [(1, "c")]]
+        )
+        # Stable: the tie on key 1 keeps shard order (a before c).
+        assert merged == [(1, "a"), (1, "c"), (2, "b")]

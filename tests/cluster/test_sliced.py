@@ -1,0 +1,128 @@
+"""SlicedDatabase: the read-only row-range views scatter shards run on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_with_options
+from repro.engine.sliced import SlicedDatabase, _SlicedTable
+from repro.options import ExecutionOptions
+from repro.workloads.supplier import build_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_database()
+
+
+class TestSlicedTable:
+    def test_rows_are_the_requested_window(self, db):
+        view = SlicedDatabase(db, {"SUPPLIER": (10, 25)}).table("SUPPLIER")
+        assert view.rows == db.table("SUPPLIER").rows[10:25]
+
+    def test_len_reports_base_cardinality_for_the_cost_model(self, db):
+        """Planning cardinality is deliberately the base table's: the
+        cost model must pick the same hash-join build side on every
+        shard or scatter output orders diverge."""
+        view = SlicedDatabase(db, {"SUPPLIER": (0, 5)}).table("SUPPLIER")
+        assert len(view) == len(db.table("SUPPLIER"))
+        assert len(view.rows) == 5
+
+    def test_hash_index_covers_slice_only(self, db):
+        sliced = SlicedDatabase(db, {"SUPPLIER": (0, 5)})
+        view = sliced.table("SUPPLIER")
+        index = view.hash_index(("SNO",))
+        indexed = {row for rows in index.values() for row in rows}
+        assert indexed == set(view.rows)
+
+    def test_key_probe_answers_for_slice_only(self, db):
+        sliced = SlicedDatabase(db, {"SUPPLIER": (0, 5)})
+        view = sliced.table("SUPPLIER")
+        inside = view.rows[0]
+        sno = inside[0]
+        assert view.has_key_value(("SNO",), (sno,)) is True
+        outside = db.table("SUPPLIER").rows[-1]
+        assert view.has_key_value(("SNO",), (outside[0],)) is False
+
+    def test_writes_refused(self, db):
+        view = SlicedDatabase(db, {"SUPPLIER": (0, 5)}).table("SUPPLIER")
+        with pytest.raises(TypeError, match="read-only"):
+            view.insert((999, "X", "Y", 1, "Active"))
+
+
+class TestSlicedDatabase:
+    def test_unsliced_tables_pass_through(self, db):
+        sliced = SlicedDatabase(db, {"SUPPLIER": (0, 5)})
+        assert sliced.table("PARTS") is db.table("PARTS")
+
+    def test_fingerprint_extends_base(self, db):
+        sliced = SlicedDatabase(db, {"SUPPLIER": (0, 5)})
+        base_fp = db.fingerprint()
+        fp = sliced.fingerprint()
+        assert fp[0] == base_fp
+        assert fp[1][0] == "sliced"
+        other = SlicedDatabase(db, {"SUPPLIER": (5, 10)})
+        assert other.fingerprint() != fp
+
+    def test_wrap_passthrough_and_double_wrap(self, db):
+        assert SlicedDatabase.wrap(db, {}) is db
+        sliced = SlicedDatabase.wrap(db, {"SUPPLIER": (0, 5)})
+        with pytest.raises(TypeError, match="already-sliced"):
+            SlicedDatabase.wrap(sliced, {"PARTS": (0, 3)})
+
+    def test_wrap_caches_views(self, db):
+        first = SlicedDatabase.wrap(db, {"SUPPLIER": (0, 7)})
+        second = SlicedDatabase.wrap(db, {"SUPPLIER": (0, 7)})
+        assert first is second
+
+    def test_invalid_ranges_rejected(self, db):
+        with pytest.raises(ValueError):
+            SlicedDatabase(db, {"SUPPLIER": (5, 2)})
+        with pytest.raises(ValueError):
+            SlicedDatabase(db, [("SUPPLIER", 0, 5), ("supplier", 1, 2)])
+
+    def test_writes_refused(self, db):
+        sliced = SlicedDatabase(db, {"SUPPLIER": (0, 5)})
+        with pytest.raises(TypeError):
+            sliced.load("SUPPLIER", [])
+
+
+class TestScanRangesOption:
+    def test_option_round_trips_the_wire(self):
+        options = ExecutionOptions.create(
+            scan_ranges={"SUPPLIER": (0, 10), "PARTS": (3, 9)}
+        )
+        wire = options.to_wire()
+        assert wire["scan_ranges"] == {
+            "PARTS": [3, 9],
+            "SUPPLIER": [0, 10],
+        }
+        back = ExecutionOptions.from_wire(wire)
+        assert back.scan_ranges == options.scan_ranges
+
+    def test_invalid_wire_forms_rejected(self):
+        with pytest.raises(Exception):
+            ExecutionOptions.from_wire({"scan_ranges": {"T": [1]}})
+        with pytest.raises(Exception):
+            ExecutionOptions.from_wire({"scan_ranges": {"T": [2, True]}})
+
+    def test_sliced_executions_concat_to_full_result(self, db):
+        sql = "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S"
+        full = run_with_options(sql, database=db).result.rows
+        total = len(db.table("SUPPLIER"))
+        mid = total // 2
+        first = run_with_options(
+            sql,
+            database=db,
+            options=ExecutionOptions.create(
+                scan_ranges={"SUPPLIER": (0, mid)}
+            ),
+        ).result.rows
+        second = run_with_options(
+            sql,
+            database=db,
+            options=ExecutionOptions.create(
+                scan_ranges={"SUPPLIER": (mid, total)}
+            ),
+        ).result.rows
+        assert first + second == full

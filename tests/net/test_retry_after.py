@@ -1,0 +1,151 @@
+"""Retry-After end to end: the server derives it from the shedding
+controller's own queue-wait prediction, and the retrying client honours
+it — replacing the backoff schedule, capped, and jittered so a shed
+herd does not return in lockstep."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import (
+    LoadShedError,
+    ServiceOverloadedError,
+    TransientNetworkError,
+)
+from repro.net import protocol
+from repro.net.client import HttpBackend
+from repro.net.protocol import (
+    ERROR_RETRY_AFTER,
+    ERROR_RETRY_AFTER_CAP,
+    retry_after_for_error,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+# -- server side: the envelope's hint ---------------------------------
+
+
+def test_shed_error_advertises_predicted_wait():
+    error = LoadShedError("batch", predicted_wait=0.125, depth=7)
+    assert retry_after_for_error(error) == 0.125
+    status, envelope = protocol.error_envelope(error)
+    assert status == 429
+    assert envelope["error"]["retry_after"] == 0.125
+    assert envelope["error"]["retryable"] is True
+
+
+def test_predicted_wait_is_capped():
+    error = LoadShedError("interactive", predicted_wait=120.0, depth=99)
+    assert retry_after_for_error(error) == ERROR_RETRY_AFTER_CAP
+
+
+def test_plain_overload_gets_default_hint():
+    error = ServiceOverloadedError("queue full")
+    assert retry_after_for_error(error) == ERROR_RETRY_AFTER
+    _status, envelope = protocol.error_envelope(error)
+    assert envelope["error"]["retry_after"] == ERROR_RETRY_AFTER
+
+
+def test_nonpositive_prediction_falls_back_to_default():
+    error = LoadShedError("batch", predicted_wait=0.0, depth=1)
+    assert retry_after_for_error(error) == ERROR_RETRY_AFTER
+
+
+# -- client side: honouring the hint ----------------------------------
+
+
+def test_hint_replaces_schedule_not_maxed_with_it(monkeypatch):
+    """A 429 whose Retry-After is *shorter* than the schedule must be
+    honoured: the server predicted the queue frees up soon, and waiting
+    for the full exponential step wastes the freed slot."""
+    backend = HttpBackend(
+        "http://127.0.0.1:1",
+        retry_policy=RetryPolicy(
+            max_attempts=2,
+            base_delay=0.4,
+            multiplier=2.0,
+            max_delay=1.0,
+            jitter=0.0,
+        ),
+    )
+    slept: list[float] = []
+    monkeypatch.setattr("time.sleep", lambda s: slept.append(s))
+    backend._pending_retry_after = 0.05
+    backend._sleep_honouring_retry_after(0.4)  # schedule says 0.4s
+    assert slept == [0.05]
+
+
+def test_hint_is_capped_by_policy_max_delay(monkeypatch):
+    backend = HttpBackend(
+        "http://127.0.0.1:1",
+        retry_policy=RetryPolicy(
+            max_attempts=2, base_delay=0.1, max_delay=0.8, jitter=0.0
+        ),
+    )
+    slept: list[float] = []
+    monkeypatch.setattr("time.sleep", lambda s: slept.append(s))
+    backend._pending_retry_after = 30.0  # hostile/huge server hint
+    backend._sleep_honouring_retry_after(0.1)
+    assert slept == [0.8]
+
+
+def test_hint_is_jittered(monkeypatch):
+    """With jitter configured, the honoured hint is dithered downward
+    (never above the hint, not deterministically equal to it)."""
+    backend = HttpBackend(
+        "http://127.0.0.1:1",
+        retry_policy=RetryPolicy(
+            max_attempts=2, base_delay=0.1, max_delay=1.0, jitter=0.5
+        ),
+        rng=random.Random(7),
+    )
+    slept: list[float] = []
+    monkeypatch.setattr("time.sleep", lambda s: slept.append(s))
+    for _ in range(8):
+        backend._pending_retry_after = 0.6
+        backend._sleep_honouring_retry_after(0.1)
+    assert all(0.3 <= s <= 0.6 for s in slept), slept
+    assert len(set(slept)) > 1  # actually dithered, not constant
+
+
+def test_no_hint_keeps_schedule(monkeypatch):
+    backend = HttpBackend(
+        "http://127.0.0.1:1",
+        retry_policy=RetryPolicy(max_attempts=2, jitter=0.0),
+    )
+    slept: list[float] = []
+    monkeypatch.setattr("time.sleep", lambda s: slept.append(s))
+    backend._sleep_honouring_retry_after(0.123)
+    assert slept == [0.123]
+
+
+def test_hint_consumed_once(monkeypatch):
+    """The pending hint applies to the next sleep only; later retries
+    fall back to the schedule."""
+    backend = HttpBackend(
+        "http://127.0.0.1:1",
+        retry_policy=RetryPolicy(max_attempts=3, max_delay=1.0, jitter=0.0),
+    )
+    slept: list[float] = []
+    monkeypatch.setattr("time.sleep", lambda s: slept.append(s))
+    backend._pending_retry_after = 0.2
+    backend._sleep_honouring_retry_after(0.4)
+    backend._sleep_honouring_retry_after(0.8)
+    assert slept == [0.2, 0.8]
+
+
+def test_decoded_429_envelope_carries_hint_to_client():
+    payload = {
+        "error": {
+            "type": "LoadShedError",
+            "message": "load shed",
+            "status": 429,
+            "retryable": True,
+            "retry_after": 0.25,
+        }
+    }
+    error = protocol.decode_error(payload)
+    assert isinstance(error, TransientNetworkError)
+    assert error.retry_after == 0.25

@@ -1,0 +1,135 @@
+"""Property tests on the consistent-hash ring.
+
+The routing guarantees the cluster front end relies on:
+
+* determinism — the same (shards, vnodes, seed) ring built in a fresh
+  instance (a "process restart") maps every key identically,
+* total coverage — every key maps to exactly one live shard, at every
+  intermediate membership state of a rebalance,
+* minimal movement — adding or removing one shard moves only on the
+  order of K/N keys (the consistent-hashing bound, with slack for
+  vnode placement variance),
+* shard independence — removing a shard never remaps keys between two
+  *surviving* shards.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import HashRing
+from repro.cluster.ring import canonical_key
+
+COMMON = dict(deadline=None)
+
+keys = st.lists(
+    st.integers(min_value=0, max_value=10**9), min_size=1, max_size=300
+)
+
+
+@settings(max_examples=60, **COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    shards=st.integers(min_value=1, max_value=9),
+    vnodes=st.integers(min_value=8, max_value=128),
+    sample=keys,
+)
+def test_lookup_stable_across_instances(seed, shards, vnodes, sample):
+    """Two rings with identical parameters — e.g. before and after a
+    front-end restart — route every key to the same shard."""
+    first = HashRing(range(shards), vnodes=vnodes, seed=seed)
+    second = HashRing(range(shards), vnodes=vnodes, seed=seed)
+    for key in sample:
+        assert first.lookup(key) == second.lookup(key)
+
+
+@settings(max_examples=60, **COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    shards=st.integers(min_value=1, max_value=8),
+    sample=keys,
+)
+def test_every_key_maps_to_exactly_one_live_shard(seed, shards, sample):
+    """At every intermediate state of growing the ring shard by shard
+    (a rebalance in progress), each key lands on exactly one of the
+    shards currently present."""
+    ring = HashRing((), seed=seed)
+    for shard in range(shards):
+        ring.add_shard(shard)
+        live = set(range(shard + 1))
+        for key in sample:
+            owner = ring.lookup(key)
+            assert owner in live
+
+
+@settings(max_examples=40, **COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    shards=st.integers(min_value=2, max_value=8),
+)
+def test_adding_one_shard_moves_few_keys(seed, shards):
+    """Growing N-1 → N shards moves roughly K/N of K keys; the bound
+    here allows 3x slack for vnode placement variance."""
+    sample = list(range(1000))
+    before = HashRing(range(shards - 1), seed=seed)
+    after = HashRing(range(shards - 1), seed=seed)
+    after.add_shard(shards - 1)
+    moved = sum(
+        1 for key in sample if before.lookup(key) != after.lookup(key)
+    )
+    assert moved <= 3 * len(sample) // shards
+    # Every moved key moved TO the new shard, never between survivors.
+    for key in sample:
+        owner_before = before.lookup(key)
+        owner_after = after.lookup(key)
+        if owner_before != owner_after:
+            assert owner_after == shards - 1
+
+
+@settings(max_examples=40, **COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    shards=st.integers(min_value=2, max_value=8),
+)
+def test_removing_one_shard_only_reassigns_its_keys(seed, shards):
+    """Dropping a shard reassigns only the keys it owned; survivors
+    keep every key they had (no gratuitous reshuffling)."""
+    sample = list(range(1000))
+    full = HashRing(range(shards), seed=seed)
+    reduced = HashRing(range(shards), seed=seed)
+    victim = shards - 1
+    reduced.remove_shard(victim)
+    for key in sample:
+        owner = full.lookup(key)
+        if owner != victim:
+            assert reduced.lookup(key) == owner
+        else:
+            assert reduced.lookup(key) != victim
+
+
+@settings(max_examples=40, **COMMON)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    parts=st.lists(
+        st.one_of(st.integers(), st.text(max_size=20)),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_tuple_keys_canonicalize(seed, parts):
+    """Tuple and list spellings of the same composite key agree, and
+    match the canonical_key string form."""
+    ring = HashRing(range(4), seed=seed)
+    assert ring.lookup(tuple(parts)) == ring.lookup(list(parts))
+    assert ring.lookup(tuple(parts)) == ring.lookup(canonical_key(parts))
+
+
+def test_balance_is_reasonable():
+    """No shard owns a wildly disproportionate share (smoke bound: at
+    default vnodes, every shard gets between a third and triple its
+    fair share of 4000 keys across 4 shards)."""
+    ring = HashRing(range(4), seed=0)
+    counts = {shard: 0 for shard in range(4)}
+    for key in range(4000):
+        counts[ring.lookup(key)] += 1
+    fair = 1000
+    for shard, count in counts.items():
+        assert fair // 3 <= count <= fair * 3, counts

@@ -98,3 +98,53 @@ class TestCliIntegration:
             ]
         )
         assert code == 5
+
+
+class TestExitCodeSingleSourceOfTruth:
+    """The map lives in repro.errors; the CLI help and docs align."""
+
+    def test_map_lives_in_errors_module(self):
+        from repro.errors import CLI_EXIT_CODES, DeadlineExpiredError
+
+        codes = dict(CLI_EXIT_CODES)
+        assert codes[DeadlineExpiredError] == 12
+        # cli.exit_code_for is the same function, re-exported.
+        from repro import cli, errors
+
+        assert cli.exit_code_for is errors.exit_code_for
+
+    def test_deadline_expired_maps_to_12(self):
+        from repro.errors import DeadlineExpiredError
+
+        assert exit_code_for(DeadlineExpiredError(0.0)) == 12
+        assert exit_code_for(
+            RemoteQueryError("DeadlineExpiredError", "spent", 504)
+        ) == 12
+
+    @pytest.mark.parametrize("command", ["serve", "client"])
+    def test_help_epilog_lists_every_exit_code(self, command, capsys):
+        from repro.errors import CLI_EXIT_CODES
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        assert "exit codes:" in text
+        for cls, code in CLI_EXIT_CODES:
+            assert f"{code:>2}  {cls.__name__}" in text
+        assert "12  DeadlineExpiredError" in text
+
+    def test_docs_table_matches_the_map(self):
+        """docs/cli.md's exit-code table names every (code, type) pair
+        the map defines — including 12/DeadlineExpiredError."""
+        from pathlib import Path
+
+        from repro.errors import CLI_EXIT_CODES
+
+        docs = Path(__file__).resolve().parents[2] / "docs" / "cli.md"
+        text = docs.read_text()
+        for cls, code in CLI_EXIT_CODES:
+            assert f"| {code} |" in text, f"docs missing exit code {code}"
+            assert f"`{cls.__name__}`" in text, (
+                f"docs missing error type {cls.__name__}"
+            )
