@@ -99,6 +99,64 @@ def run_block(block: Block) -> tuple[bool, str]:
     return proc.returncode == 0, output
 
 
+def check_cli_drift() -> list[str]:
+    """Assert the CLI reference cannot drift from the implementation.
+
+    Introspects ``repro.cli.build_arg_parser()`` — every subcommand
+    must be named in ``docs/cli.md`` (as a section) and in
+    ``README.md``, and every long flag must appear in its subcommand's
+    ``docs/cli.md`` section.  The exit-code table in both files must
+    list every entry of ``repro.errors.CLI_EXIT_CODES``.  Returns a
+    list of human-readable problems (empty = no drift).
+    """
+    import argparse as _argparse
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import build_arg_parser
+    from repro.errors import CLI_EXIT_CODES
+
+    cli_doc = (REPO_ROOT / "docs" / "cli.md").read_text()
+    readme = (REPO_ROOT / "README.md").read_text()
+    problems: list[str] = []
+
+    parser = build_arg_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, _argparse._SubParsersAction)
+    )
+    for name, subparser in subparsers.choices.items():
+        if f"## {name}" not in cli_doc:
+            problems.append(f"docs/cli.md: no '## {name}' section")
+        if f"`{name}`" not in readme:
+            problems.append(f"README.md: subcommand `{name}` not mentioned")
+        flags = {
+            option
+            for action in subparser._actions
+            for option in action.option_strings
+            if option.startswith("--") and option != "--help"
+        }
+        for flag in sorted(flags):
+            if f"`{flag}" not in cli_doc:
+                problems.append(
+                    f"docs/cli.md: flag `{flag}` of '{name}' undocumented"
+                )
+
+    for error_type, code in CLI_EXIT_CODES:
+        row = f"| {code} |"
+        if row not in cli_doc or error_type.__name__ not in cli_doc:
+            problems.append(
+                f"docs/cli.md: exit code {code} ({error_type.__name__}) "
+                "missing from the exit-code table"
+            )
+        if row not in readme or error_type.__name__ not in readme:
+            problems.append(
+                f"README.md: exit code {code} ({error_type.__name__}) "
+                "missing from the exit-code table"
+            )
+    return problems
+
+
 def doc_files(args: list[str]) -> list[Path]:
     if args:
         return [Path(arg).resolve() for arg in args]
@@ -131,6 +189,15 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     failures = 0
+    if not args.files:
+        # Full runs also police reference drift: the CLI surface and
+        # exit-code taxonomy must match what the docs promise.
+        drift = check_cli_drift()
+        status = "ok" if not drift else "FAIL"
+        print(f"[{status}] CLI reference drift (docs/cli.md, README.md)")
+        for problem in drift:
+            failures += 1
+            print(f"    {problem}")
     for block in blocks:
         ok, output = run_block(block)
         status = "ok" if ok else "FAIL"

@@ -108,6 +108,12 @@ from .api import (
 )
 from .options import ExecutionOptions
 from .service import QueryService, QueryTicket, Session
+from .stats import (
+    StatisticsCatalog,
+    StatisticsCostModel,
+    collect_statistics,
+    ensure_statistics,
+)
 
 #: Deprecated entrypoints — thin shims over the unchanged module-level
 #: implementations.  Import from the home modules (``repro.engine``,
@@ -176,6 +182,8 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceShutdownError",
     "Session",
+    "StatisticsCatalog",
+    "StatisticsCostModel",
     "Stats",
     "TRACER",
     "TableSchema",
@@ -189,7 +197,9 @@ __all__ = [
     "call_with_retry",
     "check_theorem1",
     "clear_all_caches",
+    "collect_statistics",
     "connect",
+    "ensure_statistics",
     "execute",
     "execute_analyzed",
     "execute_planned",

@@ -63,6 +63,7 @@ from .resilience.budgets import ResourceBudget
 from .resilience.deadline import Deadline
 from .resilience.guarded import GuardedOutcome, run_guarded
 from .resilience.health import (
+    SUBSYSTEM_ESTIMATOR,
     SUBSYSTEM_OPTIMIZER,
     SUBSYSTEM_PARALLEL,
     SUBSYSTEM_PLAN_CACHE,
@@ -135,6 +136,8 @@ def run_with_options(
     effective_parallel = parallel if parallel is not None else options.parallel
     optimize = options.optimize
     engine_mode = options.engine_mode
+    use_stats = options.stats or options.adaptive
+    adaptive = options.adaptive
     decision = None
     if health is not None:
         decision = health.decide(
@@ -143,6 +146,7 @@ def run_with_options(
                 SUBSYSTEM_PARALLEL: effective_parallel is not None,
                 SUBSYSTEM_OPTIMIZER: optimize,
                 SUBSYSTEM_PLAN_CACHE: True,
+                SUBSYSTEM_ESTIMATOR: use_stats,
             }
         )
         if not decision.granted(SUBSYSTEM_VECTORIZED) and engine_mode != "tuple":
@@ -155,6 +159,14 @@ def run_with_options(
             # Bypass tier: a throwaway cache keeps the execution path
             # identical while never reading or writing the shared one.
             plan_cache = PlanCache()
+        if not decision.granted(SUBSYSTEM_ESTIMATOR):
+            # Heuristic tier: a misbehaving estimator plans like PR 1
+            # again — rule join order, fixed selectivities.
+            use_stats = adaptive = False
+    if use_stats:
+        planner_options = _stats_planner_options(
+            planner_options, database, options, adaptive
+        )
     optimizer = None
     if not optimize:
         # An empty rule list turns run_guarded into plain planned
@@ -189,20 +201,66 @@ def run_with_options(
         raise
     if health is not None and decision is not None:
         health.observe(decision, stats=outcome.stats, outcome=outcome)
-    if options.analyze and not outcome.mismatch:
+    if (options.analyze or adaptive) and not outcome.mismatch:
         # Re-execute the winning form instrumented; the guarded result
         # above stays the served answer, the analysis rides alongside.
+        # Adaptive mode forces this instrumented run — observed actuals
+        # are the feedback the correction store folds.
         outcome.analysis = execute_analyzed(
             parse_query(outcome.sql),
             database,
             params=params,
+            options=planner_options,
             guard=budget.guard() if budget is not None else None,
             engine_mode=engine_mode,
             batch_rows=options.batch_rows,
         )
         if health is not None:
             outcome.analysis.health = health.tiers()
+        if adaptive:
+            from .stats.adaptive import fold_analysis
+
+            folded = fold_analysis(
+                database,
+                outcome.analysis.plan,
+                outcome.analysis.analysis,
+                stats=outcome.stats,
+            )
+            if folded:
+                # Mirror onto the instrumented run's own counters so
+                # EXPLAIN ANALYZE output reports the folds it caused.
+                outcome.analysis.stats.adaptive_corrections += folded
     return outcome
+
+
+def _stats_planner_options(
+    planner_options: Any | None,
+    database: Database,
+    options: ExecutionOptions,
+    adaptive: bool,
+) -> Any:
+    """Planner options carrying the statistics/adaptive flags.
+
+    Also makes ``run --stats`` self-serve: a database without fresh
+    statistics is ANALYZEd once here (single-flight, skipped for
+    scan-range views — a per-shard slice is a per-execution object, so
+    collecting on it would re-pay the pass every query; the estimator
+    falls back instead and counts ``estimator_fallbacks``).
+    """
+    from dataclasses import replace
+
+    from .engine.planner import PlannerOptions
+
+    if options.scan_ranges is None:
+        try:
+            from .stats import ensure_statistics
+
+            ensure_statistics(database)
+        except Exception:
+            pass  # fail-soft: estimator_for falls back and counts it
+    if planner_options is None:
+        return PlannerOptions(use_stats=True, adaptive=adaptive)
+    return replace(planner_options, use_stats=True, adaptive=adaptive)
 
 
 @dataclass
@@ -317,6 +375,8 @@ class Cursor:
         safe_mode: bool = _UNSET,  # type: ignore[assignment]
         analyze: bool = _UNSET,  # type: ignore[assignment]
         optimize: bool = _UNSET,  # type: ignore[assignment]
+        stats: bool = _UNSET,  # type: ignore[assignment]
+        adaptive: bool = _UNSET,  # type: ignore[assignment]
         parallel: "ParallelOptions | int | None" = _UNSET,  # type: ignore[assignment]
         engine_mode: str | None = _UNSET,  # type: ignore[assignment]
         batch_rows: int | None = _UNSET,  # type: ignore[assignment]
@@ -346,6 +406,8 @@ class Cursor:
             safe_mode=safe_mode,
             analyze=analyze,
             optimize=optimize,
+            stats=stats,
+            adaptive=adaptive,
             parallel=parallel,
             engine_mode=engine_mode,
             batch_rows=batch_rows,
@@ -584,6 +646,8 @@ def _apply_overrides(
     safe_mode: Any = _UNSET,
     analyze: Any = _UNSET,
     optimize: Any = _UNSET,
+    stats: Any = _UNSET,
+    adaptive: Any = _UNSET,
     parallel: Any = _UNSET,
     engine_mode: Any = _UNSET,
     batch_rows: Any = _UNSET,
@@ -597,6 +661,8 @@ def _apply_overrides(
         "safe_mode": base.safe_mode,
         "analyze": base.analyze,
         "optimize": base.optimize,
+        "stats": base.stats,
+        "adaptive": base.adaptive,
         "parallel": base.parallel,
         "engine_mode": base.engine_mode,
         "batch_rows": base.batch_rows,
@@ -618,6 +684,10 @@ def _apply_overrides(
         values["analyze"] = bool(analyze)
     if optimize is not _UNSET:
         values["optimize"] = bool(optimize)
+    if stats is not _UNSET:
+        values["stats"] = bool(stats)
+    if adaptive is not _UNSET:
+        values["adaptive"] = bool(adaptive)
     if parallel is not _UNSET:
         if isinstance(parallel, int) and not isinstance(parallel, bool):
             parallel = (

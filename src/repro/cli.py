@@ -10,9 +10,11 @@ Usage::
                              [--timeout SECONDS] [--row-budget N]
                              [--safe-mode] [--param NAME=VALUE ...]
                              [--trace] [--analyze] [--json]
+                             [--stats] [--adaptive]
                              [--metrics-out FILE]
                              [--workers N] [--parallel-scan]
                              "SELECT ..."
+    python -m repro analyze-stats [--script DB.sql | --demo] [--json]
     python -m repro explain  [--script DB.sql | --demo]
                              [--profile relational|navigational]
                              [--no-optimize] [--analyze] [--json]
@@ -21,10 +23,12 @@ Usage::
                              [--workers N] [--queue-depth N]
                              [--parallel-scan] [--timeout SECONDS]
                              [--row-budget N] [--safe-mode] [--json]
+                             [--stats] [--adaptive]
                              [--http PORT] [--host ADDR] [--shards N]
     python -m repro client   URL [--session NAME] [--stream]
                              [--timeout SECONDS] [--row-budget N]
                              [--safe-mode] [--analyze] [--no-optimize]
+                             [--stats] [--adaptive]
                              [--param NAME=VALUE ...] [--json] "SELECT ..."
     python -m repro demo
 
@@ -42,6 +46,13 @@ Usage::
   EXPLAIN ANALYZE (per-operator actual rows / loops / time / q-error)
   plus the rewrite proof sketch, and ``--metrics-out FILE`` exports a
   metrics snapshot (``.prom`` selects Prometheus text, else JSON).
+  ``--stats`` plans cost-based from table statistics (collected
+  automatically on first use); ``--adaptive`` additionally runs
+  instrumented and folds observed row counts back into per-plan-node
+  corrections so repeated runs converge (see ``docs/cost_model.md``).
+* ``analyze-stats`` runs the ANALYZE pass — per-table row counts,
+  per-column NULL/distinct counts, min/max, equi-depth histograms —
+  stores the catalog on the database, and prints a summary.
 * ``explain`` shows the rewrite audit and the physical plan without
   printing rows; with ``--analyze`` the plan is annotated with actuals
   from one instrumented execution.
@@ -90,6 +101,7 @@ from .engine import (
     Database,
     ParallelOptions,
     Planner,
+    PlannerOptions,
     Stats,
 )
 from .api import Connection
@@ -242,6 +254,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "actual rows, loops, timing, and q-error plus the rewrite audit",
     )
     run.add_argument(
+        "--stats",
+        action="store_true",
+        help="cost-based planning from table statistics (the ANALYZE "
+        "pass runs automatically when the catalog is missing or stale)",
+    )
+    run.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="statistics-driven planning plus the adaptive feedback "
+        "loop: execute instrumented and fold actual row counts into "
+        "per-plan-node corrections (implies --stats)",
+    )
+    run.add_argument(
         "--metrics-out",
         metavar="FILE",
         help="write a metrics snapshot (.prom = Prometheus text, else JSON)",
@@ -307,6 +332,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="emit the plan and audit as one JSON object",
     )
     explain.add_argument("sql", help="the query to explain")
+
+    analyze_stats = commands.add_parser(
+        "analyze-stats",
+        help="collect table statistics (the ANALYZE pass) and print them",
+    )
+    stats_source = analyze_stats.add_mutually_exclusive_group()
+    stats_source.add_argument(
+        "--script",
+        metavar="FILE",
+        help="script of CREATE TABLE / INSERT statements to build the "
+        "database from",
+    )
+    stats_source.add_argument(
+        "--demo",
+        action="store_true",
+        help="analyze a small generated supplier instance (default)",
+    )
+    analyze_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the statistics catalog as JSON",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -374,6 +421,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--engine-mode",
         choices=("tuple", "vectorized", "auto"),
         help="execution style for every served query (default: tuple)",
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="cost-based planning from table statistics for every "
+        "served query",
+    )
+    serve.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="statistics-driven planning plus the adaptive correction "
+        "loop for every served query (implies --stats)",
     )
     serve.add_argument(
         "--json",
@@ -465,6 +524,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="execution style, enforced server-side (default: tuple)",
     )
     client.add_argument(
+        "--stats",
+        action="store_true",
+        help="cost-based planning from table statistics (server-side)",
+    )
+    client.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="statistics-driven planning plus the adaptive correction "
+        "loop (server-side; implies --stats)",
+    )
+    client.add_argument(
         "--param",
         action="append",
         default=[],
@@ -550,16 +620,37 @@ def _print_json(payload: dict[str, Any]) -> None:
     print(json.dumps(payload, indent=2, default=str))
 
 
+def _plan_fresh(database: Database, sql: str, args: Any = None) -> Any:
+    """Plan *sql* the way the invocation executed it — cost-based when
+    ``--stats``/``--adaptive`` was given, rule order otherwise."""
+    if args is not None and (
+        getattr(args, "stats", False) or getattr(args, "adaptive", False)
+    ):
+        from .stats import ensure_statistics
+
+        try:
+            ensure_statistics(database)
+        except ReproError:
+            pass  # estimator falls back to heuristics
+        options = PlannerOptions(
+            use_stats=True, adaptive=getattr(args, "adaptive", False)
+        )
+        planner = Planner(database.catalog, options, database=database)
+        return planner.plan(parse_query(sql))
+    return Planner(database.catalog).plan(parse_query(sql))
+
+
 def _print_plan(
     database: Database,
     sql: str,
     plan: Any = None,
     analysis: Any = None,
     header: str = "physical plan:",
+    args: Any = None,
 ) -> None:
     """Print the physical plan for *sql* (planned fresh unless given)."""
     if plan is None:
-        plan = Planner(database.catalog).plan(parse_query(sql))
+        plan = _plan_fresh(database, sql, args)
     print(header)
     print(plan.explain(indent=1, analysis=analysis))
     print()
@@ -654,6 +745,8 @@ def _run_query(
         safe_mode=args.safe_mode,
         analyze=args.analyze,
         optimize=not args.no_optimize,
+        stats=args.stats,
+        adaptive=args.adaptive,
         parallel=_parallel_options(args),
         engine_mode=args.engine_mode,
         batch_rows=args.batch_rows,
@@ -699,7 +792,7 @@ def _run_query(
         if analyzed is not None:
             payload["plan"] = analyzed.to_dict()
         elif args.plan:
-            plan = Planner(database.catalog).plan(parse_query(final_sql))
+            plan = _plan_fresh(database, final_sql, args)
             payload["plan"] = plan.explain()
         if args.trace:
             payload["trace"] = TRACER.to_dicts()
@@ -719,7 +812,7 @@ def _run_query(
             header="EXPLAIN ANALYZE:",
         )
     elif args.plan:
-        _print_plan(database, final_sql)
+        _print_plan(database, final_sql, args=args)
     print(result.to_table())
     print()
     print(f"-- {len(result)} row(s); {stats.describe()}")
@@ -800,6 +893,40 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze_stats(args: argparse.Namespace) -> int:
+    """``repro analyze-stats``: run ANALYZE and print the catalog."""
+    database = _load_database(args)
+    catalog = database.analyze()
+    if args.json:
+        _print_json(
+            {
+                "command": "analyze-stats",
+                "version": catalog.version,
+                "tables": catalog.as_dict(),
+            }
+        )
+        return 0
+    for name in sorted(catalog.table_names()):
+        table = catalog.table(name)
+        print(f"{name}: {table.row_count} row(s)")
+        for column_name, column in table.columns.items():
+            parts = [
+                f"distinct={column.n_distinct}"
+                + ("" if column.exact_distinct else " (estimated)"),
+                f"nulls={column.null_count}",
+            ]
+            if column.min_value is not None:
+                parts.append(f"min={column.min_value!r}")
+                parts.append(f"max={column.max_value!r}")
+            if column.histogram is not None:
+                parts.append(
+                    f"histogram={len(column.histogram.counts)} bucket(s)"
+                )
+            print(f"  {column_name}: {', '.join(parts)}")
+    print(f"-- statistics version {catalog.version}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: batch through the embedded service, or — with
     ``--http`` — the network server until SIGTERM/SIGINT."""
@@ -853,8 +980,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     row_budget=args.row_budget,
                     safe_mode=args.safe_mode,
                     engine_mode=args.engine_mode,
+                    stats=args.stats,
+                    adaptive=args.adaptive,
                 )
-                if args.engine_mode
+                if args.engine_mode or args.stats or args.adaptive
                 else None
             ),
         )
@@ -922,6 +1051,8 @@ def _serve_http(args: argparse.Namespace, database: Database) -> int:
         row_budget=args.row_budget,
         safe_mode=args.safe_mode,
         engine_mode=args.engine_mode,
+        stats=args.stats,
+        adaptive=args.adaptive,
     )
     parallel = (
         ParallelOptions(workers=2, morsel_size=256, min_parallel_rows=1)
@@ -983,6 +1114,8 @@ def _serve_cluster_http(args: argparse.Namespace) -> int:
         row_budget=args.row_budget,
         safe_mode=args.safe_mode,
         engine_mode=args.engine_mode,
+        stats=args.stats,
+        adaptive=args.adaptive,
     )
     config = WorkerConfig(
         host="127.0.0.1",
@@ -1041,6 +1174,8 @@ def cmd_client(args: argparse.Namespace) -> int:
         safe_mode=args.safe_mode,
         analyze=args.analyze,
         optimize=not args.no_optimize,
+        stats=args.stats,
+        adaptive=args.adaptive,
         engine_mode=args.engine_mode,
     )
     params = _parse_params(args.param)
@@ -1140,6 +1275,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "optimize": cmd_optimize,
         "run": cmd_run,
         "explain": cmd_explain,
+        "analyze-stats": cmd_analyze_stats,
         "serve": cmd_serve,
         "client": cmd_client,
         "demo": cmd_demo,

@@ -19,6 +19,10 @@ class Database:
     def __init__(self, catalog: Catalog | None = None) -> None:
         self.catalog = catalog or Catalog()
         self._data: dict[str, TableData] = {}
+        #: Collected table statistics (:class:`repro.stats.StatisticsCatalog`)
+        #: from the most recent :meth:`analyze`, or None.  The estimator
+        #: checks freshness against :meth:`fingerprint` before trusting it.
+        self.statistics = None
         for schema in self.catalog:
             self._data[schema.name] = TableData(schema)
 
@@ -170,3 +174,17 @@ class Database:
     def row_counts(self) -> dict[str, int]:
         """Stored row count per table."""
         return {name: len(self._data[name]) for name in sorted(self._data)}
+
+    def analyze(self, **kwargs):
+        """ANALYZE: collect table statistics and attach them.
+
+        Returns the fresh :class:`repro.stats.StatisticsCatalog` (also
+        stored on :attr:`statistics` for the estimator to find).
+        Keyword arguments pass through to
+        :func:`repro.stats.collect_statistics` (``buckets``,
+        ``distinct_threshold``).
+        """
+        from ..stats import collect_statistics  # deferred: stats imports engine
+
+        self.statistics = collect_statistics(self, **kwargs)
+        return self.statistics

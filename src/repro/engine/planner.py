@@ -75,11 +75,20 @@ class PlannerOptions:
         distinct_method: 'sort' (the paper's cost model) or 'hash'.
         index_scans: turn ``col = constant`` predicates on key/FK
             columns into hash-index probes instead of SeqScan+Filter.
+        use_stats: enumerate join orders by cost over collected
+            statistics (:mod:`repro.stats`) instead of taking the
+            FROM-clause order; falls back to FROM order when the
+            database carries no fresh statistics.
+        adaptive: additionally consult the adaptive correction store
+            (observed cardinalities from analyzed runs) during
+            estimation; implies cost-based join ordering.
     """
 
     join_method: str = "hash"
     distinct_method: str = "sort"
     index_scans: bool = True
+    use_stats: bool = False
+    adaptive: bool = False
 
     def __post_init__(self) -> None:
         if self.join_method not in ("hash", "merge", "nested"):
@@ -102,10 +111,12 @@ class Planner:
         catalog: Catalog,
         options: PlannerOptions | None = None,
         database: Database | None = None,
+        stats: Stats | None = None,
     ) -> None:
         self.catalog = catalog
         self.options = options or PlannerOptions()
         self.database = database
+        self.stats = stats
 
     # ------------------------------------------------------------------
 
@@ -157,25 +168,14 @@ class Planner:
                     node = Filter(node, conjoin(local[alias]))
             planned[alias] = node
 
-        # Left-deep join tree in FROM-clause order.
+        # Left-deep join tree — FROM-clause order by default, cost-based
+        # enumeration over collected statistics when the options ask.
         order = list(scans)
-        current = planned[order[0]]
-        covered = {order[0]}
-        pending = list(joinable)
-        for alias in order[1:]:
-            right = planned[alias]
-            applicable: list[Expr] = []
-            remaining: list[tuple[frozenset[str], Expr]] = []
-            for tables, conjunct in pending:
-                if tables <= covered | {alias} and alias in tables:
-                    applicable.append(conjunct)
-                else:
-                    remaining.append((tables, conjunct))
-            pending = remaining
-            current = self._join(
-                current, right, applicable, qualifier_columns, alias
-            )
-            covered.add(alias)
+        if len(order) > 1 and self._cost_based():
+            order = self._cost_order(order, planned, joinable, qualifier_columns)
+        current, pending = self._join_tree(
+            order, planned, joinable, qualifier_columns
+        )
 
         # Multi-table conjuncts that never became join predicates (or that
         # span tables not adjacent in the join order) plus subquery
@@ -196,6 +196,116 @@ class Planner:
         if query.order_by:
             current = self._order(query, current, names, indices)
         return current
+
+    def _join_tree(
+        self,
+        order: list[str],
+        planned: dict[str, PlanNode],
+        joinable: list[tuple[frozenset[str], Expr]],
+        qualifier_columns: dict[str, set[str]],
+    ) -> tuple[PlanNode, list[tuple[frozenset[str], Expr]]]:
+        """The left-deep join tree over *order*, plus unconsumed conjuncts."""
+        current = planned[order[0]]
+        covered = {order[0]}
+        pending = list(joinable)
+        for alias in order[1:]:
+            right = planned[alias]
+            applicable: list[Expr] = []
+            remaining: list[tuple[frozenset[str], Expr]] = []
+            for tables, conjunct in pending:
+                if tables <= covered | {alias} and alias in tables:
+                    applicable.append(conjunct)
+                else:
+                    remaining.append((tables, conjunct))
+            pending = remaining
+            current = self._join(
+                current, right, applicable, qualifier_columns, alias
+            )
+            covered.add(alias)
+        return current, pending
+
+    def _cost_based(self) -> bool:
+        return self.database is not None and (
+            self.options.use_stats or self.options.adaptive
+        )
+
+    #: FROM lists at most this long are enumerated exhaustively; longer
+    #: ones fall back to a greedy cheapest-connected-next ordering.
+    MAX_EXHAUSTIVE_JOINS = 5
+
+    def _cost_order(
+        self,
+        order: list[str],
+        planned: dict[str, PlanNode],
+        joinable: list[tuple[frozenset[str], Expr]],
+        qualifier_columns: dict[str, set[str]],
+    ) -> list[str]:
+        """The cheapest left-deep join order by estimated cost.
+
+        Exhaustive for short FROM lists, greedy beyond
+        :data:`MAX_EXHAUSTIVE_JOINS`.  Candidates are compared with a
+        strict ``<``, and the FROM-clause order is evaluated first, so
+        ties (and any estimation failure) deterministically keep the
+        rule order — cost-based planning can only *replace* the rule
+        plan when the estimates actually separate the candidates.
+        """
+        from itertools import permutations
+
+        from ..stats.estimator import estimator_for
+
+        model = estimator_for(self.database, self.options, stats=self.stats)
+        if len(order) <= self.MAX_EXHAUSTIVE_JOINS:
+            candidates = [list(candidate) for candidate in permutations(order)]
+            candidates.sort(key=lambda candidate: candidate != order)
+        else:
+            candidates = [order, self._greedy_order(order, planned, joinable, model)]
+        best, best_cost = order, None
+        for candidate in candidates:
+            try:
+                plan, _ = self._join_tree(
+                    candidate, planned, joinable, qualifier_columns
+                )
+                cost = model.estimate(plan).cost
+            except ReproError:
+                continue
+            if best_cost is None or cost < best_cost:
+                best, best_cost = candidate, cost
+        return best
+
+    def _greedy_order(
+        self,
+        order: list[str],
+        planned: dict[str, PlanNode],
+        joinable: list[tuple[frozenset[str], Expr]],
+        model,
+    ) -> list[str]:
+        """Cheapest-first greedy order preferring connected joins."""
+
+        def input_rows(alias: str) -> float:
+            try:
+                return model.estimate(planned[alias]).rows
+            except ReproError:
+                return float("inf")
+
+        rows = {alias: input_rows(alias) for alias in order}
+        position = {alias: index for index, alias in enumerate(order)}
+        sequence = [min(order, key=lambda a: (rows[a], position[a]))]
+        remaining = [alias for alias in order if alias != sequence[0]]
+        while remaining:
+            covered = set(sequence)
+            connected = [
+                alias
+                for alias in remaining
+                if any(
+                    alias in tables and tables <= covered | {alias}
+                    for tables, _ in joinable
+                )
+            ]
+            pool = connected or remaining
+            pick = min(pool, key=lambda a: (rows[a], position[a]))
+            sequence.append(pick)
+            remaining.remove(pick)
+        return sequence
 
     def _scans(self, query: SelectQuery) -> dict[str, SeqScan]:
         scans: dict[str, SeqScan] = {}
@@ -382,9 +492,14 @@ class Planner:
         """
         if self.database is None:
             return False
-        from .cost import CostModel  # deferred: cost imports operators
+        if self._cost_based():
+            from ..stats.estimator import estimator_for
 
-        model = CostModel(self.database)
+            model = estimator_for(self.database, self.options, stats=self.stats)
+        else:
+            from .cost import CostModel  # deferred: cost imports operators
+
+            model = CostModel(self.database)
         try:
             return model.estimate(left).rows < model.estimate(right).rows
         except ReproError:
@@ -599,6 +714,20 @@ def execute_planned(
             stats.cache_skips += 1
         else:
             key = (fingerprint, sql_text, options)
+            if options.use_stats or options.adaptive:
+                # Statistics and correction versions enter the key so a
+                # re-ANALYZE or new adaptive observations force a replan
+                # instead of serving a plan picked under stale numbers.
+                from ..stats.adaptive import GLOBAL_CORRECTIONS
+
+                statistics = getattr(database, "statistics", None)
+                key = (
+                    fingerprint,
+                    sql_text,
+                    options,
+                    statistics.version if statistics is not None else 0,
+                    GLOBAL_CORRECTIONS.version if options.adaptive else 0,
+                )
             try:
                 if traced:
                     with TRACER.span("plan_cache.lookup"):
@@ -614,7 +743,9 @@ def execute_planned(
             stats.plan_cache_misses += 1
             if span:
                 span.attributes["plan_cache"] = "miss"
-            planner = Planner(database.catalog, options, database=database)
+            planner = Planner(
+                database.catalog, options, database=database, stats=stats
+            )
             if traced:
                 with TRACER.span("planner.plan"):
                     plan = planner.plan(query)

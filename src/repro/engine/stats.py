@@ -56,6 +56,13 @@ class Stats:
             with ``predicate_evals`` to see the per-row dispatch avoided.
         vectorized_fallbacks: batch-kernel failures recovered by
             demoting (possibly mid-stream) to the tuple interpreter.
+        stats_estimates: cardinality estimates produced by the
+            statistics-driven estimator (one per plan estimated).
+        adaptive_corrections: plan nodes whose observed cardinality
+            was folded into the adaptive correction store.
+        estimator_fallbacks: statistics estimations that fell back to
+            the heuristic cost model (stale/missing statistics or an
+            estimation error) — the degradation ladder's evidence.
     """
 
     rows_scanned: int = 0
@@ -83,6 +90,9 @@ class Stats:
     vectorized_batches: int = 0
     vectorized_rows: int = 0
     vectorized_fallbacks: int = 0
+    stats_estimates: int = 0
+    adaptive_corrections: int = 0
+    estimator_fallbacks: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -90,11 +90,35 @@ class PlanAnalysis:
             parts.append(f"q-error={stats.q_error:.2f}")
         return "  [" + " ".join(parts) + "]"
 
-    def attach_estimates(self, plan: Any, database: Any) -> None:
-        """Fill ``est_rows`` from the cost model, node by node."""
-        from ..engine.cost import CostModel
+    def max_q_error(self) -> float | None:
+        """The worst per-node q-error of this execution, or None.
 
-        model = CostModel(database)
+        The per-query cardinality-quality headline: 1.0 means every
+        estimate matched its actual; the adaptive loop drives this
+        down across repeated analyzed runs.
+        """
+        errors = [
+            stats.q_error
+            for stats in self._stats.values()
+            if stats.q_error is not None
+        ]
+        return max(errors) if errors else None
+
+    def attach_estimates(
+        self, plan: Any, database: Any, model: Any | None = None
+    ) -> None:
+        """Fill ``est_rows`` from the cost model, node by node.
+
+        *model* (any object with ``estimate(node)``) selects the
+        estimator; default is the heuristic
+        :class:`~repro.engine.cost.CostModel` — statistics-driven runs
+        pass the estimator their plan was actually costed with, so the
+        reported q-error measures the model that made the decisions.
+        """
+        if model is None:
+            from ..engine.cost import CostModel
+
+            model = CostModel(database)
         for node in _walk(plan):
             stats = self.for_node(node)
             if stats is None:
@@ -246,6 +270,9 @@ class AnalyzedExecution:
                 if value
             },
         }
+        max_q_error = self.analysis.max_q_error()
+        if max_q_error is not None:
+            payload["max_q_error"] = max_q_error
         if self.health is not None:
             payload["health"] = dict(self.health)
         return payload
@@ -282,10 +309,12 @@ def execute_analyzed(
         from dataclasses import replace
 
         planner_options = replace(planner_options, index_scans=False)
-    planner = Planner(database.catalog, planner_options, database=database)
+    stats = stats if stats is not None else Stats()
+    planner = Planner(
+        database.catalog, planner_options, database=database, stats=stats
+    )
     plan = planner.plan(query)
     instrumented, analysis = instrument_plan(plan)
-    stats = stats if stats is not None else Stats()
     with TRACER.span("analyze.execute", stats=stats) as span:
         start = perf_counter()
         result = execute_plan(
@@ -301,7 +330,10 @@ def execute_analyzed(
         analysis.wall_seconds = perf_counter() - start
         if span:
             span.attributes["rows"] = len(result)
-        analysis.attach_estimates(instrumented, database)
+        from ..stats.estimator import estimator_for
+
+        model = estimator_for(database, planner_options, stats=stats)
+        analysis.attach_estimates(instrumented, database, model=model)
         if TRACER.enabled:
             # While the span is still open the synthesized per-operator
             # subtree nests under it instead of becoming its own root.

@@ -116,10 +116,40 @@ class MetricsRegistry:
                 "vectorized_fallbacks_total", stats.vectorized_fallbacks
             )
 
+    def record_estimator(self, stats: Any) -> None:
+        """Fold one execution's cardinality-estimator counters.
+
+        Emits ``stats_estimates_total`` (plans costed with table
+        statistics), ``adaptive_corrections_total`` (observed-row
+        corrections folded by the adaptive feedback loop), and
+        ``estimator_fallbacks_total`` (demotions to the heuristic cost
+        model — the degradation ladder's evidence stream).
+        """
+        if stats is None:
+            return
+        if getattr(stats, "stats_estimates", 0):
+            self.inc("stats_estimates_total", stats.stats_estimates)
+        if getattr(stats, "adaptive_corrections", 0):
+            self.inc(
+                "adaptive_corrections_total", stats.adaptive_corrections
+            )
+        if getattr(stats, "estimator_fallbacks", 0):
+            self.inc(
+                "estimator_fallbacks_total", stats.estimator_fallbacks
+            )
+
     def record_outcome(self, outcome: Any) -> None:
         """Fold one guarded execution's resilience events."""
         self.inc("queries_total")
         self.record_vectorized(getattr(outcome, "stats", None))
+        self.record_estimator(getattr(outcome, "stats", None))
+        analyzed = getattr(outcome, "analysis", None)
+        if analyzed is not None:
+            # Most recent analyzed query's worst per-node q-error — a
+            # gauge, so dashboards watch the adaptive loop converge.
+            q_error = analyzed.analysis.max_q_error()
+            if q_error is not None:
+                self.set("query_max_q_error", q_error)
         if outcome.rewritten:
             self.inc("queries_rewritten_total")
         for rule in outcome.rules:

@@ -44,6 +44,14 @@ class ExecutionOptions:
             attach per-operator actuals to the outcome.
         optimize: apply the rewrite rules at all (False = execute the
             query exactly as written).
+        stats: plan with the statistics-driven cost model — collected
+            table statistics (``Database.analyze()``) feed cardinality
+            estimates and cost-based join-order enumeration; without
+            fresh statistics the planner falls back to rule order.
+        adaptive: feed observed cardinalities from this (analyzed) run
+            back into the adaptive correction store, and consult prior
+            corrections while planning; implies statistics-driven
+            planning and forces an instrumented execution.
         parallel: morsel-parallel execution knobs, or None for serial.
         engine_mode: ``"tuple"`` (row-at-a-time interpreter/compiled
             closures), ``"vectorized"`` (columnar batches), ``"auto"``
@@ -78,6 +86,8 @@ class ExecutionOptions:
     safe_mode: bool = False
     analyze: bool = False
     optimize: bool = True
+    stats: bool = False
+    adaptive: bool = False
     parallel: ParallelOptions | None = None
     engine_mode: str | None = None
     batch_rows: int | None = None
@@ -139,6 +149,8 @@ class ExecutionOptions:
         safe_mode: bool = False,
         analyze: bool = False,
         optimize: bool = True,
+        stats: bool = False,
+        adaptive: bool = False,
         parallel: "ParallelOptions | int | None" = None,
         engine_mode: str | None = None,
         batch_rows: int | None = None,
@@ -178,6 +190,8 @@ class ExecutionOptions:
             safe_mode=safe_mode,
             analyze=analyze,
             optimize=optimize,
+            stats=stats,
+            adaptive=adaptive,
             parallel=parallel,
             engine_mode=engine_mode,
             batch_rows=batch_rows,
@@ -226,6 +240,10 @@ class ExecutionOptions:
             payload["analyze"] = True
         if not self.optimize:
             payload["optimize"] = False
+        if self.stats:
+            payload["stats"] = True
+        if self.adaptive:
+            payload["adaptive"] = True
         if self.parallel is not None:
             payload["parallel"] = {
                 "workers": self.parallel.workers,
@@ -279,7 +297,7 @@ class ExecutionOptions:
                 ):
                     raise ProtocolError(f"option {name!r} must be a number")
                 kwargs[name] = int(value) if name == "row_budget" else float(value)
-        for name in ("safe_mode", "analyze", "optimize"):
+        for name in ("safe_mode", "analyze", "optimize", "stats", "adaptive"):
             if name in payload:
                 value = payload[name]
                 if not isinstance(value, bool):

@@ -70,6 +70,7 @@ from .health import (
     HealthTracker,
     LADDER,
     SUBSYSTEMS,
+    SUBSYSTEM_ESTIMATOR,
     SUBSYSTEM_OPTIMIZER,
     SUBSYSTEM_PARALLEL,
     SUBSYSTEM_PLAN_CACHE,
@@ -113,6 +114,7 @@ __all__ = [
     "SITE_UNIQUENESS",
     "SITE_VECTORIZED_EVAL",
     "SUBSYSTEMS",
+    "SUBSYSTEM_ESTIMATOR",
     "SUBSYSTEM_OPTIMIZER",
     "SUBSYSTEM_PARALLEL",
     "SUBSYSTEM_PLAN_CACHE",

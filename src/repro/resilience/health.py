@@ -53,12 +53,14 @@ SUBSYSTEM_VECTORIZED = "vectorized"
 SUBSYSTEM_PARALLEL = "parallel"
 SUBSYSTEM_OPTIMIZER = "optimizer"
 SUBSYSTEM_PLAN_CACHE = "plan_cache"
+SUBSYSTEM_ESTIMATOR = "estimator"
 
 SUBSYSTEMS = (
     SUBSYSTEM_VECTORIZED,
     SUBSYSTEM_PARALLEL,
     SUBSYSTEM_OPTIMIZER,
     SUBSYSTEM_PLAN_CACHE,
+    SUBSYSTEM_ESTIMATOR,
 )
 
 #: subsystem → (healthy tier label, degraded tier label).
@@ -67,6 +69,7 @@ LADDER: dict[str, tuple[str, str]] = {
     SUBSYSTEM_PARALLEL: ("parallel", "serial"),
     SUBSYSTEM_OPTIMIZER: ("on", "off"),
     SUBSYSTEM_PLAN_CACHE: ("cache", "bypass"),
+    SUBSYSTEM_ESTIMATOR: ("stats", "heuristic"),
 }
 
 # Health states.
@@ -375,6 +378,8 @@ class HealthTracker:
           result and was quarantined).
         * ``plan_cache`` — ``stats.cache_skips`` (fail-closed
           fingerprint or lookup failures).
+        * ``estimator`` — ``stats.estimator_fallbacks`` (statistics
+          estimations demoted to the heuristic model).
         """
         if (
             decision.fast
@@ -385,6 +390,7 @@ class HealthTracker:
                 or not (
                     getattr(stats, "vectorized_fallbacks", 0)
                     or getattr(stats, "cache_skips", 0)
+                    or getattr(stats, "estimator_fallbacks", 0)
                 )
             )
         ):
@@ -421,6 +427,13 @@ class HealthTracker:
                 + getattr(stats, "plan_cache_misses", 0)
             ):
                 evidence.append((SUBSYSTEM_PLAN_CACHE, 0, True, probe))
+        if decision.granted(SUBSYSTEM_ESTIMATOR) and stats is not None:
+            probe = SUBSYSTEM_ESTIMATOR in decision.probes
+            faults = getattr(stats, "estimator_fallbacks", 0)
+            if faults:
+                evidence.append((SUBSYSTEM_ESTIMATOR, faults, False, probe))
+            elif error is None and getattr(stats, "stats_estimates", 0):
+                evidence.append((SUBSYSTEM_ESTIMATOR, 0, True, probe))
         if evidence:
             self._apply(evidence)
 

@@ -1,0 +1,43 @@
+"""Table statistics, cardinality estimation, and the adaptive loop.
+
+The ANALYZE pass (:mod:`repro.stats.collect`) gathers row counts,
+NULL/distinct counts, and equi-depth histograms; the estimator
+(:mod:`repro.stats.estimator`) layers them under the paper's key
+machinery — key-bound joins estimate against *exact* bounds — and the
+adaptive loop (:mod:`repro.stats.adaptive`) folds observed
+cardinalities from analyzed runs back into future estimates.  The
+full story, with a worked example, is in ``docs/cost_model.md``.
+"""
+
+from .adaptive import (
+    GLOBAL_CORRECTIONS,
+    Correction,
+    CorrectionStore,
+    fold_analysis,
+    plan_fingerprint,
+)
+from .collect import (
+    ColumnStats,
+    StatisticsCatalog,
+    TableStats,
+    collect_statistics,
+    ensure_statistics,
+)
+from .estimator import StatisticsCostModel, estimator_for
+from .histogram import Histogram
+
+__all__ = [
+    "ColumnStats",
+    "Correction",
+    "CorrectionStore",
+    "GLOBAL_CORRECTIONS",
+    "Histogram",
+    "StatisticsCatalog",
+    "StatisticsCostModel",
+    "TableStats",
+    "collect_statistics",
+    "ensure_statistics",
+    "estimator_for",
+    "fold_analysis",
+    "plan_fingerprint",
+]

@@ -1,0 +1,162 @@
+"""The adaptive loop: fold observed cardinalities back into estimates.
+
+EXPLAIN ANALYZE (PR 3) computes a per-node q-error — ``max(est/actual,
+actual/est)`` — that nothing consumed until now.  After any analyzed
+run, :func:`fold_analysis` walks the instrumented plan and records
+each node's *observed* output cardinality in a process-wide
+:class:`CorrectionStore`, keyed by ``(database fingerprint, plan-node
+fingerprint)`` exactly like the plan and uniqueness caches.  The
+statistics estimator consults the store before trusting its model, so
+a misestimated node is corrected on the very next planning of the
+same shape and repeated queries converge on the right plan.
+
+The store lives alongside the plan cache: its entries sit in a
+registered :class:`~repro.cache.LRUCache` (so ``clear_all_caches``
+and the global cache switch govern it too) and its monotonic
+``version`` enters the plan-cache key for adaptive queries, which is
+what forces a replan once new observations arrive.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from ..cache import LRUCache, MISSING
+
+#: Weight of the newest observation when blending with prior ones.
+EWMA_ALPHA = 0.5
+
+#: Relative movement below which a fold does not bump the store
+#: version — converged queries keep hitting the plan cache.
+_SETTLED = 0.01
+
+
+def plan_fingerprint(node: Any) -> tuple:
+    """A structural fingerprint of a plan subtree.
+
+    Built from operator labels (which embed table names, join keys,
+    and predicate text), so two plans share a fingerprint exactly when
+    they would execute the same physical subtree.  Hashable and
+    deterministic across processes.
+    """
+    return (
+        node.label(),
+        tuple(plan_fingerprint(child) for child in node.children()),
+    )
+
+
+@dataclass(frozen=True)
+class Correction:
+    """One node's blended observed cardinality."""
+
+    rows: float
+    samples: int
+
+
+class CorrectionStore:
+    """Thread-safe observed-cardinality corrections, EWMA-blended.
+
+    ``lookup`` is lock-free beyond the backing cache's own lock;
+    ``fold`` serializes its read-modify-write on a store lock so
+    concurrent analyzed runs never lose an observation.
+    """
+
+    def __init__(self, maxsize: int = 4096, alpha: float = EWMA_ALPHA) -> None:
+        self._cache = LRUCache("corrections", maxsize=maxsize)
+        self._alpha = alpha
+        self._lock = threading.Lock()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of material correction changes."""
+        return self._version
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def lookup(self, db_fingerprint: Any, node_fingerprint: tuple) -> float | None:
+        """The blended observed row count for a node, or None."""
+        correction = self._cache.get((db_fingerprint, node_fingerprint))
+        return None if correction is MISSING else correction.rows
+
+    def fold(
+        self,
+        db_fingerprint: Any,
+        node_fingerprint: tuple,
+        actual_rows: float,
+    ) -> bool:
+        """Blend one observation in; True when the entry materially moved."""
+        key = (db_fingerprint, node_fingerprint)
+        with self._lock:
+            prior = self._cache.get(key)
+            if prior is MISSING:
+                prior = None
+            if prior is None:
+                blended = Correction(float(actual_rows), 1)
+            else:
+                rows = (1.0 - self._alpha) * prior.rows + self._alpha * actual_rows
+                blended = Correction(rows, prior.samples + 1)
+            self._cache.put(key, blended)
+            moved = (
+                prior is None
+                or abs(blended.rows - prior.rows) / max(prior.rows, 1.0) >= _SETTLED
+            )
+            if moved:
+                self._version += 1
+            return moved
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+#: Process-wide correction store, shared by every adaptive execution —
+#: the adaptive sibling of ``GLOBAL_PLAN_CACHE``.
+GLOBAL_CORRECTIONS = CorrectionStore()
+
+
+def fold_analysis(
+    database: Any,
+    plan: Any,
+    analysis: Any,
+    corrections: CorrectionStore | None = None,
+    stats: Any | None = None,
+) -> int:
+    """Record every executed node's actual rows; return nodes folded.
+
+    *analysis* is the :class:`~repro.observe.analyze.PlanAnalysis` of
+    an instrumented execution of exactly *plan*.  Nodes that never ran
+    (``loops == 0``) are skipped — an unexecuted estimate is not
+    evidence.  Fail-soft: a database whose fingerprint cannot be
+    computed folds nothing.
+    """
+    store = corrections if corrections is not None else GLOBAL_CORRECTIONS
+    try:
+        db_fingerprint = database.fingerprint()
+    except Exception:
+        return 0
+    folded = 0
+    for node, fingerprint in _walk_fingerprints(plan):
+        node_stats = analysis.for_node(node)
+        if node_stats is None or node_stats.loops == 0:
+            continue
+        actual = node_stats.rows / node_stats.loops
+        if store.fold(db_fingerprint, fingerprint, actual):
+            folded += 1
+    if stats is not None and folded:
+        stats.adaptive_corrections += folded
+    return folded
+
+
+def _walk_fingerprints(node: Any):
+    """Yield ``(node, fingerprint)`` pairs, sharing child fingerprints."""
+    child_pairs = [list(_walk_fingerprints(child)) for child in node.children()]
+    fingerprint = (
+        node.label(),
+        tuple(pairs[0][1] for pairs in child_pairs),
+    )
+    yield node, fingerprint
+    for pairs in child_pairs:
+        yield from pairs

@@ -1,0 +1,309 @@
+"""The ANALYZE pass: table and column statistics for cost estimation.
+
+:func:`collect_statistics` makes one pass over every table and
+produces a :class:`StatisticsCatalog` — per-table row counts and, for
+every column, NULL counts, distinct-value counts (exact below a
+threshold, HyperLogLog above it), min/max, and an equi-depth
+:class:`~repro.stats.histogram.Histogram`.  The catalog is stamped
+with the database fingerprint at collection time, so any subsequent
+DDL or data mutation renders it visibly stale
+(:meth:`StatisticsCatalog.fresh_for`) and the estimator falls back to
+heuristics instead of trusting outdated numbers.
+
+Collection is explicit (``Database.analyze()``, the ``analyze-stats``
+CLI subcommand, or ``run --stats`` which analyzes on first use) — the
+engine never pays for statistics it was not asked to collect.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Any, Iterable, Mapping
+
+from ..types.values import is_null
+from .histogram import DEFAULT_BUCKETS, Histogram
+
+#: Columns with at most this many distinct values are counted exactly;
+#: beyond it the HyperLogLog estimate takes over.
+DISTINCT_THRESHOLD = 2048
+
+#: Heuristic range selectivity used when a histogram is unavailable
+#: (mirrors :data:`repro.engine.cost.RANGE_SELECTIVITY`).
+_FALLBACK_RANGE = 0.3
+
+_COLLECTIONS = itertools.count(1)
+
+
+def _hash64(value: Any) -> int:
+    """A deterministic 64-bit hash of a column value.
+
+    ``hash()`` is salted per process; statistics must be reproducible
+    across runs (and across cluster workers), so hash the typed repr.
+    """
+    payload = f"{type(value).__name__}:{value!r}".encode()
+    return int.from_bytes(blake2b(payload, digest_size=8).digest(), "big")
+
+
+class HyperLogLog:
+    """A small standard HyperLogLog (2^p registers) over 64-bit hashes."""
+
+    def __init__(self, p: int = 10) -> None:
+        self.p = p
+        self.m = 1 << p
+        self.registers = bytearray(self.m)
+        self._alpha = 0.7213 / (1.0 + 1.079 / self.m)
+
+    def add(self, hashed: int) -> None:
+        index = hashed & (self.m - 1)
+        rest = hashed >> self.p
+        rank = (64 - self.p) - rest.bit_length() + 1
+        if rank > self.registers[index]:
+            self.registers[index] = rank
+
+    def estimate(self) -> int:
+        harmonic = sum(2.0 ** -register for register in self.registers)
+        raw = self._alpha * self.m * self.m / harmonic
+        if raw <= 2.5 * self.m:
+            zeros = self.registers.count(0)
+            if zeros:
+                raw = self.m * math.log(self.m / zeros)
+        return max(1, round(raw))
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Collected statistics for one column of one table."""
+
+    name: str
+    row_count: int
+    null_count: int
+    n_distinct: int
+    exact_distinct: bool
+    min_value: Any = None
+    max_value: Any = None
+    histogram: Histogram | None = None
+
+    @property
+    def null_fraction(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count / self.row_count
+
+    @property
+    def non_null_fraction(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return (self.row_count - self.null_count) / self.row_count
+
+    # ------------------------------------------------------------------
+
+    def eq_selectivity(self, value: Any) -> float:
+        """Selectivity of ``column = value`` (uniform over distincts).
+
+        Empty tables, all-NULL columns, and probe values provably
+        outside [min, max] all estimate zero; ``= NULL`` is never TRUE,
+        so a NULL probe is zero too.
+        """
+        if self.row_count == 0 or self.n_distinct == 0 or is_null(value):
+            return 0.0
+        if self._outside_range(value):
+            return 0.0
+        return self.non_null_fraction / self.n_distinct
+
+    def range_selectivity(self, op: str, value: Any) -> float:
+        """Selectivity of ``column <op> value`` for ``< <= > >= <>``."""
+        if self.row_count == 0 or is_null(value):
+            return 0.0
+        if op == "<>":
+            return max(0.0, self.non_null_fraction - self.eq_selectivity(value))
+        if self.histogram is None:
+            return _FALLBACK_RANGE * self.non_null_fraction
+        if op == "<":
+            fraction = self.histogram.fraction_less(value)
+        elif op == "<=":
+            fraction = self.histogram.fraction_at_most(value)
+        elif op == ">":
+            fraction = 1.0 - self.histogram.fraction_at_most(value)
+        elif op == ">=":
+            fraction = 1.0 - self.histogram.fraction_less(value)
+        else:
+            fraction = _FALLBACK_RANGE
+        return max(0.0, min(1.0, fraction)) * self.non_null_fraction
+
+    def null_selectivity(self) -> float:
+        """Selectivity of ``column IS NULL``."""
+        return self.null_fraction
+
+    def _outside_range(self, value: Any) -> bool:
+        if self.min_value is None or self.max_value is None:
+            return False
+        try:
+            return value < self.min_value or value > self.max_value
+        except TypeError:
+            return False
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "nulls": self.null_count,
+            "distinct": self.n_distinct,
+            "exact": self.exact_distinct,
+        }
+        if self.min_value is not None:
+            payload["min"] = self.min_value
+            payload["max"] = self.max_value
+        if self.histogram is not None:
+            payload["histogram_buckets"] = len(self.histogram.counts)
+        return payload
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column statistics for one table."""
+
+    name: str
+    row_count: int
+    columns: Mapping[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rows": self.row_count,
+            "columns": {
+                name: stats.as_dict() for name, stats in self.columns.items()
+            },
+        }
+
+
+class StatisticsCatalog:
+    """Every collected :class:`TableStats`, stamped with a fingerprint.
+
+    Immutable after construction (re-ANALYZE builds a new catalog), so
+    concurrent readers need no locking; ``version`` is a process-wide
+    monotonic collection counter that plan-cache keys embed so a
+    re-ANALYZE invalidates plans picked under the old numbers.
+    """
+
+    def __init__(self, tables: Mapping[str, TableStats], fingerprint: Any) -> None:
+        self._tables = dict(tables)
+        self.fingerprint = fingerprint
+        self.version = next(_COLLECTIONS)
+
+    def table(self, name: str) -> TableStats | None:
+        return self._tables.get(name)
+
+    def column(self, table: str, column: str) -> ColumnStats | None:
+        stats = self._tables.get(table)
+        return stats.column(column) if stats is not None else None
+
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def fresh_for(self, database: Any) -> bool:
+        """Whether *database* is unchanged since collection."""
+        try:
+            return database.fingerprint() == self.fingerprint
+        except Exception:
+            return False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            name: stats.as_dict() for name, stats in sorted(self._tables.items())
+        }
+
+
+def _collect_column(
+    name: str,
+    values: Iterable[Any],
+    *,
+    buckets: int,
+    distinct_threshold: int,
+) -> ColumnStats:
+    non_null: list[Any] = []
+    null_count = 0
+    row_count = 0
+    exact: set[Any] | None = set()
+    hll = HyperLogLog()
+    for value in values:
+        row_count += 1
+        if is_null(value):
+            null_count += 1
+            continue
+        non_null.append(value)
+        hll.add(_hash64(value))
+        if exact is not None:
+            exact.add(value)
+            if len(exact) > distinct_threshold:
+                exact = None  # spill to the HyperLogLog estimate
+    if exact is not None:
+        n_distinct, exact_distinct = len(exact), True
+    else:
+        n_distinct, exact_distinct = hll.estimate(), False
+    try:
+        non_null.sort()
+    except TypeError:
+        # Mixed uncomparable values: keep counts, skip ordered stats.
+        return ColumnStats(name, row_count, null_count, n_distinct, exact_distinct)
+    histogram = Histogram.build(non_null, buckets) if non_null else None
+    return ColumnStats(
+        name,
+        row_count,
+        null_count,
+        n_distinct,
+        exact_distinct,
+        min_value=non_null[0] if non_null else None,
+        max_value=non_null[-1] if non_null else None,
+        histogram=histogram,
+    )
+
+
+def collect_statistics(
+    database: Any,
+    *,
+    buckets: int = DEFAULT_BUCKETS,
+    distinct_threshold: int = DISTINCT_THRESHOLD,
+) -> StatisticsCatalog:
+    """ANALYZE *database*: one pass per table, a fresh catalog out."""
+    fingerprint = database.fingerprint()
+    tables: dict[str, TableStats] = {}
+    for table_name in database.table_names():
+        data = database.table(table_name)
+        column_names = [column.name for column in data.schema.columns]
+        rows = data.rows
+        columns = {
+            column: _collect_column(
+                column,
+                (row[index] for row in rows),
+                buckets=buckets,
+                distinct_threshold=distinct_threshold,
+            )
+            for index, column in enumerate(column_names)
+        }
+        tables[table_name] = TableStats(table_name, len(rows), columns)
+    return StatisticsCatalog(tables, fingerprint)
+
+
+_ANALYZE_LOCK = threading.Lock()
+
+
+def ensure_statistics(database: Any, **kwargs: Any) -> StatisticsCatalog:
+    """The database's fresh statistics, collecting them if needed.
+
+    Single-flight per process: concurrent callers of a stale database
+    serialize on one collection instead of all re-analyzing.
+    """
+    catalog = getattr(database, "statistics", None)
+    if catalog is not None and catalog.fresh_for(database):
+        return catalog
+    with _ANALYZE_LOCK:
+        catalog = getattr(database, "statistics", None)
+        if catalog is not None and catalog.fresh_for(database):
+            return catalog
+        catalog = collect_statistics(database, **kwargs)
+        database.statistics = catalog
+        return catalog

@@ -1,0 +1,119 @@
+"""Equi-depth histograms over comparable column values.
+
+An equi-depth (equi-height) histogram splits the sorted non-NULL
+values of a column into buckets holding roughly the same number of
+rows; each bucket remembers its upper boundary and row count.  Range
+selectivities then read off as "rows in buckets at or below the
+probe value", with linear interpolation inside the boundary bucket
+for numeric domains (non-numeric domains assume half the bucket).
+
+The histogram never sees NULLs — callers account for the NULL
+fraction separately (see
+:meth:`repro.stats.collect.ColumnStats.range_selectivity`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+#: Default bucket count for collected histograms.
+DEFAULT_BUCKETS = 32
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-depth bucket boundaries and per-bucket row counts.
+
+    Attributes:
+        lower: smallest value in the column (inclusive lower bound of
+            the first bucket).
+        uppers: inclusive upper boundary of each bucket, ascending.
+        counts: rows in each bucket; ``len(counts) == len(uppers)``.
+    """
+
+    lower: object
+    uppers: tuple
+    counts: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.uppers) != len(self.counts) or not self.uppers:
+            raise ValueError("histogram needs matching, non-empty buckets")
+
+    @property
+    def total(self) -> int:
+        """Non-NULL rows summarized by this histogram."""
+        return sum(self.counts)
+
+    @classmethod
+    def build(cls, sorted_values: list, buckets: int = DEFAULT_BUCKETS):
+        """Equi-depth histogram of *sorted_values* (non-NULL, ascending).
+
+        Returns None for an empty input.  With fewer distinct values
+        than buckets the histogram simply has fewer (or denser)
+        buckets; duplicates never split across a boundary check because
+        boundaries are actual values.
+        """
+        n = len(sorted_values)
+        if n == 0:
+            return None
+        buckets = max(1, min(buckets, n))
+        uppers: list = []
+        counts: list[int] = []
+        for j in range(buckets):
+            lo = (j * n) // buckets
+            hi = ((j + 1) * n) // buckets
+            if hi <= lo:
+                continue
+            uppers.append(sorted_values[hi - 1])
+            counts.append(hi - lo)
+        return cls(sorted_values[0], tuple(uppers), tuple(counts))
+
+    # ------------------------------------------------------------------
+
+    def fraction_at_most(self, value) -> float:
+        """Estimated fraction of rows with ``column <= value``."""
+        if self._lt(value, self.lower):
+            return 0.0
+        if not self._lt(value, self.uppers[-1]):
+            return 1.0
+        total = self.total
+        done = bisect_left(self.uppers, value)
+        below = sum(self.counts[:done])
+        # The bucket containing *value*: interpolate when numeric,
+        # otherwise assume half the bucket qualifies.
+        bucket_lower = self.uppers[done - 1] if done else self.lower
+        bucket_upper = self.uppers[done]
+        frac = self._interpolate(bucket_lower, bucket_upper, value)
+        return min(1.0, (below + frac * self.counts[done]) / total)
+
+    def fraction_less(self, value) -> float:
+        """Estimated fraction of rows with ``column < value``.
+
+        Approximated as ``fraction_at_most`` minus nothing — the
+        per-value equality mass inside a bucket is unknown, and for
+        selectivity purposes the difference is below histogram
+        resolution anyway.
+        """
+        if not self._lt(self.lower, value):
+            return 0.0
+        return self.fraction_at_most(value)
+
+    @staticmethod
+    def _lt(a, b) -> bool:
+        try:
+            return a < b
+        except TypeError:
+            return False
+
+    @staticmethod
+    def _interpolate(lower, upper, value) -> float:
+        if isinstance(lower, (int, float)) and isinstance(upper, (int, float)):
+            width = float(upper) - float(lower)
+            if width <= 0:
+                return 1.0
+            try:
+                return min(1.0, max(0.0, (float(value) - float(lower)) / width))
+            except (TypeError, ValueError):
+                return 0.5
+        return 0.5

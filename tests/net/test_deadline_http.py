@@ -100,6 +100,7 @@ def test_healthz_exposes_ladder_and_admission_views(server):
         "parallel": "parallel",
         "optimizer": "on",
         "plan_cache": "cache",
+        "estimator": "stats",
     }
     assert set(payload["subsystems"]) == set(payload["health"])
     for view in payload["subsystems"].values():

@@ -1,0 +1,169 @@
+"""The adaptive loop: corrections, versioning, q-error convergence."""
+
+import pytest
+
+import repro
+from repro.engine import Database
+from repro.options import ExecutionOptions
+from repro.stats.adaptive import (
+    CorrectionStore,
+    GLOBAL_CORRECTIONS,
+    fold_analysis,
+    plan_fingerprint,
+)
+from repro.workloads import SupplierScale, build_database, generate
+
+
+@pytest.fixture()
+def db():
+    database = build_database(
+        generate(SupplierScale(suppliers=25, parts_per_supplier=5))
+    )
+    database.analyze()
+    return database
+
+
+@pytest.fixture(autouse=True)
+def _isolated_corrections():
+    GLOBAL_CORRECTIONS.clear()
+    yield
+    GLOBAL_CORRECTIONS.clear()
+
+
+class TestCorrectionStore:
+    def test_first_fold_records_and_bumps_version(self):
+        store = CorrectionStore()
+        before = store.version
+        assert store.fold("db", ("node", ()), 42.0)
+        assert store.version == before + 1
+        assert store.lookup("db", ("node", ())) == 42.0
+
+    def test_ewma_blend(self):
+        store = CorrectionStore(alpha=0.5)
+        store.fold("db", ("node", ()), 100.0)
+        store.fold("db", ("node", ()), 0.0)
+        assert store.lookup("db", ("node", ())) == pytest.approx(50.0)
+
+    def test_settled_observations_do_not_bump_version(self):
+        store = CorrectionStore()
+        store.fold("db", ("node", ()), 100.0)
+        version = store.version
+        # Same observation again: blended value does not move.
+        assert not store.fold("db", ("node", ()), 100.0)
+        assert store.version == version
+
+    def test_keys_scoped_by_database_fingerprint(self):
+        store = CorrectionStore()
+        store.fold("db-a", ("node", ()), 10.0)
+        assert store.lookup("db-b", ("node", ())) is None
+
+    def test_clear(self):
+        store = CorrectionStore()
+        store.fold("db", ("node", ()), 10.0)
+        store.clear()
+        assert store.lookup("db", ("node", ())) is None
+
+
+class TestPlanFingerprint:
+    def test_stable_across_plannings(self, db):
+        from repro.engine import Planner
+        from repro.sql import parse_query
+
+        sql = "SELECT SNO FROM SUPPLIER WHERE SCITY = 'Chicago'"
+        first = Planner(db.catalog).plan(parse_query(sql))
+        second = Planner(db.catalog).plan(parse_query(sql))
+        assert plan_fingerprint(first) == plan_fingerprint(second)
+
+    def test_distinguishes_plan_shapes(self, db):
+        from repro.engine import Planner
+        from repro.sql import parse_query
+
+        one = Planner(db.catalog).plan(
+            parse_query("SELECT SNO FROM SUPPLIER")
+        )
+        other = Planner(db.catalog).plan(
+            parse_query("SELECT SNO FROM SUPPLIER WHERE SCITY = 'Chicago'")
+        )
+        assert plan_fingerprint(one) != plan_fingerprint(other)
+
+
+class TestFoldAnalysis:
+    def test_folds_executed_nodes(self, db):
+        from repro.observe import execute_analyzed
+
+        analyzed = execute_analyzed(
+            "SELECT SNO FROM SUPPLIER WHERE SCITY = 'Chicago'", db
+        )
+        store = CorrectionStore()
+        folded = fold_analysis(
+            db, analyzed.plan, analyzed.analysis, corrections=store
+        )
+        assert folded > 0
+        observed = store.lookup(
+            db.fingerprint(), plan_fingerprint(analyzed.plan)
+        )
+        assert observed == float(len(analyzed.result))
+
+    def test_counts_into_stats(self, db):
+        from repro.engine import Stats
+        from repro.observe import execute_analyzed
+
+        analyzed = execute_analyzed("SELECT SNO FROM SUPPLIER", db)
+        stats = Stats()
+        fold_analysis(
+            db,
+            analyzed.plan,
+            analyzed.analysis,
+            corrections=CorrectionStore(),
+            stats=stats,
+        )
+        assert stats.adaptive_corrections > 0
+
+
+class TestConvergence:
+    # PNAME functionally determines PNO in the generated workload, so
+    # the independence assumption underestimates by the distinct count
+    # of PNAME — the canonical correlated-predicate misestimate.
+    SQL = "SELECT PNAME FROM PARTS WHERE PNAME = 'part-3' AND PNO = 3"
+
+    def test_adaptive_q_error_converges(self, db):
+        errors = []
+        with repro.Connection.local(db) as connection:
+            for _ in range(5):
+                cursor = connection.execute(self.SQL, adaptive=True)
+                analyzed = cursor.executed.outcome.analysis
+                errors.append(analyzed.analysis.max_q_error())
+        assert errors[0] > 2.0  # the initial misestimate
+        assert errors[-1] <= 2.0  # converged within five runs
+        assert all(a >= b for a, b in zip(errors, errors[1:]))  # monotone
+
+    def test_adaptive_folds_corrections(self, db):
+        with repro.Connection.local(db) as connection:
+            cursor = connection.execute(self.SQL, adaptive=True)
+            assert cursor.executed.outcome.stats.adaptive_corrections > 0
+            assert len(GLOBAL_CORRECTIONS) > 0
+
+    def test_plan_cache_replans_after_new_corrections(self, db):
+        from repro.engine.planner import GLOBAL_PLAN_CACHE
+
+        with repro.Connection.local(db) as connection:
+            connection.execute(self.SQL, adaptive=True)
+            misses = GLOBAL_PLAN_CACHE.misses
+            # New corrections arrived: the next adaptive execution
+            # must replan (its cache key embeds the store version).
+            connection.execute(self.SQL, adaptive=True)
+            assert GLOBAL_PLAN_CACHE.misses > misses
+
+
+class TestWire:
+    def test_stats_and_adaptive_round_trip(self):
+        options = ExecutionOptions.create(stats=True, adaptive=True)
+        payload = options.to_wire()
+        assert payload["stats"] is True
+        assert payload["adaptive"] is True
+        decoded = ExecutionOptions.from_wire(payload)
+        assert decoded.stats and decoded.adaptive
+
+    def test_defaults_stay_off_wire(self):
+        assert "stats" not in ExecutionOptions().to_wire()
+        assert "adaptive" not in ExecutionOptions().to_wire()

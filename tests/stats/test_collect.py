@@ -1,0 +1,155 @@
+"""The ANALYZE pass: histograms, distinct counts, staleness."""
+
+import pytest
+
+from repro.engine import Database
+from repro.stats import (
+    StatisticsCatalog,
+    collect_statistics,
+    ensure_statistics,
+)
+from repro.stats.collect import DISTINCT_THRESHOLD, HyperLogLog, _hash64
+from repro.stats.histogram import Histogram
+from repro.types import NULL
+
+
+DDL = """
+CREATE TABLE T (A INT, B INT, C VARCHAR(10), PRIMARY KEY (A));
+INSERT INTO T VALUES (1, 10, 'x');
+INSERT INTO T VALUES (2, 10, 'y');
+INSERT INTO T VALUES (3, 20, NULL);
+INSERT INTO T VALUES (4, 30, 'y');
+CREATE TABLE EMPTY_T (E INT, PRIMARY KEY (E));
+"""
+
+
+@pytest.fixture()
+def db():
+    return Database.from_script(DDL)
+
+
+class TestCollection:
+    def test_row_and_distinct_counts(self, db):
+        catalog = collect_statistics(db)
+        table = catalog.table("T")
+        assert table.row_count == 4
+        assert table.column("A").n_distinct == 4
+        assert table.column("A").exact_distinct
+        assert table.column("B").n_distinct == 3
+        assert table.column("C").n_distinct == 2
+        assert table.column("C").null_count == 1
+
+    def test_min_max(self, db):
+        catalog = collect_statistics(db)
+        column = catalog.table("T").column("B")
+        assert column.min_value == 10
+        assert column.max_value == 30
+
+    def test_empty_table_collects_zeroes(self, db):
+        catalog = collect_statistics(db)
+        table = catalog.table("EMPTY_T")
+        assert table.row_count == 0
+        column = table.column("E")
+        assert column.n_distinct == 0
+        assert column.histogram is None
+        assert column.eq_selectivity(1) == 0.0
+        assert column.range_selectivity("<", 1) == 0.0
+        assert column.null_selectivity() == 0.0
+
+    def test_all_null_column(self):
+        db = Database.from_script(
+            "CREATE TABLE N (A INT, B INT, PRIMARY KEY (A));"
+            "INSERT INTO N VALUES (1, NULL);"
+            "INSERT INTO N VALUES (2, NULL);"
+        )
+        column = collect_statistics(db).table("N").column("B")
+        assert column.null_count == 2
+        assert column.n_distinct == 0
+        assert column.histogram is None
+        assert column.eq_selectivity(5) == 0.0
+        assert column.null_selectivity() == 1.0
+
+    def test_single_value_column(self):
+        db = Database.from_script(
+            "CREATE TABLE S (A INT, B INT, PRIMARY KEY (A));"
+            + "".join(f"INSERT INTO S VALUES ({i}, 7);" for i in range(5))
+        )
+        column = collect_statistics(db).table("S").column("B")
+        assert column.n_distinct == 1
+        assert column.eq_selectivity(7) == 1.0
+        assert column.eq_selectivity(8) == 0.0  # outside [min, max]
+        assert column.range_selectivity("<", 7) == 0.0
+        assert column.range_selectivity("<=", 7) == 1.0
+
+    def test_null_probe_estimates_zero(self, db):
+        column = collect_statistics(db).table("T").column("B")
+        assert column.eq_selectivity(NULL) == 0.0
+        assert column.range_selectivity("<", NULL) == 0.0
+
+
+class TestHistogram:
+    def test_equi_depth_fractions(self):
+        histogram = Histogram.build(list(range(1, 101)), buckets=10)
+        assert histogram.total == 100
+        assert histogram.fraction_at_most(0) == 0.0
+        assert histogram.fraction_at_most(100) == 1.0
+        # Uniform data: CDF at the median is about one half.
+        assert abs(histogram.fraction_at_most(50) - 0.5) < 0.1
+
+    def test_fractions_are_monotone(self):
+        histogram = Histogram.build([1, 1, 2, 3, 5, 8, 13, 21], buckets=4)
+        fractions = [histogram.fraction_at_most(v) for v in range(0, 25)]
+        assert fractions == sorted(fractions)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_single_value_histogram(self):
+        histogram = Histogram.build([7] * 10, buckets=4)
+        assert histogram.fraction_less(7) == 0.0
+        assert histogram.fraction_at_most(7) == 1.0
+
+
+class TestDistinctEstimation:
+    def test_spills_to_hyperloglog_past_threshold(self):
+        rows = DISTINCT_THRESHOLD + 500
+        db = Database.from_script(
+            "CREATE TABLE BIG (A INT, PRIMARY KEY (A));"
+        )
+        for i in range(rows):
+            db.insert("BIG", (i,))
+        column = collect_statistics(db).table("BIG").column("A")
+        assert not column.exact_distinct
+        # HyperLogLog with 2^10 registers: a few percent of error.
+        assert abs(column.n_distinct - rows) / rows < 0.1
+
+    def test_hyperloglog_small_range(self):
+        hll = HyperLogLog()
+        for value in range(100):
+            hll.add(_hash64(value))
+        assert abs(hll.estimate() - 100) <= 10
+
+    def test_hash_is_type_sensitive(self):
+        assert _hash64(1) != _hash64("1")
+        assert _hash64(1) == _hash64(1)
+
+
+class TestCatalogLifecycle:
+    def test_fresh_until_mutation(self, db):
+        catalog = collect_statistics(db)
+        assert catalog.fresh_for(db)
+        db.insert("T", (5, 40, "z"))
+        assert not catalog.fresh_for(db)
+
+    def test_ensure_statistics_reuses_and_recollects(self, db):
+        first = ensure_statistics(db)
+        assert ensure_statistics(db) is first
+        db.insert("T", (5, 40, "z"))
+        second = ensure_statistics(db)
+        assert second is not first
+        assert second.version > first.version
+        assert second.table("T").row_count == 5
+
+    def test_database_analyze_stores_catalog(self, db):
+        assert db.statistics is None
+        catalog = db.analyze()
+        assert isinstance(catalog, StatisticsCatalog)
+        assert db.statistics is catalog

@@ -1,0 +1,184 @@
+"""Statistics cost model: key bounds, selectivities, cost-based order."""
+
+import pytest
+
+from repro.engine import Database, Planner, PlannerOptions, Stats
+from repro.engine.cost import CostModel
+from repro.engine.operators import HashJoin, NestedLoopJoin, SeqScan
+from repro.sql import parse_query
+from repro.stats import StatisticsCostModel, collect_statistics
+from repro.stats.adaptive import CorrectionStore, plan_fingerprint
+from repro.stats.estimator import estimator_for
+from repro.workloads import SupplierScale, build_database, generate
+
+
+@pytest.fixture()
+def db():
+    database = build_database(
+        generate(SupplierScale(suppliers=25, parts_per_supplier=5))
+    )
+    database.analyze()
+    return database
+
+
+def model_for(database, **kwargs):
+    return StatisticsCostModel(database, database.statistics, **kwargs)
+
+
+def plan_for(database, sql, **options):
+    planner = Planner(
+        database.catalog,
+        PlannerOptions(**options) if options else None,
+        database=database,
+    )
+    return planner.plan(parse_query(sql))
+
+
+def nodes_of(plan, node_type):
+    found = []
+
+    def visit(node):
+        if isinstance(node, node_type):
+            found.append(node)
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return found
+
+
+class TestScanEstimates:
+    def test_seq_scan_uses_collected_row_count(self, db):
+        plan = plan_for(db, "SELECT SNO FROM SUPPLIER")
+        scan = nodes_of(plan, SeqScan)[0]
+        assert model_for(db).estimate(scan).rows == 25.0
+
+    def test_filter_selectivity_from_distincts(self, db):
+        plan = plan_for(db, "SELECT SNO FROM SUPPLIER WHERE SCITY = 'London'")
+        estimate = model_for(db).estimate(plan)
+        scity = db.statistics.column("SUPPLIER", "SCITY")
+        expected = 25.0 * scity.eq_selectivity("London")
+        assert estimate.rows == pytest.approx(expected)
+
+    def test_full_key_probe_estimates_one_row(self, db):
+        plan = plan_for(db, "SELECT SNAME FROM SUPPLIER WHERE SNO = 7")
+        estimate = model_for(db).estimate(plan)
+        assert estimate.rows <= 1.0
+
+
+class TestKeyBoundJoins:
+    def test_key_bound_join_capped_by_other_side(self, db):
+        # SUPPLIER.SNO is a candidate key: every PARTS row matches at
+        # most one supplier, so the output is exactly |PARTS| (the
+        # FK makes the bound tight, not just an upper limit).
+        plan = plan_for(
+            db, "SELECT PNAME FROM PARTS P, SUPPLIER S WHERE P.SNO = S.SNO"
+        )
+        join = nodes_of(plan, HashJoin)[0]
+        estimate = model_for(db).estimate(join)
+        parts_rows = db.statistics.table("PARTS").row_count
+        assert estimate.rows == pytest.approx(float(parts_rows))
+
+    def test_non_key_join_divides_by_larger_ndv(self, db):
+        plan = plan_for(
+            db,
+            "SELECT P.PNAME FROM PARTS P, AGENTS A WHERE P.SNO = A.SNO",
+        )
+        join = nodes_of(plan, HashJoin)[0]
+        estimate = model_for(db).estimate(join)
+        parts = db.statistics.table("PARTS").row_count
+        agents = db.statistics.table("AGENTS").row_count
+        ndv = max(
+            db.statistics.column("PARTS", "SNO").n_distinct,
+            db.statistics.column("AGENTS", "SNO").n_distinct,
+        )
+        assert estimate.rows == pytest.approx(parts * agents / ndv)
+
+    def test_estimated_never_exceeds_key_bound(self, db):
+        plan = plan_for(
+            db, "SELECT PNAME FROM PARTS P, SUPPLIER S WHERE P.SNO = S.SNO"
+        )
+        join = nodes_of(plan, HashJoin)[0]
+        bound = db.statistics.table("PARTS").row_count
+        assert model_for(db).estimate(join).rows <= bound
+
+
+class TestCorrections:
+    def test_correction_overrides_model(self, db):
+        plan = plan_for(db, "SELECT SNO FROM SUPPLIER WHERE SCITY = 'London'")
+        store = CorrectionStore()
+        store.fold(db.fingerprint(), plan_fingerprint(plan), 3.0)
+        corrected = model_for(db, corrections=store).estimate(plan)
+        assert corrected.rows == pytest.approx(3.0)
+        uncorrected = model_for(db).estimate(plan)
+        assert uncorrected.rows != pytest.approx(3.0)
+
+    def test_counters(self, db):
+        stats = Stats()
+        plan = plan_for(db, "SELECT SNO FROM SUPPLIER")
+        model_for(db, stats=stats).estimate(plan)
+        assert stats.stats_estimates == 1
+        assert stats.estimator_fallbacks == 0
+
+
+class TestEstimatorSelection:
+    def test_heuristic_without_flags(self, db):
+        model = estimator_for(db, PlannerOptions())
+        assert type(model) is CostModel
+
+    def test_statistics_model_when_fresh(self, db):
+        model = estimator_for(db, PlannerOptions(use_stats=True))
+        assert isinstance(model, StatisticsCostModel)
+        assert model.corrections is None
+
+    def test_adaptive_attaches_global_corrections(self, db):
+        model = estimator_for(db, PlannerOptions(adaptive=True))
+        assert isinstance(model, StatisticsCostModel)
+        assert model.corrections is not None
+
+    def test_stale_catalog_falls_back_and_counts(self, db):
+        db.insert("SUPPLIER", (400, "late", "Chicago", 1, "Active"))
+        stats = Stats()
+        model = estimator_for(db, PlannerOptions(use_stats=True), stats=stats)
+        assert type(model) is CostModel
+        assert stats.estimator_fallbacks == 1
+
+
+class TestCostBasedJoinOrder:
+    SQL = (
+        "SELECT P.PNAME FROM PARTS P, AGENTS A, SUPPLIER S "
+        "WHERE P.SNO = S.SNO AND A.SNO = S.SNO AND S.BUDGET > 900"
+    )
+
+    def test_rule_order_cross_joins_from_clause(self, db):
+        plan = plan_for(db, self.SQL)
+        assert nodes_of(plan, NestedLoopJoin)  # PARTS x AGENTS first
+
+    def test_cost_based_order_avoids_cross_join(self, db):
+        plan = plan_for(db, self.SQL, use_stats=True)
+        assert not nodes_of(plan, NestedLoopJoin)
+        assert len(nodes_of(plan, HashJoin)) == 2
+
+    def test_cost_based_plan_is_cheaper(self, db):
+        model = model_for(db)
+        rule = model.estimate(plan_for(db, self.SQL))
+        cost_based = model.estimate(plan_for(db, self.SQL, use_stats=True))
+        assert cost_based.cost < rule.cost
+
+    def test_same_results_either_way(self, db):
+        from repro.engine import execute_planned
+
+        baseline = execute_planned(self.SQL, db).multiset()
+        stats_run = execute_planned(
+            self.SQL, db, options=PlannerOptions(use_stats=True)
+        ).multiset()
+        assert stats_run == baseline
+
+    def test_cost_based_without_statistics_keeps_rule_order(self, db):
+        fresh = build_database(
+            generate(SupplierScale(suppliers=5, parts_per_supplier=2))
+        )
+        plan = plan_for(fresh, self.SQL, use_stats=True)
+        # No catalog collected: estimator_for falls back to heuristics,
+        # and planning still succeeds.
+        assert plan is not None
