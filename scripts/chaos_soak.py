@@ -22,6 +22,13 @@ invariants the resilience layer promises:
    once probes run clean; the soak fails if any rung stays degraded.
 5. **No poisoned caches** — after recovery the full statement set
    replays byte-identical against the same (shared) plan cache.
+6. **Balanced ledger** — writer clients run random transfers between
+   ledger accounts in real MVCC transactions throughout the storm
+   (including injected ``wal_commit`` failures and lost write-write
+   races); at quiescence the total balance is exactly the opening
+   total and the candidate key still holds.  Because no paper query
+   reads the ledger, the committed writes must not move a single read
+   baseline — scoped invalidation, proven under fire.
 
 Determinism: each soak round takes one integer seed; the fault
 schedule, client workloads, and priorities all derive from it, so a
@@ -65,6 +72,7 @@ from repro.resilience import (  # noqa: E402
     SITE_OPERATOR,
     SITE_PLAN_CACHE,
     SITE_VECTORIZED_EVAL,
+    SITE_WAL_COMMIT,
 )
 from repro.resilience.admission import SheddingPolicy  # noqa: E402
 from repro.resilience.health import HealthPolicy  # noqa: E402
@@ -76,6 +84,20 @@ from repro.workloads import (  # noqa: E402
 )
 
 SCALE = SupplierScale(suppliers=30, parts_per_supplier=6, agents_per_supplier=2)
+
+#: Side table the writer clients bang on — none of the paper queries
+#: reference it, so committed transfers must never move a read
+#: baseline (scoped invalidation under fire).
+LEDGER_ACCOUNTS = 8
+LEDGER_OPENING = 100
+LEDGER_DDL = "\n".join(
+    ["CREATE TABLE LEDGER (ACCOUNT INT NOT NULL, BALANCE INT,"
+     " PRIMARY KEY (ACCOUNT));"]
+    + [
+        f"INSERT INTO LEDGER VALUES ({account}, {LEDGER_OPENING});"
+        for account in range(LEDGER_ACCOUNTS)
+    ]
+)
 
 #: Tight ladder so storms demote (and recovery re-promotes) within one
 #: soak round rather than one business day.
@@ -107,6 +129,9 @@ FAULT_MENU = [
     }),
     (SITE_NET_ACCEPT, {"kind": "exception", "times": 5}),
     (SITE_NET_WRITE, {"kind": "exception", "times": 3}),
+    # Commit apply: fails after validation, before publication — the
+    # transaction must abort cleanly and the ledger must stay balanced.
+    (SITE_WAL_COMMIT, {"kind": "exception", "times": 5}),
 ]
 
 #: Errors a chaotic round is allowed to surface to a client.  Anything
@@ -127,6 +152,15 @@ EXPECTED_REMOTE = {
     "ProtocolError",  # truncated request bodies
     "InjectedFaultError",
     "ServiceShutdownError",
+}
+
+#: Additional terminal types a *writer* may see: a lost write-write
+#: race is a typed 409, and a BEGIN replayed after a dropped response
+#: lands inside the transaction it already opened.
+EXPECTED_WRITER_REMOTE = EXPECTED_REMOTE | {
+    "WriteConflictError",
+    "UniquenessViolationError",
+    "TransactionError",
 }
 
 
@@ -150,6 +184,8 @@ class ClientStats:
         self.lock = threading.Lock()
         self.ok = 0
         self.failed = 0
+        self.transfers = 0
+        self.conflicts = 0
         self.by_error: dict[str, int] = {}
         self.violations: list[str] = []
 
@@ -220,6 +256,90 @@ def _client_loop(
         stats.violation(f"client thread died: {type(error).__name__}: {error}")
 
 
+def _writer_loop(
+    url: str,
+    stats: ClientStats,
+    stop: threading.Event,
+    rng: random.Random,
+) -> None:
+    """One soak writer: random ledger transfers in real transactions.
+
+    Each iteration moves a random amount between two accounts — read
+    both balances, write both back — inside one transaction on its own
+    server session.  Snapshot isolation makes every outcome all-or-
+    nothing, so no storm (conflict, injected commit fault, dropped
+    response) may unbalance the ledger.  The absolute-value UPDATEs are
+    deliberately idempotent: a statement replayed by the retry loop
+    after a dropped response applies the same end state.
+    """
+    try:
+        with repro.connect(url, fresh_session=True) as conn:
+            while not stop.is_set():
+                source = rng.randrange(LEDGER_ACCOUNTS)
+                target = (source + 1 + rng.randrange(LEDGER_ACCOUNTS - 1)) % (
+                    LEDGER_ACCOUNTS
+                )
+                amount = rng.randint(1, 10)
+                try:
+                    if not conn.in_transaction:
+                        conn.begin()
+                    balances = {}
+                    for account in (source, target):
+                        rows = conn.execute(
+                            "SELECT BALANCE FROM LEDGER"
+                            " WHERE ACCOUNT = :ACCOUNT",
+                            {"ACCOUNT": account},
+                        ).fetchall()
+                        balances[account] = rows[0][0]
+                    for account, balance in (
+                        (source, balances[source] - amount),
+                        (target, balances[target] + amount),
+                    ):
+                        conn.execute(
+                            "UPDATE LEDGER SET BALANCE = :BALANCE"
+                            " WHERE ACCOUNT = :ACCOUNT",
+                            {"BALANCE": balance, "ACCOUNT": account},
+                        )
+                    conn.commit()
+                except EXPECTED_ERRORS as error:
+                    stats.failure(error)
+                    _writer_reset(conn, stats)
+                except RemoteQueryError as error:
+                    if error.error_type not in EXPECTED_WRITER_REMOTE:
+                        stats.violation(
+                            "unexpected remote writer error "
+                            f"{error.error_type}: {error}"
+                        )
+                    elif error.error_type in (
+                        "WriteConflictError",
+                        "UniquenessViolationError",
+                    ):
+                        with stats.lock:
+                            stats.conflicts += 1
+                    stats.failure(error)
+                    _writer_reset(conn, stats)
+                except ReproError as error:
+                    stats.violation(
+                        "untyped-for-chaos writer error "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    stats.failure(error)
+                    _writer_reset(conn, stats)
+                else:
+                    with stats.lock:
+                        stats.transfers += 1
+    except BaseException as error:  # noqa: BLE001 — a dead writer is a finding
+        stats.violation(f"writer thread died: {type(error).__name__}: {error}")
+
+
+def _writer_reset(conn, stats: ClientStats) -> None:
+    """Best-effort rollback so the next transfer starts clean."""
+    try:
+        conn.rollback()
+    except ReproError as error:
+        stats.failure(error)
+
+
 def _storm_loop(seconds: float, stop: threading.Event, rng: random.Random):
     """Arm random fault windows from the menu until time is up."""
     end = time.monotonic() + seconds
@@ -238,12 +358,13 @@ def _metric_sum(metrics, name: str) -> float:
     return sum(v for n, _labels, v in metrics.series() if n == name)
 
 
-def soak_round(seed: int, seconds: float, clients: int) -> dict:
+def soak_round(seed: int, seconds: float, clients: int, writers: int = 2) -> dict:
     """One seeded round; returns its report dict, raises SoakFailure."""
     FAULTS.reset()
     FAULTS.seed(seed)
     rng = random.Random(seed)
     db = build_database(generate(SCALE))
+    db.run_script(LEDGER_DDL)
     items = _workload(db)
     stats = ClientStats()
     report: dict = {"seed": seed}
@@ -273,6 +394,19 @@ def soak_round(seed: int, seconds: float, clients: int) -> dict:
             )
             for i in range(clients)
         ]
+        threads.extend(
+            threading.Thread(
+                target=_writer_loop,
+                args=(
+                    server.url,
+                    stats,
+                    stop,
+                    random.Random(seed * 7000 + i),
+                ),
+                name=f"soak-writer-{i}",
+            )
+            for i in range(writers)
+        )
         for thread in threads:
             thread.start()
 
@@ -337,11 +471,33 @@ def soak_round(seed: int, seconds: float, clients: int) -> dict:
     if stats.ok == 0:
         raise SoakFailure("no query succeeded — the round proved nothing")
 
+    # -- balanced ledger: every transfer was all-or-nothing, so no
+    # storm outcome (conflict, injected commit fault, dropped response,
+    # replayed statement) may create or destroy money — and the
+    # candidate key must still hold one row per account.
+    ledger_rows = db.table("LEDGER").rows
+    if len(ledger_rows) != LEDGER_ACCOUNTS:
+        raise SoakFailure(
+            f"ledger has {len(ledger_rows)} rows, expected {LEDGER_ACCOUNTS}"
+        )
+    balance = sum(row[1] for row in ledger_rows)
+    expected = LEDGER_ACCOUNTS * LEDGER_OPENING
+    if balance != expected:
+        raise SoakFailure(
+            f"ledger unbalanced after storm: {balance} != {expected} "
+            f"({stats.transfers} transfers, {stats.conflicts} conflicts)"
+        )
+    if writers and stats.transfers == 0:
+        raise SoakFailure("no transfer committed — the writers proved nothing")
+
     report.update(
         {
             "storms": storms,
             "succeeded": stats.ok,
             "failed": stats.failed,
+            "transfers": stats.transfers,
+            "write_conflicts": stats.conflicts,
+            "ledger_balance": balance,
             "errors": dict(sorted(stats.by_error.items())),
             "submitted": submitted,
             "completed": _metric_sum(metrics, "service_completed_total"),
@@ -392,6 +548,12 @@ def main(argv=None) -> int:
         help="concurrent soak clients per round (default 6)",
     )
     parser.add_argument(
+        "--writers",
+        type=int,
+        default=2,
+        help="concurrent ledger-writer clients per round (default 2)",
+    )
+    parser.add_argument(
         "--json",
         metavar="FILE",
         help="also write the full report as JSON",
@@ -405,7 +567,7 @@ def main(argv=None) -> int:
     for seed in seeds:
         print(f"== soak round seed={seed} ({per_round:.0f}s storm) ==")
         try:
-            report = soak_round(seed, per_round, args.clients)
+            report = soak_round(seed, per_round, args.clients, args.writers)
         except SoakFailure as failure:
             print(f"FAIL seed={seed}: {failure}", file=sys.stderr)
             reports.append({"seed": seed, "failure": str(failure)})
@@ -416,7 +578,9 @@ def main(argv=None) -> int:
             f"   ok={report['succeeded']} failed={report['failed']} "
             f"storms={report['storms']} shed={report['shed']:.0f} "
             f"demotions={report['demotions']:.0f} "
-            f"promotions={report['promotions']:.0f}"
+            f"promotions={report['promotions']:.0f} "
+            f"transfers={report['transfers']} "
+            f"conflicts={report['write_conflicts']}"
         )
         for name, count in report["errors"].items():
             print(f"   {name}: {count}")

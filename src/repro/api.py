@@ -42,13 +42,14 @@ from __future__ import annotations
 
 import functools
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterator, Sequence
 
 from .core.rewrite.engine import Optimizer
 from .engine.database import Database
 from .engine.parallel import ParallelOptions
 from .engine.plan_cache import PlanCache
+from .engine.result import Result
 from .engine.stats import Stats
 from .errors import (
     CatalogError,
@@ -56,8 +57,10 @@ from .errors import (
     ReproError,
     ResourceError,
     SqlError,
+    TransactionError,
 )
 from .observe.analyze import execute_analyzed
+from .observe.trace import NULL_SPAN, TRACER
 from .options import ExecutionOptions
 from .resilience.budgets import ResourceBudget
 from .resilience.deadline import Deadline
@@ -69,7 +72,16 @@ from .resilience.health import (
     SUBSYSTEM_PLAN_CACHE,
     SUBSYSTEM_VECTORIZED,
 )
-from .sql.parser import parse_query
+from .sql.ast import (
+    BeginTransaction,
+    CommitTransaction,
+    Delete,
+    Insert,
+    RollbackTransaction,
+    Statement,
+    Update,
+)
+from .sql.parser import parse, parse_query
 
 #: Sentinel distinguishing "argument not passed" from an explicit None
 #: or False in :meth:`Cursor.execute` keyword overrides.
@@ -88,6 +100,7 @@ def run_with_options(
     planner_options: Any | None = None,
     health: Any | None = None,
     on_guard: Any | None = None,
+    transaction: Any | None = None,
 ) -> GuardedOutcome:
     """Execute *query* under one :class:`ExecutionOptions` value.
 
@@ -113,8 +126,39 @@ def run_with_options(
     and success signals afterwards.  *on_guard* is forwarded to
     :func:`~repro.resilience.guarded.run_guarded` so the caller can
     cooperatively cancel mid-flight.
+
+    *transaction* (an open :class:`~repro.engine.txn.Transaction`) runs
+    the statement inside that transaction: reads go through its pinned
+    snapshot view, DML buffers into it without committing.  Without
+    one, reads execute against the latest committed state and DML runs
+    in an implicit single-statement transaction that commits before
+    returning.  ``BEGIN``/``COMMIT``/``ROLLBACK`` are *not* accepted
+    here — transaction lifetime belongs to the owner of the transaction
+    handle (a :class:`Connection` or a service session), so control
+    statements must go through :func:`apply_transaction_control`.
     """
     options = options if options is not None else ExecutionOptions()
+    statement: Any = parse(query) if isinstance(query, str) else query
+    if isinstance(statement, (Insert, Update, Delete)):
+        return run_dml_with_options(
+            statement,
+            query if isinstance(query, str) else None,
+            database,
+            transaction,
+            params=params,
+            options=options,
+            stats=stats,
+        )
+    if isinstance(
+        statement, (BeginTransaction, CommitTransaction, RollbackTransaction)
+    ):
+        raise ProtocolError(
+            "transaction control must go through a Connection or a "
+            "service session (see apply_transaction_control)"
+        )
+    if transaction is not None:
+        # Pin every read to the transaction's snapshot + its own writes.
+        database = transaction.view()
     if options.scan_ranges:
         # Scatter-gather shard execution: run against a read-only
         # row-range view.  Everything below (planner, caches, health)
@@ -233,6 +277,126 @@ def run_with_options(
     return outcome
 
 
+def run_dml_with_options(
+    statement: Any,
+    sql_text: str | None,
+    database: Database,
+    transaction: Any | None,
+    *,
+    params: dict | None = None,
+    options: ExecutionOptions | None = None,
+    stats: Stats | None = None,
+) -> GuardedOutcome:
+    """Execute one parsed DML statement under the options' budget.
+
+    With *transaction* the writes buffer into it (visible to the
+    transaction's own later statements, published only by its commit);
+    without one the statement runs in an implicit single-statement
+    transaction — begin, execute, commit — so autocommit DML is atomic
+    and conflict-checked exactly like an explicit block.  The outcome's
+    :attr:`~repro.resilience.guarded.GuardedOutcome.rowcount` carries
+    the affected-row count; the result set is empty.
+    """
+    from .engine.dml import execute_dml
+
+    options = options if options is not None else ExecutionOptions()
+    stats = stats if stats is not None else Stats()
+    if options.scan_ranges:
+        raise ProtocolError("writes cannot run against a shard slice")
+    timeout = options.timeout
+    if options.deadline is not None:
+        timeout = options.deadline.clamp_timeout(timeout)
+    budget = (
+        None
+        if timeout is None and options.row_budget is None
+        else ResourceBudget(timeout=timeout, row_budget=options.row_budget)
+    )
+    guard = budget.guard() if budget is not None else None
+    if sql_text is None:
+        sql_text = f"{type(statement).__name__.upper()} {statement.table}"
+    own = transaction is None
+    txn = database.begin() if own else transaction
+    span_cm = (
+        TRACER.span("dml.execute", stats=stats, sql=sql_text, xid=txn.xid)
+        if TRACER.enabled
+        else NULL_SPAN
+    )
+    try:
+        with span_cm:
+            count = execute_dml(
+                statement,
+                txn,
+                params=params,
+                stats=stats,
+                guard=guard,
+                engine_mode=options.engine_mode,
+                batch_rows=options.batch_rows,
+            )
+            if own:
+                txn.commit()
+    except BaseException:
+        if own:
+            txn.rollback()  # no-op when the commit already aborted
+        raise
+    return GuardedOutcome(
+        result=Result([], []),
+        sql=sql_text,
+        rewritten=False,
+        rules=[],
+        stats=stats,
+        rowcount=count,
+    )
+
+
+def apply_transaction_control(
+    statement: Any, host: Any, database: Database, stats: Stats | None = None
+) -> GuardedOutcome:
+    """Apply ``BEGIN``/``COMMIT``/``ROLLBACK`` to a transaction *host*.
+
+    *host* is whatever owns the connection-scoped transaction — a local
+    backend or a service session — and must expose a writable
+    ``transaction`` attribute.  ``BEGIN`` inside an open transaction is
+    an error (no nesting); ``COMMIT``/``ROLLBACK`` outside one are
+    no-ops, so a DB-API ``commit()`` on a fresh connection is always
+    safe.  The host's transaction slot is cleared *before* the commit
+    is attempted: a failed commit (conflict, injected fault) leaves the
+    session outside any transaction, with the aborted transaction's
+    writes discarded.
+    """
+    stats = stats if stats is not None else Stats()
+
+    def outcome(label: str) -> GuardedOutcome:
+        return GuardedOutcome(
+            result=Result([], []),
+            sql=label,
+            rewritten=False,
+            rules=[],
+            stats=stats,
+        )
+
+    if isinstance(statement, BeginTransaction):
+        if getattr(host, "transaction", None) is not None:
+            raise TransactionError(
+                "a transaction is already open (nested BEGIN is not supported)"
+            )
+        host.transaction = database.begin()
+        return outcome("BEGIN")
+    txn = getattr(host, "transaction", None)
+    if isinstance(statement, CommitTransaction):
+        if txn is not None:
+            host.transaction = None
+            txn.commit()
+        return outcome("COMMIT")
+    if isinstance(statement, RollbackTransaction):
+        if txn is not None:
+            host.transaction = None
+            txn.rollback()
+        return outcome("ROLLBACK")
+    raise ProtocolError(
+        f"not a transaction-control statement: {type(statement).__name__}"
+    )
+
+
 def _stats_planner_options(
     planner_options: Any | None,
     database: Database,
@@ -251,7 +415,12 @@ def _stats_planner_options(
 
     from .engine.planner import PlannerOptions
 
-    if options.scan_ranges is None:
+    if options.scan_ranges is None and not getattr(
+        database, "is_transaction_view", False
+    ):
+        # Transaction views are skipped for the same reason as shard
+        # slices: they are per-transaction objects, so collecting on
+        # them would re-pay the ANALYZE pass every statement.
         try:
             from .stats import ensure_statistics
 
@@ -281,6 +450,8 @@ class ExecutedQuery:
         analysis: EXPLAIN ANALYZE plan dict when requested, else None.
         request_id: the server-assigned request id (remote only).
         outcome: the full :class:`GuardedOutcome` (local only).
+        rowcount: rows affected by a DML statement, or the result-row
+            count for reads (the DB-API cursor reports this value).
     """
 
     columns: list[str]
@@ -293,6 +464,7 @@ class ExecutedQuery:
     analysis: dict[str, Any] | None = None
     request_id: str | None = None
     outcome: GuardedOutcome | None = None
+    rowcount: int = -1
 
 
 def executed_from_outcome(
@@ -316,11 +488,22 @@ def executed_from_outcome(
         ),
         request_id=request_id,
         outcome=outcome,
+        rowcount=(
+            outcome.rowcount
+            if outcome.rowcount >= 0
+            else len(outcome.result.rows)
+        ),
     )
 
 
 class _LocalBackend:
-    """Executes on an in-process :class:`Database` via the guarded core."""
+    """Executes on an in-process :class:`Database` via the guarded core.
+
+    Owns the connection's transaction state: SQL-level
+    ``BEGIN``/``COMMIT``/``ROLLBACK`` flip :attr:`transaction`, and —
+    with ``autocommit`` off — an implicit transaction opens lazily
+    before the first statement, exactly the DB-API 2.0 posture.
+    """
 
     remote = False
 
@@ -329,21 +512,50 @@ class _LocalBackend:
     ) -> None:
         self.database = database
         self.plan_cache = plan_cache
+        self.transaction = None
 
     def run(
         self, sql: str, params: dict | None, options: ExecutionOptions
     ) -> ExecutedQuery:
+        statement = parse(sql) if isinstance(sql, str) else sql
+        if isinstance(
+            statement,
+            (BeginTransaction, CommitTransaction, RollbackTransaction),
+        ):
+            return executed_from_outcome(
+                apply_transaction_control(statement, self, self.database)
+            )
+        if self.transaction is None and not options.autocommit:
+            self.transaction = self.database.begin()
         outcome = run_with_options(
             sql,
             self.database,
             params=params,
             options=options,
             plan_cache=self.plan_cache,
+            transaction=self.transaction,
         )
         return executed_from_outcome(outcome)
 
-    def close(self) -> None:  # databases have no connection state
-        pass
+    @property
+    def in_transaction(self) -> bool:
+        return self.transaction is not None
+
+    def begin(self) -> None:
+        apply_transaction_control(BeginTransaction(), self, self.database)
+
+    def commit(self) -> None:
+        apply_transaction_control(CommitTransaction(), self, self.database)
+
+    def rollback(self) -> None:
+        apply_transaction_control(RollbackTransaction(), self, self.database)
+
+    def close(self) -> None:
+        # An open transaction dies with the connection — rollback, the
+        # only safe default for an abandoned handle.
+        if self.transaction is not None:
+            transaction, self.transaction = self.transaction, None
+            transaction.rollback()
 
     def describe(self) -> str:
         return f"local database {self.database!r}"
@@ -432,8 +644,37 @@ class Cursor:
 
     @property
     def rowcount(self) -> int:
-        """Rows in the current result (-1 before any execute)."""
-        return -1 if self._executed is None else len(self._executed.rows)
+        """Rows affected by DML, rows returned by a read, or -1 before
+        any execute (DB-API semantics)."""
+        return -1 if self._executed is None else self._executed.rowcount
+
+    def executemany(
+        self,
+        sql: str,
+        seq_of_params: "Sequence[dict | None]",
+        **kwargs: Any,
+    ) -> "Cursor":
+        """Execute *sql* once per parameter set (DB-API ``executemany``).
+
+        After the call :attr:`rowcount` is the *sum* of the per-set
+        affected rows and the fetchable result is the last execution's.
+        The statements are not implicitly atomic — open a transaction
+        (``autocommit = False`` or ``BEGIN``) to make the batch
+        all-or-nothing.
+        """
+        total = 0
+        last: ExecutedQuery | None = None
+        for params in seq_of_params:
+            self.execute(sql, params, **kwargs)
+            assert self._executed is not None
+            total += max(self._executed.rowcount, 0)
+            last = self._executed
+        if last is None:  # zero parameter sets: a completed empty batch
+            last = ExecutedQuery(columns=[], rows=[], sql=sql)
+        last.rowcount = total
+        self._executed = last
+        self._position = 0
+        return self
 
     def fetchone(self) -> tuple | None:
         """The next row, or None when the result is exhausted."""
@@ -548,6 +789,57 @@ class Connection:
     def closed(self) -> bool:
         return self._closed
 
+    # -- transactions ----------------------------------------------------
+
+    @property
+    def autocommit(self) -> bool:
+        """Whether each statement commits on its own (default True).
+
+        Set to False for the DB-API 2.0 posture: an implicit MVCC
+        transaction opens before the next statement and stays open
+        until :meth:`commit` or :meth:`rollback`.  Flipping the flag is
+        only allowed outside an open transaction.
+        """
+        return self.default_options.autocommit
+
+    @autocommit.setter
+    def autocommit(self, value: bool) -> None:
+        if self.in_transaction:
+            raise TransactionError(
+                "cannot change autocommit inside an open transaction; "
+                "commit() or rollback() first"
+            )
+        self.default_options = replace(
+            self.default_options, autocommit=bool(value)
+        )
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit or implicit transaction is open."""
+        return bool(getattr(self._backend, "in_transaction", False))
+
+    def begin(self) -> None:
+        """Open an explicit transaction (same as executing ``BEGIN``)."""
+        self._check_open()
+        self._backend.begin()
+
+    def commit(self) -> None:
+        """Publish the open transaction's writes; no-op without one.
+
+        Raises the transaction's typed error —
+        :class:`~repro.errors.WriteConflictError` or
+        :class:`~repro.errors.UniquenessViolationError` — when a
+        concurrent committer won; the transaction is then rolled back
+        and the connection is back in autocommit-per-statement mode.
+        """
+        self._check_open()
+        self._backend.commit()
+
+    def rollback(self) -> None:
+        """Discard the open transaction's writes; no-op without one."""
+        self._check_open()
+        self._backend.rollback()
+
     # -- execution ------------------------------------------------------
 
     def cursor(self) -> Cursor:
@@ -576,7 +868,18 @@ class Connection:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.close()
+        # DB-API context semantics: a clean exit commits any open
+        # transaction, an exception rolls it back; either way the
+        # connection closes.  Pre-transaction call sites are unaffected
+        # — without an open transaction both calls are no-ops.
+        try:
+            if not self._closed and self.in_transaction:
+                if exc_type is None:
+                    self.commit()
+                else:
+                    self.rollback()
+        finally:
+            self.close()
         return False
 
     def __repr__(self) -> str:
@@ -668,6 +971,8 @@ def _apply_overrides(
         "batch_rows": base.batch_rows,
         "deadline": base.deadline,
         "priority": base.priority,
+        "scan_ranges": base.scan_ranges,
+        "autocommit": base.autocommit,
     }
     if budget is not _UNSET and budget is not None:
         if not isinstance(budget, ResourceBudget):
@@ -738,8 +1043,10 @@ __all__ = [
     "Cursor",
     "ExecutedQuery",
     "ExecutionOptions",
+    "apply_transaction_control",
     "connect",
     "deprecated_entrypoint",
     "executed_from_outcome",
+    "run_dml_with_options",
     "run_with_options",
 ]

@@ -781,6 +781,7 @@ def _run_query(
                 [_jsonable(value) for value in row] for row in result.rows
             ],
             "row_count": len(result),
+            "rowcount": executed.rowcount,
             "stats": {
                 name: value
                 for name, value in stats.as_dict().items()
@@ -813,9 +814,13 @@ def _run_query(
         )
     elif args.plan:
         _print_plan(database, final_sql, args=args)
-    print(result.to_table())
-    print()
-    print(f"-- {len(result)} row(s); {stats.describe()}")
+    if outcome.rowcount >= 0:
+        # A DML statement: no result rows, just the affected count.
+        print(f"-- {outcome.rowcount} row(s) affected; {stats.describe()}")
+    else:
+        print(result.to_table())
+        print()
+        print(f"-- {len(result)} row(s); {stats.describe()}")
     if args.analyze and audit is not None and len(audit):
         print()
         print("rewrite audit:")
@@ -1208,6 +1213,7 @@ def cmd_client(args: argparse.Namespace) -> int:
                     for row in executed.rows
                 ],
                 "row_count": len(executed.rows),
+                "rowcount": executed.rowcount,
                 "stats": executed.stats,
                 **(
                     {"analysis": executed.analysis}
@@ -1222,11 +1228,24 @@ def cmd_client(args: argparse.Namespace) -> int:
         print(f"-- rewritten via {', '.join(executed.rules)}")
         print(f"-- {executed.sql}")
         print()
-    print(result.to_table())
-    print()
     described = ", ".join(
         f"{name}={value}" for name, value in sorted(executed.stats.items())
     )
+    # A DML response has no result columns; its rowcount is the
+    # affected-row count from the envelope.
+    if not executed.columns and executed.rowcount >= 0:
+        print(
+            f"-- {executed.rowcount} row(s) affected; "
+            f"request {executed.request_id}"
+            + (f"; {described}" if described else "")
+        )
+        if executed.mismatch:
+            print("warning: safe-mode mismatch; served the verified result",
+                  file=sys.stderr)
+            return 8
+        return 0
+    print(result.to_table())
+    print()
     print(
         f"-- {len(result)} row(s); request {executed.request_id}"
         + (f"; {described}" if described else "")

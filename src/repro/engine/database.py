@@ -23,8 +23,26 @@ class Database:
         #: from the most recent :meth:`analyze`, or None.  The estimator
         #: checks freshness against :meth:`fingerprint` before trusting it.
         self.statistics = None
+        self._txn_manager = None
         for schema in self.catalog:
             self._data[schema.name] = TableData(schema)
+
+    # ------------------------------------------------------------------
+    # transactions
+
+    @property
+    def transactions(self):
+        """The database's :class:`~repro.engine.txn.TransactionManager`
+        (created on first use)."""
+        if self._txn_manager is None:
+            from .txn import TransactionManager  # deferred: txn imports engine
+
+            self._txn_manager = TransactionManager(self)
+        return self._txn_manager
+
+    def begin(self):
+        """Start an MVCC transaction pinned to a fresh snapshot."""
+        return self.transactions.begin()
 
     # ------------------------------------------------------------------
     # schema management
@@ -169,6 +187,19 @@ class Database:
         return (
             self.catalog.fingerprint(),
             sum(data.version for data in self._data.values()),
+        )
+
+    def table_versions(self, names: Iterable[str]) -> tuple:
+        """``(name, data version)`` pairs for *names*, sorted — the
+        scoped cache key: a commit bumps only touched tables, so keys
+        built on a query's referenced tables survive writes elsewhere.
+
+        Raises:
+            UnknownTableError: when any name is not stored.
+        """
+        return tuple(
+            (name, self.table(name).version)
+            for name in sorted({name.upper() for name in names})
         )
 
     def row_counts(self) -> dict[str, int]:

@@ -25,7 +25,8 @@ from ..catalog.table import TableSchema
 from ..errors import ExecutionError, ReproError, ResourceError
 from ..observe.trace import NULL_SPAN, TRACER
 from ..resilience.budgets import ExecutionGuard
-from ..sql.ast import Query, SelectQuery, SetOperation
+from ..resilience.faults import FAULTS, SITE_FINGERPRINT
+from ..sql.ast import Query, SelectQuery, SetOperation, referenced_tables
 from ..sql.expressions import (
     And,
     ColumnRef,
@@ -662,6 +663,47 @@ def execute_plan(
     return Result(plan.schema.output_names(), rows)
 
 
+def plan_cache_fingerprint(query: "Query | str", database) -> tuple | None:
+    """The fingerprint component of a plan-cache key, table-scoped.
+
+    For a parsed query against a plain :class:`Database`, the
+    fingerprint covers only the tables the query references — the
+    catalog fingerprint plus each referenced table's data version.  A
+    commit bumps exactly its touched tables, so plans (and anything
+    else keyed this way) for *other* tables survive the write; this is
+    the incremental-invalidation contract the
+    ``invalidation_scoped_total`` counter measures.
+
+    Wrapped databases (shard slices, transaction views), unparsable
+    SQL, and any extraction failure fall back to the whole-database
+    fingerprint via :func:`~repro.cache.safe_fingerprint` — fail-closed,
+    never finer-grained than justified.  The scoped shape carries a
+    ``"tables"`` discriminator so it can never alias the full
+    ``(catalog, data-sum)`` fingerprint.  Raw SQL is parsed just for
+    scoping; the text itself sits in the key beside the fingerprint,
+    so two queries never share an entry through this parse.
+    """
+    if type(database) is Database:
+        try:
+            ast = parse_query(query) if isinstance(query, str) else query
+            tables = referenced_tables(ast)
+        except Exception:
+            tables = None  # unparsable / malformed: fall back to full scope
+        if tables:
+            try:
+                FAULTS.check(SITE_FINGERPRINT)
+                return (
+                    "tables",
+                    database.catalog.fingerprint(),
+                    database.table_versions(tables),
+                )
+            except ResourceError:
+                raise
+            except Exception:
+                return None  # fail-closed: skip the cache entirely
+    return safe_fingerprint(database)
+
+
 def execute_planned(
     query: Query | str,
     database: Database,
@@ -678,10 +720,12 @@ def execute_planned(
     """Plan and execute *query* with the physical engine.
 
     Plans are served from *plan_cache* (the process-wide cache by
-    default) keyed on the database fingerprint, the query text, and the
-    planner options — DDL or data mutation moves the fingerprint, so a
-    stale plan can never be reused.  Host-variable bindings do not enter
-    the key: cached plans resolve them at execution time.
+    default) keyed on a fingerprint, the query text, and the planner
+    options — DDL or a mutation of a *referenced* table moves the
+    fingerprint, so a stale plan can never be reused, while commits to
+    unrelated tables leave the entry alive
+    (:func:`plan_cache_fingerprint`).  Host-variable bindings do not
+    enter the key: cached plans resolve them at execution time.
 
     The cache is fail-closed: if the fingerprint cannot be computed, or
     the lookup itself fails, the query is planned from scratch and
@@ -709,7 +753,7 @@ def execute_planned(
     with span_cm as span:
         plan = None
         key = None
-        fingerprint = safe_fingerprint(database)
+        fingerprint = plan_cache_fingerprint(query, database)
         if fingerprint is None:
             stats.cache_skips += 1
         else:

@@ -63,6 +63,9 @@ class Stats:
         estimator_fallbacks: statistics estimations that fell back to
             the heuristic cost model (stale/missing statistics or an
             estimation error) — the degradation ladder's evidence.
+        rows_inserted: rows buffered by INSERT execution.
+        rows_updated: rows rewritten by UPDATE execution.
+        rows_deleted: rows removed by DELETE execution.
     """
 
     rows_scanned: int = 0
@@ -93,6 +96,9 @@ class Stats:
     stats_estimates: int = 0
     adaptive_corrections: int = 0
     estimator_fallbacks: int = 0
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    rows_deleted: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

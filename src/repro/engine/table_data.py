@@ -13,11 +13,12 @@ import threading
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..catalog.table import TableSchema
-from ..errors import ConstraintViolation
+from ..errors import ConstraintViolation, UniquenessViolationError
 from ..resilience.faults import FAULTS, SITE_INDEX_BUILD
 from ..types.values import NULL, SqlValue, format_value, is_null, row_sort_key
 from .columnar import ColumnBatch
 from .schema import RelSchema, Scope
+from .txn import RowVersion
 
 if TYPE_CHECKING:  # pragma: no cover
     from .evaluator import Evaluator
@@ -29,6 +30,11 @@ class TableData:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self.rows: list[tuple] = []
+        #: MVCC row versions, append-only plus xmax stamping under the
+        #: transaction manager's commit lock.  ``rows`` is always the
+        #: materialization of the live versions (``xmax is None``), so
+        #: the read fast path never pays a visibility check.
+        self.versions: list[RowVersion] = []
         # One uniqueness index per declared key: canonical key-tuple -> row.
         self._key_indexes: list[dict[tuple, tuple]] = [
             {} for _ in schema.candidate_keys
@@ -205,6 +211,7 @@ class TableData:
             self._check_conditions(row, evaluator)
             self._check_keys(row)
         self.rows.append(row)
+        self.versions.append(RowVersion(row))
         self._index_row(row)
         return row
 
@@ -244,6 +251,7 @@ class TableData:
     def clear(self) -> None:
         """Delete every row (and reset the key and hash indexes)."""
         self.rows.clear()
+        self.versions.clear()
         for index in self._key_indexes:
             index.clear()
         with self._index_lock:
@@ -268,6 +276,8 @@ class TableData:
     def remove_last(self) -> tuple:
         """Undo the most recent insert (row and all index entries)."""
         row = self.rows.pop()
+        if self.versions and self.versions[-1].row is row:
+            self.versions.pop()
         for key, index in zip(self.schema.candidate_keys, self._key_indexes):
             index.pop(self._key_tuple(key.columns, row), None)
         with self._index_lock:
@@ -282,7 +292,75 @@ class TableData:
         return row
 
     # ------------------------------------------------------------------
+    # MVCC commit apply
+
+    def apply_writes(
+        self,
+        deletes: Sequence["RowVersion"],
+        inserts: Sequence[tuple],
+        xid: int,
+    ) -> None:
+        """Publish one transaction's writes to this table as a batch.
+
+        Runs under the transaction manager's commit lock.  Deleted
+        versions get their ``xmax`` stamp, inserted rows become live
+        versions stamped ``xmin=xid``, and the committed row list is
+        rebuilt and swapped in one reference assignment — a concurrent
+        reader sees the whole commit or none of it.  Key and hash
+        indexes are maintained as one deferred batch (never touched at
+        statement time), and the data version bumps exactly once, which
+        is what keeps invalidation scoped to touched tables.
+        """
+        for version in deletes:
+            version.xmax = xid
+        if deletes:
+            new_rows = [v.row for v in self.versions if v.xmax is None]
+        else:
+            new_rows = list(self.rows)
+        fresh = [RowVersion(tuple(row), xmin=xid) for row in inserts]
+        self.versions.extend(fresh)
+        new_rows.extend(version.row for version in fresh)
+        self.rows = new_rows
+        # Batched index maintenance: one pass over the write set.
+        for key, index in zip(self.schema.candidate_keys, self._key_indexes):
+            for version in deletes:
+                index.pop(self._key_tuple(key.columns, version.row), None)
+            for version in fresh:
+                index[self._key_tuple(key.columns, version.row)] = version.row
+        with self._index_lock:
+            for columns, hash_index in self._hash_indexes.items():
+                for version in deletes:
+                    key = self._key_tuple(columns, version.row)
+                    bucket = hash_index.get(key)
+                    if bucket:
+                        try:
+                            bucket.remove(version.row)
+                        except ValueError:  # pragma: no cover - defensive
+                            pass
+                        if not bucket:
+                            del hash_index[key]
+                for version in fresh:
+                    hash_index.setdefault(
+                        self._key_tuple(columns, version.row), []
+                    ).append(version.row)
+        self.version += 1
+
+    # ------------------------------------------------------------------
     # validation
+
+    def validate_row(
+        self, row: tuple, evaluator: "Evaluator | None" = None
+    ) -> None:
+        """Row-local validation (count, NOT NULL, CHECK) without any
+        uniqueness check — transactions check keys against their own
+        view instead of the shared indexes."""
+        if len(row) != len(self.schema.columns):
+            raise ConstraintViolation(
+                self.schema.name,
+                f"expected {len(self.schema.columns)} values, got {len(row)}",
+            )
+        self._check_not_null(row)
+        self._check_conditions(row, evaluator)
 
     def _check_not_null(self, row: tuple) -> None:
         for column, value in zip(self.schema.columns, row):
@@ -314,10 +392,7 @@ class TableData:
         for key, index in zip(self.schema.candidate_keys, self._key_indexes):
             key_value = self._key_tuple(key.columns, row)
             if key_value in index:
-                raise ConstraintViolation(
-                    self.schema.name,
-                    f"duplicate value for {key.describe()}",
-                )
+                raise UniquenessViolationError(self.schema.name, key.describe())
 
     def _index_row(self, row: tuple) -> None:
         for key, index in zip(self.schema.candidate_keys, self._key_indexes):

@@ -82,6 +82,53 @@ class ConstraintViolation(ReproError):
         self.detail = detail
 
 
+class UniquenessViolationError(ConstraintViolation):
+    """A write would duplicate a declared candidate key.
+
+    Keys are what make the paper's Theorem 1/2/3 rewrites sound, so
+    violating one is a first-class typed outcome rather than a generic
+    constraint failure: HTTP maps it to 409 Conflict, the CLI to exit
+    code 13, and the retrying client treats it as terminal.
+
+    Attributes:
+        table: the table whose key was violated.
+        key: the human-readable key description (e.g. ``PRIMARY KEY
+            (SNO)``).
+    """
+
+    def __init__(self, table: str, key: str, detail: str = "") -> None:
+        extra = f": {detail}" if detail else ""
+        super().__init__(table, f"duplicate value for {key}{extra}")
+        self.table = table
+        self.key = key
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-lifecycle errors (already closed,
+    commit of an aborted transaction, BEGIN inside a transaction)."""
+
+
+class WriteConflictError(TransactionError):
+    """First-committer-wins conflict: this transaction tried to commit
+    a change to a row version that a concurrent transaction already
+    committed a change to.  The losing transaction is rolled back; the
+    caller may retry it against the new state.  HTTP maps it to 409
+    Conflict, the CLI to exit code 13 — and the client does *not*
+    auto-retry, because the statement may no longer make sense.
+
+    Attributes:
+        table: the table carrying the contended row version.
+    """
+
+    def __init__(self, table: str, detail: str = "") -> None:
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"write-write conflict on {table!r}"
+            f" (a concurrent transaction committed first){extra}"
+        )
+        self.table = table
+
+
 class ExecutionError(ReproError):
     """Raised when query execution fails (type errors, missing host vars)."""
 
@@ -375,6 +422,8 @@ CLI_EXIT_CODES: list[tuple[type[ReproError], int]] = [
     (ServiceOverloadedError, 9),
     (TicketWaitTimeout, 10),
     (NetworkError, 11),
+    (UniquenessViolationError, 13),
+    (WriteConflictError, 13),
 ]
 
 #: Error-type name → exit code, for errors relayed over the wire: a

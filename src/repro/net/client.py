@@ -31,6 +31,12 @@ from ..errors import (
     TransientNetworkError,
 )
 from ..options import ExecutionOptions
+from ..sql.ast import (
+    BeginTransaction,
+    CommitTransaction,
+    RollbackTransaction,
+)
+from ..sql.parser import parse
 from ..resilience.admission import PRIORITY_HEADER, PRIORITY_INTERACTIVE
 from ..resilience.breaker import CircuitBreaker
 from ..resilience.deadline import DEADLINE_HEADER, Deadline
@@ -93,6 +99,13 @@ class HttpBackend:
         self.retries = 0  # cumulative wire retries, for tests/metrics
         self._rng = rng if rng is not None else random.Random()
         self._owned_session = False
+        #: Mirror of the server-side session's transaction state.  SQL
+        #: ``BEGIN``/``COMMIT``/``ROLLBACK`` executes *on the server*
+        #: (the session pins the snapshot there); this flag only tracks
+        #: it so :class:`~repro.api.Connection` semantics — implicit
+        #: begin under ``autocommit=False``, context-manager commit —
+        #: work identically against a remote database.
+        self.in_transaction = False
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         # Per-call resilience headers (set by run(), cleared after):
         # the deadline header is recomputed per *attempt* so a retry
@@ -103,6 +116,54 @@ class HttpBackend:
     # -- the Connection backend interface -------------------------------
 
     def run(
+        self, sql: str, params: dict | None, options: ExecutionOptions
+    ) -> ExecutedQuery:
+        control = self._transaction_control(sql)
+        if (
+            control is None
+            and not self.in_transaction
+            and not options.autocommit
+        ):
+            # DB-API posture with autocommit off: open the implicit
+            # transaction on the server before the first statement.
+            self._run_wire("BEGIN", None, options)
+            self.in_transaction = True
+        if control == "end":
+            try:
+                executed = self._run_wire(sql, params, options)
+            except TransientNetworkError:
+                raise  # server state unknown; keep the flag for retry
+            except Exception:
+                # A typed failure (conflict, uniqueness) means the
+                # server rolled the session's transaction back.
+                self.in_transaction = False
+                raise
+            self.in_transaction = False
+            return executed
+        executed = self._run_wire(sql, params, options)
+        if control == "begin":
+            self.in_transaction = True
+        return executed
+
+    @staticmethod
+    def _transaction_control(sql: str) -> str | None:
+        """``"begin"`` / ``"end"`` for transaction-control SQL, else None."""
+        if not isinstance(sql, str):
+            return None
+        head = sql.strip().split(None, 1)[0].upper() if sql.strip() else ""
+        if head not in ("BEGIN", "COMMIT", "ROLLBACK", "START"):
+            return None
+        try:
+            statement = parse(sql)
+        except Exception:  # noqa: BLE001 — let the server issue the error
+            return None
+        if isinstance(statement, BeginTransaction):
+            return "begin"
+        if isinstance(statement, (CommitTransaction, RollbackTransaction)):
+            return "end"
+        return None
+
+    def _run_wire(
         self, sql: str, params: dict | None, options: ExecutionOptions
     ) -> ExecutedQuery:
         if options.deadline is not None:
@@ -132,8 +193,27 @@ class HttpBackend:
             self._deadline = None
             self._priority = PRIORITY_INTERACTIVE
 
+    def begin(self) -> None:
+        """Open an explicit transaction on the server-side session."""
+        self.run("BEGIN", None, ExecutionOptions())
+
+    def commit(self) -> None:
+        """Publish the open server-side transaction; no-op without one."""
+        if self.in_transaction:
+            self.run("COMMIT", None, ExecutionOptions())
+
+    def rollback(self) -> None:
+        """Discard the open server-side transaction; no-op without one."""
+        if self.in_transaction:
+            self.run("ROLLBACK", None, ExecutionOptions())
+
     def close(self) -> None:
         """Close the server-side session if this backend opened it."""
+        if self.in_transaction:
+            try:
+                self.rollback()  # abandoned handle: discard, never publish
+            except Exception:  # noqa: BLE001 — best-effort cleanup
+                self.in_transaction = False
         if self._owned_session and self.session is not None:
             try:
                 self._request("DELETE", f"/v1/session/{self.session}", None)

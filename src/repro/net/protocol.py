@@ -16,7 +16,9 @@ The contract both ends share:
   comes from the errors-taxonomy table below (subclass-first, like the
   CLI exit codes).  A client must retry only when ``retryable`` is true
   (429 backpressure, 503 drain/transient faults) and must honour
-  ``Retry-After``.
+  ``Retry-After``.  Write conflicts — a candidate key taken or a
+  write-write race lost to a concurrent committer — are ``409
+  Conflict`` and never transport-retryable.
 * **Streaming.**  With ``"stream": true`` the response is NDJSON
   (``application/x-ndjson``): a header object, ``{"rows": [...]}``
   chunk objects flushed incrementally, and a final
@@ -47,7 +49,9 @@ from ..errors import (
     SqlError,
     TicketWaitTimeout,
     TransientImsError,
+    UniquenessViolationError,
     UnsupportedQueryError,
+    WriteConflictError,
 )
 from ..resilience.admission import PRIORITY_HEADER
 from ..resilience.deadline import DEADLINE_HEADER
@@ -74,6 +78,12 @@ ERROR_STATUS: list[tuple[type[BaseException], int]] = [
     (TransientImsError, 503),
     (InjectedFaultError, 503),
     (RewriteMismatchError, 500),
+    # Write conflicts: the request was well-formed but lost to a
+    # concurrent committer.  409 is deliberately NOT retryable at the
+    # transport level — blindly replaying a conflicting write is a
+    # correctness decision only the application can make.
+    (UniquenessViolationError, 409),
+    (WriteConflictError, 409),
     (ProtocolError, 400),
     (NetworkError, 502),
     (SqlError, 400),
@@ -257,6 +267,7 @@ def query_response(executed: Any) -> dict[str, Any]:
         "columns": list(executed.columns),
         "rows": encode_rows(executed.rows),
         "row_count": len(executed.rows),
+        "rowcount": executed.rowcount,
         "final_sql": executed.sql,
         "rewritten": executed.rewritten,
         "rules": list(executed.rules),
@@ -293,9 +304,11 @@ def parse_query_response(payload: Mapping[str, Any]) -> "Any":
     if "error" in payload:
         raise decode_error(payload)
     try:
+        rows = decode_rows(payload["rows"])
+        rowcount = payload.get("rowcount")
         return ExecutedQuery(
             columns=list(payload["columns"]),
-            rows=decode_rows(payload["rows"]),
+            rows=rows,
             sql=payload.get("final_sql", ""),
             rewritten=bool(payload.get("rewritten", False)),
             rules=list(payload.get("rules", [])),
@@ -303,6 +316,11 @@ def parse_query_response(payload: Mapping[str, Any]) -> "Any":
             stats=dict(payload.get("stats", {})),
             analysis=payload.get("analysis"),
             request_id=payload.get("request_id"),
+            rowcount=(
+                int(rowcount)
+                if isinstance(rowcount, int) and not isinstance(rowcount, bool)
+                else len(rows)
+            ),
         )
     except (KeyError, TypeError) as error:
         raise ProtocolError(f"malformed query response: {error}") from None

@@ -75,6 +75,12 @@ class ExecutionOptions:
             read-only :class:`~repro.engine.sliced.SlicedDatabase`
             view.  Crosses the wire as ``{"scan_ranges": {table:
             [start, stop]}}``.
+        autocommit: when True (default), each statement outside an
+            explicit ``BEGIN`` block commits on its own.  When False,
+            the connection opens an implicit MVCC transaction before
+            the first statement and holds it until ``commit()`` /
+            ``rollback()`` — the DB-API 2.0 posture.  Crosses the wire
+            only when False.
 
     The class is frozen and built from frozen parts, so a value can key
     caches, cross threads, and be shared between a session default and
@@ -94,6 +100,7 @@ class ExecutionOptions:
     deadline: Deadline | None = None
     priority: str = PRIORITY_INTERACTIVE
     scan_ranges: tuple[tuple[str, int, int], ...] | None = None
+    autocommit: bool = True
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -157,6 +164,7 @@ class ExecutionOptions:
         deadline: "Deadline | float | None" = None,
         priority: str = PRIORITY_INTERACTIVE,
         scan_ranges: "Mapping[str, tuple[int, int]] | tuple[tuple[str, int, int], ...] | None" = None,
+        autocommit: bool = True,
     ) -> "ExecutionOptions":
         """Build options from the looser spellings the API accepts.
 
@@ -198,6 +206,7 @@ class ExecutionOptions:
             deadline=deadline,
             priority=priority,
             scan_ranges=scan_ranges,
+            autocommit=autocommit,
         )
 
     # -- derived views --------------------------------------------------
@@ -265,6 +274,8 @@ class ExecutionOptions:
                 table: [start, stop]
                 for table, start, stop in self.scan_ranges
             }
+        if not self.autocommit:
+            payload["autocommit"] = False
         return payload
 
     @classmethod
@@ -297,7 +308,14 @@ class ExecutionOptions:
                 ):
                     raise ProtocolError(f"option {name!r} must be a number")
                 kwargs[name] = int(value) if name == "row_budget" else float(value)
-        for name in ("safe_mode", "analyze", "optimize", "stats", "adaptive"):
+        for name in (
+            "safe_mode",
+            "analyze",
+            "optimize",
+            "stats",
+            "adaptive",
+            "autocommit",
+        ):
             if name in payload:
                 value = payload[name]
                 if not isinstance(value, bool):

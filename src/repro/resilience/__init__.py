@@ -64,6 +64,7 @@ from .faults import (
     SITE_PLAN_CACHE,
     SITE_UNIQUENESS,
     SITE_VECTORIZED_EVAL,
+    SITE_WAL_COMMIT,
 )
 from .health import (
     HealthPolicy,
@@ -113,6 +114,7 @@ __all__ = [
     "SITE_PLAN_CACHE",
     "SITE_UNIQUENESS",
     "SITE_VECTORIZED_EVAL",
+    "SITE_WAL_COMMIT",
     "SUBSYSTEMS",
     "SUBSYSTEM_ESTIMATOR",
     "SUBSYSTEM_OPTIMIZER",

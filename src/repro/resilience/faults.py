@@ -22,6 +22,9 @@ Sites (the strings the hooks pass to :meth:`FaultInjector.check`):
 ``net_accept``            HTTP request admission (:mod:`repro.net.server`)
 ``net_read``              HTTP request-body reads (truncation/socket faults)
 ``net_write``             HTTP response/stream-chunk writes
+``wal_commit``            transaction commit apply (:mod:`repro.engine.txn`) —
+                          fires *before* any shared state changes, so an
+                          injected failure aborts the transaction cleanly
 ========================  ====================================================
 
 Fault kinds:
@@ -62,6 +65,7 @@ SITE_DLI = "dli_call"
 SITE_NET_ACCEPT = "net_accept"
 SITE_NET_READ = "net_read"
 SITE_NET_WRITE = "net_write"
+SITE_WAL_COMMIT = "wal_commit"
 
 ALL_SITES = (
     SITE_COMPILE,
@@ -76,6 +80,7 @@ ALL_SITES = (
     SITE_NET_ACCEPT,
     SITE_NET_READ,
     SITE_NET_WRITE,
+    SITE_WAL_COMMIT,
 )
 
 KIND_EXCEPTION = "exception"

@@ -81,6 +81,9 @@ class GuardedOutcome:
             :class:`~repro.observe.analyze.AnalyzedExecution` when the
             execution ran with ``analyze`` requested (see
             :func:`repro.api.run_with_options`), else None.
+        rowcount: rows affected by a DML statement, or -1 for reads
+            (DB-API convention; the facade reports ``len(result)`` for
+            reads instead).
     """
 
     result: Result
@@ -94,6 +97,7 @@ class GuardedOutcome:
     evicted: int = 0
     audit: AuditTrail = field(default_factory=AuditTrail)
     analysis: object | None = None
+    rowcount: int = -1
 
     def describe(self) -> str:
         """One line: rewrite trail, verification status, row count."""

@@ -32,7 +32,13 @@ import queue
 import threading
 import time
 
-from ..api import run_with_options
+from ..api import apply_transaction_control, run_with_options
+from ..sql.ast import (
+    BeginTransaction,
+    CommitTransaction,
+    RollbackTransaction,
+)
+from ..sql.parser import parse
 from ..engine.database import Database
 from ..engine.parallel import (
     ParallelExecution,
@@ -473,20 +479,41 @@ class QueryService:
                 if TRACER.enabled
                 else NULL_SPAN
             )
+            # Session-scoped transaction control: BEGIN/COMMIT/ROLLBACK
+            # flip the session's transaction; everything else executes
+            # inside it while it is open.  Parse failures fall through
+            # so run_with_options raises the same typed error it always
+            # did.
+            control = None
+            try:
+                candidate = parse(sql)
+            except Exception:
+                candidate = None
+            if isinstance(
+                candidate,
+                (BeginTransaction, CommitTransaction, RollbackTransaction),
+            ):
+                control = candidate
             try:
                 with span_cm:
-                    outcome = run_with_options(
-                        sql,
-                        session.database,
-                        params=params,
-                        options=effective,
-                        stats=stats,
-                        planner_options=session.planner_options,
-                        plan_cache=self._plan_cache,
-                        parallel=self._parallel,
-                        health=self.health,
-                        on_guard=ticket._attach_guard,
-                    )
+                    if control is not None:
+                        outcome = apply_transaction_control(
+                            control, session, session.database, stats
+                        )
+                    else:
+                        outcome = run_with_options(
+                            sql,
+                            session.database,
+                            params=params,
+                            options=effective,
+                            stats=stats,
+                            planner_options=session.planner_options,
+                            plan_cache=self._plan_cache,
+                            parallel=self._parallel,
+                            health=self.health,
+                            on_guard=ticket._attach_guard,
+                            transaction=session.transaction,
+                        )
             except BaseException as error:
                 session._record(stats, failed=True)
                 self.metrics.inc(

@@ -71,6 +71,15 @@ class Session:
         self.stats = Stats()
         self.queries_completed = 0
         self.queries_failed = 0
+        #: The session's open MVCC transaction, or None.  Set by the
+        #: worker executing this session's ``BEGIN`` and cleared by its
+        #: ``COMMIT``/``ROLLBACK``; while open, every statement of the
+        #: session reads the pinned snapshot and buffers its writes.
+        #: Transactional sessions must serialize their submissions
+        #: (submit, wait, submit) — the protocol the HTTP client
+        #: follows — since two workers racing on one session's
+        #: transaction state would interleave unpredictably.
+        self.transaction = None
         # Leaf lock: guards the accumulators only; never held while
         # executing a query or touching the service.
         self._lock = threading.Lock()

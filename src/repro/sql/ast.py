@@ -245,4 +245,101 @@ class Insert:
     rows: tuple[tuple, ...]
 
 
-Statement = Query | CreateTable | Insert
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = expr`` pair in an UPDATE SET list.
+
+    The value may be any scalar operand — a literal, a host variable,
+    or a column reference resolved against the row being updated.
+    """
+
+    column: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Update:
+    """A parsed ``UPDATE table SET ... [WHERE ...]`` statement."""
+
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """A parsed ``DELETE FROM table [WHERE ...]`` statement."""
+
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class BeginTransaction:
+    """``BEGIN [TRANSACTION | WORK]`` — open an explicit transaction."""
+
+
+@dataclass(frozen=True)
+class CommitTransaction:
+    """``COMMIT [TRANSACTION | WORK]`` — publish and close."""
+
+
+@dataclass(frozen=True)
+class RollbackTransaction:
+    """``ROLLBACK [TRANSACTION | WORK]`` — discard and close."""
+
+
+Dml = Insert | Update | Delete
+TransactionControl = BeginTransaction | CommitTransaction | RollbackTransaction
+Statement = Query | CreateTable | Dml | TransactionControl
+
+
+def referenced_tables(statement: Statement) -> set[str]:
+    """Upper-cased names of every base table *statement* touches,
+    subqueries (EXISTS / IN, arbitrarily nested) included.
+
+    This is what scopes fingerprint-keyed cache entries to the tables
+    they actually depend on — the invalidation granularity a commit
+    uses.  Aliases do not appear (they are correlation names, not
+    tables).
+    """
+    names: set[str] = set()
+    _collect_tables(statement, names)
+    return names
+
+
+def _collect_tables(node, names: set[str]) -> None:
+    if node is None:
+        return
+    if isinstance(node, SelectQuery):
+        for table in node.tables:
+            names.add(table.name.upper())
+        _collect_expr_tables(node.where, names)
+    elif isinstance(node, SetOperation):
+        _collect_tables(node.left, names)
+        _collect_tables(node.right, names)
+    elif isinstance(node, Insert):
+        names.add(node.table.upper())
+    elif isinstance(node, Update):
+        names.add(node.table.upper())
+        _collect_expr_tables(node.where, names)
+    elif isinstance(node, Delete):
+        names.add(node.table.upper())
+        _collect_expr_tables(node.where, names)
+
+
+def _collect_expr_tables(expr, names: set[str]) -> None:
+    if expr is None:
+        return
+    query = getattr(expr, "query", None)
+    if query is not None:
+        _collect_tables(query, names)
+    for attr in ("left", "right", "operand", "low", "high"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr):
+            _collect_expr_tables(child, names)
+    for attr in ("operands", "items"):
+        children = getattr(expr, attr, None)
+        if children:
+            for child in children:
+                _collect_expr_tables(child, names)

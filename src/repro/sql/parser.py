@@ -2,7 +2,8 @@
 
 Grammar (informal)::
 
-    statement    := query_expr | create_table | insert
+    statement    := query_expr | create_table | insert | update | delete
+                    | txn_control
     query_expr   := query_term ((UNION | EXCEPT) [ALL] query_term)*
     query_term   := query_prim (INTERSECT [ALL] query_prim)*
     query_prim   := select_query | '(' query_expr ')'
@@ -13,6 +14,9 @@ Grammar (informal)::
                     IS [NOT] NULL, [NOT] EXISTS (query), NOT, parentheses
     create_table := CREATE TABLE name '(' element (',' element)* ')'
     insert       := INSERT INTO name ['(' cols ')'] VALUES row (',' row)*
+    update       := UPDATE name SET col '=' operand (',' ...) [WHERE condition]
+    delete       := DELETE FROM name [WHERE condition]
+    txn_control  := (BEGIN | COMMIT | ROLLBACK) [TRANSACTION | WORK]
 
 INTERSECT binds tighter than UNION/EXCEPT, matching the SQL standard.
 """
@@ -22,15 +26,20 @@ from __future__ import annotations
 from ..errors import ParseError
 from ..types.values import NULL
 from .ast import (
+    Assignment,
+    BeginTransaction,
     CheckClause,
     ColumnDef,
+    CommitTransaction,
     CreateTable,
+    Delete,
     ForeignKeyClause,
     Insert,
     OrderItem,
     PrimaryKeyClause,
     Quantifier,
     Query,
+    RollbackTransaction,
     SelectItem,
     SelectQuery,
     SetOperation,
@@ -39,6 +48,7 @@ from .ast import (
     Statement,
     TableRef,
     UniqueClause,
+    Update,
 )
 from .expressions import (
     Between,
@@ -147,6 +157,12 @@ class Parser:
             return self._create_table()
         if self._at_keyword("INSERT"):
             return self._insert()
+        if self._at_keyword("UPDATE"):
+            return self._update()
+        if self._at_keyword("DELETE"):
+            return self._delete()
+        if self._at_keyword("BEGIN", "COMMIT", "ROLLBACK"):
+            return self._transaction_control()
         return self._query_expr()
 
     # ------------------------------------------------------------------
@@ -499,6 +515,45 @@ class Parser:
             rows.append(self._values_row())
         return Insert(table, columns, tuple(rows))
 
+    def _update(self) -> Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier("table name")
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._condition()
+        return Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> Assignment:
+        column = self._expect_identifier("column name")
+        token = self._peek()
+        if token.type is not TokenType.OPERATOR or token.value != "=":
+            raise self._error("expected '=' in SET assignment")
+        self._advance()
+        return Assignment(column, self._operand())
+
+    def _delete(self) -> Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier("table name")
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._condition()
+        return Delete(table, where)
+
+    def _transaction_control(self):
+        token = self._advance()
+        # Optional noise words SQL spells after the verb.
+        self._accept_keyword("TRANSACTION") or self._accept_keyword("WORK")
+        if token.is_keyword("BEGIN"):
+            return BeginTransaction()
+        if token.is_keyword("COMMIT"):
+            return CommitTransaction()
+        return RollbackTransaction()
+
     def _values_row(self) -> tuple:
         self._expect_punct("(")
         values = [self._literal_value()]
@@ -512,6 +567,12 @@ class Parser:
         if token.type in (TokenType.NUMBER, TokenType.STRING):
             self._advance()
             return token.value
+        if token.type is TokenType.HOST_VAR:
+            # Host variables in VALUES make INSERT parameterizable
+            # (``executemany`` batches); the DML executor resolves them
+            # against the statement's bindings.
+            self._advance()
+            return HostVar(str(token.value))
         if token.is_keyword("NULL"):
             self._advance()
             return NULL

@@ -27,12 +27,15 @@ KEYWORDS = frozenset(
         "ALL",
         "AND",
         "AS",
+        "BEGIN",
         "ASC",
         "BETWEEN",
         "BY",
         "CHAR",
         "CHECK",
+        "COMMIT",
         "CREATE",
+        "DELETE",
         "DESC",
         "DISTINCT",
         "EXCEPT",
@@ -53,16 +56,21 @@ KEYWORDS = frozenset(
         "ON",
         "OR",
         "ORDER",
+        "ROLLBACK",
         "PRIMARY",
         "REFERENCES",
         "SELECT",
+        "SET",
         "TABLE",
+        "TRANSACTION",
         "TRUE",
         "UNION",
         "UNIQUE",
+        "UPDATE",
         "VALUES",
         "VARCHAR",
         "WHERE",
+        "WORK",
     }
 )
 

@@ -4,8 +4,12 @@ EXPLAIN ANALYZE (PR 3) computes a per-node q-error — ``max(est/actual,
 actual/est)`` — that nothing consumed until now.  After any analyzed
 run, :func:`fold_analysis` walks the instrumented plan and records
 each node's *observed* output cardinality in a process-wide
-:class:`CorrectionStore`, keyed by ``(database fingerprint, plan-node
-fingerprint)`` exactly like the plan and uniqueness caches.  The
+:class:`CorrectionStore`, keyed by ``(scoped database fingerprint,
+plan-node fingerprint)``.  The database side of the key covers only
+the data versions of the tables the subtree actually reads
+(:func:`scoped_db_fingerprint`), so a committed write to one table
+orphans only the corrections that depended on it — every other
+table's hard-won observations keep hitting.  The
 statistics estimator consults the store before trusting its model, so
 a misestimated node is corrected on the very next planning of the
 same shape and repeated queries converge on the right plan.
@@ -45,6 +49,44 @@ def plan_fingerprint(node: Any) -> tuple:
         node.label(),
         tuple(plan_fingerprint(child) for child in node.children()),
     )
+
+
+def plan_tables(node: Any) -> set[str]:
+    """The base-table names a plan subtree reads (its scan leaves)."""
+    tables: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        name = getattr(current, "table_name", None)
+        if name is not None:
+            tables.add(name)
+        stack.extend(current.children())
+    return tables
+
+
+def scoped_db_fingerprint(database: Any, tables: set[str]) -> Any:
+    """The database-side correction key for a subtree over *tables*.
+
+    Scoped to the schema fingerprint plus the data versions of exactly
+    the tables the subtree reads — a commit to any *other* table moves
+    neither component, so corrections (like plans and statistics)
+    survive unrelated writes.  Falls back to the whole-database
+    fingerprint when per-table versions are unavailable, and to None
+    (no correction traffic) when even that fails.
+    """
+    if tables:
+        try:
+            return (
+                "tables",
+                database.catalog.fingerprint(),
+                database.table_versions(tables),
+            )
+        except Exception:
+            pass
+    try:
+        return database.fingerprint()
+    except Exception:
+        return None
 
 
 @dataclass(frozen=True)
@@ -133,14 +175,13 @@ def fold_analysis(
     computed folds nothing.
     """
     store = corrections if corrections is not None else GLOBAL_CORRECTIONS
-    try:
-        db_fingerprint = database.fingerprint()
-    except Exception:
-        return 0
     folded = 0
-    for node, fingerprint in _walk_fingerprints(plan):
+    for node, fingerprint, tables in _walk_fingerprints(plan):
         node_stats = analysis.for_node(node)
         if node_stats is None or node_stats.loops == 0:
+            continue
+        db_fingerprint = scoped_db_fingerprint(database, tables)
+        if db_fingerprint is None:
             continue
         actual = node_stats.rows / node_stats.loops
         if store.fold(db_fingerprint, fingerprint, actual):
@@ -151,12 +192,18 @@ def fold_analysis(
 
 
 def _walk_fingerprints(node: Any):
-    """Yield ``(node, fingerprint)`` pairs, sharing child fingerprints."""
+    """Yield ``(node, fingerprint, tables)`` triples, sharing child work."""
     child_pairs = [list(_walk_fingerprints(child)) for child in node.children()]
     fingerprint = (
         node.label(),
         tuple(pairs[0][1] for pairs in child_pairs),
     )
-    yield node, fingerprint
+    tables: set[str] = set()
+    for pairs in child_pairs:
+        tables |= pairs[0][2]
+    name = getattr(node, "table_name", None)
+    if name is not None:
+        tables = tables | {name}
+    yield node, fingerprint, tables
     for pairs in child_pairs:
         yield from pairs

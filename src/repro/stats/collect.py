@@ -189,9 +189,20 @@ class StatisticsCatalog:
     re-ANALYZE invalidates plans picked under the old numbers.
     """
 
-    def __init__(self, tables: Mapping[str, TableStats], fingerprint: Any) -> None:
+    def __init__(
+        self,
+        tables: Mapping[str, TableStats],
+        fingerprint: Any,
+        table_versions: Mapping[str, int] | None = None,
+    ) -> None:
         self._tables = dict(tables)
         self.fingerprint = fingerprint
+        #: Per-table data versions at collection time — the scoped
+        #: freshness stamp: a commit bumps only the tables it touched,
+        #: so every other table's statistics remain provably current.
+        self.table_versions = (
+            dict(table_versions) if table_versions is not None else None
+        )
         self.version = next(_COLLECTIONS)
 
     def table(self, name: str) -> TableStats | None:
@@ -207,9 +218,37 @@ class StatisticsCatalog:
     def fresh_for(self, database: Any) -> bool:
         """Whether *database* is unchanged since collection."""
         try:
-            return database.fingerprint() == self.fingerprint
+            return not self.stale_tables(database)
         except Exception:
             return False
+
+    def stale_tables(self, database: Any) -> set[str]:
+        """Table names whose data moved since collection.
+
+        The whole-catalog sentinel ``{"*"}`` comes back when staleness
+        cannot be scoped — schema changes, a pre-versioning catalog, or
+        a database without per-table versions — and means everything
+        must be re-collected.
+        """
+        if self.table_versions is None or not hasattr(database, "table"):
+            try:
+                fresh = database.fingerprint() == self.fingerprint
+            except Exception:
+                fresh = False
+            return set() if fresh else {"*"}
+        try:
+            names = set(database.table_names())
+            if names != set(self.table_versions):
+                return {"*"}  # tables created or dropped: full pass
+            if database.catalog.fingerprint() != self.fingerprint[0]:
+                return {"*"}  # DDL moved the schema: full pass
+            return {
+                name
+                for name, version in self.table_versions.items()
+                if database.table(name).version != version
+            }
+        except Exception:
+            return {"*"}
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -267,12 +306,35 @@ def collect_statistics(
     *,
     buckets: int = DEFAULT_BUCKETS,
     distinct_threshold: int = DISTINCT_THRESHOLD,
+    reuse: StatisticsCatalog | None = None,
+    only: set[str] | None = None,
 ) -> StatisticsCatalog:
-    """ANALYZE *database*: one pass per table, a fresh catalog out."""
+    """ANALYZE *database*: one pass per stale table, a fresh catalog out.
+
+    With *reuse* (the prior catalog) and *only* (the stale table
+    names), tables outside *only* carry their collected
+    :class:`TableStats` over unscanned — the incremental re-ANALYZE a
+    write to one table triggers never re-reads the others.
+    """
     fingerprint = database.fingerprint()
     tables: dict[str, TableStats] = {}
+    versions: dict[str, int] | None = {}
     for table_name in database.table_names():
         data = database.table(table_name)
+        version = getattr(data, "version", None)
+        if version is None:
+            versions = None  # unversioned storage: whole-db freshness
+        elif versions is not None:
+            versions[table_name] = version
+        if (
+            reuse is not None
+            and only is not None
+            and table_name not in only
+        ):
+            kept = reuse.table(table_name)
+            if kept is not None:
+                tables[table_name] = kept
+                continue
         column_names = [column.name for column in data.schema.columns]
         rows = data.rows
         columns = {
@@ -285,7 +347,7 @@ def collect_statistics(
             for index, column in enumerate(column_names)
         }
         tables[table_name] = TableStats(table_name, len(rows), columns)
-    return StatisticsCatalog(tables, fingerprint)
+    return StatisticsCatalog(tables, fingerprint, table_versions=versions)
 
 
 _ANALYZE_LOCK = threading.Lock()
@@ -295,15 +357,27 @@ def ensure_statistics(database: Any, **kwargs: Any) -> StatisticsCatalog:
     """The database's fresh statistics, collecting them if needed.
 
     Single-flight per process: concurrent callers of a stale database
-    serialize on one collection instead of all re-analyzing.
+    serialize on one collection instead of all re-analyzing.  The
+    re-collection is *incremental*: only the tables whose data version
+    moved since the prior catalog are re-scanned; every other table's
+    statistics carry over by reference, so a write to table A never
+    costs a re-ANALYZE of table B.
     """
     catalog = getattr(database, "statistics", None)
     if catalog is not None and catalog.fresh_for(database):
         return catalog
     with _ANALYZE_LOCK:
         catalog = getattr(database, "statistics", None)
-        if catalog is not None and catalog.fresh_for(database):
-            return catalog
+        if catalog is not None:
+            stale = catalog.stale_tables(database)
+            if not stale:
+                return catalog
+            if "*" not in stale:
+                fresh = collect_statistics(
+                    database, reuse=catalog, only=stale, **kwargs
+                )
+                database.statistics = fresh
+                return fresh
         catalog = collect_statistics(database, **kwargs)
         database.statistics = catalog
         return catalog

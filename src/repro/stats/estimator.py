@@ -57,7 +57,12 @@ from ..sql.expressions import (
     IsNull,
     Literal,
 )
-from .adaptive import CorrectionStore, plan_fingerprint
+from .adaptive import (
+    CorrectionStore,
+    plan_fingerprint,
+    plan_tables,
+    scoped_db_fingerprint,
+)
 from .collect import ColumnStats, StatisticsCatalog
 
 
@@ -77,10 +82,6 @@ class StatisticsCostModel(CostModel):
         self.stats = stats
         self._aliases: dict[str, str] = {}
         self._in_estimate = False
-        try:
-            self._db_fingerprint = database.fingerprint()
-        except Exception:
-            self._db_fingerprint = None
 
     # ------------------------------------------------------------------
 
@@ -354,10 +355,16 @@ class StatisticsCostModel(CostModel):
         return self._column_stats(ref.qualifier, ref.column)
 
     def _corrected(self, plan: PlanNode, estimate: PlanEstimate) -> PlanEstimate:
-        if self.corrections is None or self._db_fingerprint is None:
+        if self.corrections is None:
+            return estimate
+        # The key's database side is scoped to the tables this subtree
+        # reads, matching what fold_analysis recorded — so corrections
+        # survive commits to unrelated tables.
+        db_fingerprint = scoped_db_fingerprint(self.database, plan_tables(plan))
+        if db_fingerprint is None:
             return estimate
         observed = self.corrections.lookup(
-            self._db_fingerprint, plan_fingerprint(plan)
+            db_fingerprint, plan_fingerprint(plan)
         )
         if observed is None:
             return estimate

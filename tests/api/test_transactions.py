@@ -1,0 +1,216 @@
+"""The transactional DB-API surface on :func:`repro.connect`.
+
+Covers the satellite contract: ``commit``/``rollback``, the
+``autocommit`` flag (implicit transactions), ``Cursor.rowcount``,
+``executemany``, SQL-level ``BEGIN``/``COMMIT``/``ROLLBACK``, and the
+context manager that commits on clean exit and rolls back on
+exception — while pre-transaction call sites keep working untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.engine.database import Database
+from repro.errors import (
+    TransactionError,
+    UniquenessViolationError,
+    WriteConflictError,
+)
+
+
+SCRIPT = """
+CREATE TABLE T (A INT NOT NULL, B INT, PRIMARY KEY (A));
+INSERT INTO T VALUES (1, 10), (2, 20);
+"""
+
+
+@pytest.fixture()
+def db() -> Database:
+    return Database.from_script(SCRIPT)
+
+
+def select_all(conn):
+    return conn.execute("SELECT A, B FROM T ORDER BY A").fetchall()
+
+
+class TestAutocommit:
+    def test_default_is_autocommit(self, db):
+        conn = repro.connect(db)
+        assert conn.autocommit is True
+        assert not conn.in_transaction
+        conn.execute("INSERT INTO T VALUES (3, 30)")
+        assert not conn.in_transaction  # committed per statement
+        assert select_all(conn) == [(1, 10), (2, 20), (3, 30)]
+
+    def test_rowcounts(self, db):
+        conn = repro.connect(db)
+        assert conn.cursor().rowcount == -1  # before any execute
+        assert conn.execute("INSERT INTO T VALUES (3, 30), (4, 40)").rowcount == 2
+        assert conn.execute("UPDATE T SET B = 0 WHERE A > 2").rowcount == 2
+        assert conn.execute("DELETE FROM T WHERE A = 4").rowcount == 1
+        assert conn.execute("DELETE FROM T WHERE A = 99").rowcount == 0
+        # Reads keep the back-compat semantics: rowcount == len(rows).
+        assert conn.execute("SELECT A FROM T").rowcount == 3
+
+    def test_autocommit_off_opens_implicit_transaction(self, db):
+        conn = repro.connect(db)
+        conn.autocommit = False
+        conn.execute("DELETE FROM T WHERE A = 1")
+        assert conn.in_transaction
+        # Not published yet: a second connection still sees the row.
+        other = repro.connect(db)
+        assert select_all(other) == [(1, 10), (2, 20)]
+        conn.commit()
+        assert not conn.in_transaction
+        assert select_all(other) == [(2, 20)]
+
+    def test_flag_cannot_flip_inside_transaction(self, db):
+        conn = repro.connect(db)
+        conn.begin()
+        with pytest.raises(TransactionError):
+            conn.autocommit = False
+        conn.rollback()
+        conn.autocommit = False  # fine outside
+
+
+class TestExplicitTransactions:
+    def test_sql_level_begin_commit(self, db):
+        conn = repro.connect(db)
+        conn.execute("BEGIN")
+        assert conn.in_transaction
+        conn.execute("INSERT INTO T VALUES (3, 30)")
+        conn.execute("COMMIT")
+        assert not conn.in_transaction
+        assert select_all(conn) == [(1, 10), (2, 20), (3, 30)]
+
+    def test_sql_level_rollback(self, db):
+        conn = repro.connect(db)
+        conn.execute("BEGIN TRANSACTION")
+        conn.execute("DELETE FROM T")
+        conn.execute("ROLLBACK")
+        assert select_all(conn) == [(1, 10), (2, 20)]
+
+    def test_nested_begin_rejected(self, db):
+        conn = repro.connect(db)
+        conn.begin()
+        with pytest.raises(TransactionError):
+            conn.execute("BEGIN")
+        conn.rollback()
+
+    def test_commit_without_transaction_is_noop(self, db):
+        conn = repro.connect(db)
+        conn.commit()
+        conn.rollback()
+        conn.execute("COMMIT")  # SQL-level no-ops too
+        conn.execute("ROLLBACK")
+
+    def test_transaction_reads_its_own_writes(self, db):
+        conn = repro.connect(db)
+        conn.begin()
+        conn.execute("INSERT INTO T VALUES (3, 30)")
+        conn.execute("UPDATE T SET B = 31 WHERE A = 3")
+        assert select_all(conn) == [(1, 10), (2, 20), (3, 31)]
+        conn.rollback()
+        assert select_all(conn) == [(1, 10), (2, 20)]
+
+    def test_failed_commit_leaves_connection_usable(self, db):
+        one = repro.connect(db)
+        two = repro.connect(db)
+        one.begin()
+        two.begin()
+        one.execute("UPDATE T SET B = 1 WHERE A = 1")
+        two.execute("UPDATE T SET B = 2 WHERE A = 1")
+        one.commit()
+        with pytest.raises(WriteConflictError):
+            two.commit()
+        assert not two.in_transaction
+        # The loser is back in autocommit mode and can retry.
+        two.execute("UPDATE T SET B = 2 WHERE A = 1")
+        assert select_all(two) == [(1, 2), (2, 20)]
+
+
+class TestContextManager:
+    def test_clean_exit_commits(self, db):
+        with repro.connect(db) as conn:
+            conn.begin()
+            conn.execute("INSERT INTO T VALUES (3, 30)")
+        check = repro.connect(db)
+        assert select_all(check) == [(1, 10), (2, 20), (3, 30)]
+
+    def test_exception_rolls_back(self, db):
+        with pytest.raises(RuntimeError):
+            with repro.connect(db) as conn:
+                conn.begin()
+                conn.execute("DELETE FROM T")
+                raise RuntimeError("boom")
+        check = repro.connect(db)
+        assert select_all(check) == [(1, 10), (2, 20)]
+
+    def test_close_rolls_back_abandoned_transaction(self, db):
+        conn = repro.connect(db)
+        conn.begin()
+        conn.execute("DELETE FROM T")
+        conn.close()
+        check = repro.connect(db)
+        assert select_all(check) == [(1, 10), (2, 20)]
+
+
+class TestExecutemany:
+    def test_rowcount_sums_across_sets(self, db):
+        conn = repro.connect(db)
+        cursor = conn.cursor().executemany(
+            "INSERT INTO T VALUES (:A, :B)",
+            [{"A": 3, "B": 30}, {"A": 4, "B": 40}, {"A": 5, "B": 50}],
+        )
+        assert cursor.rowcount == 3
+        assert select_all(conn) == [
+            (1, 10), (2, 20), (3, 30), (4, 40), (5, 50),
+        ]
+
+    def test_empty_sequence(self, db):
+        conn = repro.connect(db)
+        assert conn.cursor().executemany("DELETE FROM T", []).rowcount == 0
+
+    def test_transactional_executemany_is_atomic(self, db):
+        conn = repro.connect(db)
+        conn.begin()
+        with pytest.raises(UniquenessViolationError):
+            conn.cursor().executemany(
+                "INSERT INTO T VALUES (:A, :B)",
+                [{"A": 3, "B": 30}, {"A": 1, "B": 0}],  # second one collides
+            )
+        conn.rollback()
+        assert select_all(conn) == [(1, 10), (2, 20)]
+
+
+class TestDmlErrors:
+    def test_duplicate_key_is_typed(self, db):
+        conn = repro.connect(db)
+        with pytest.raises(UniquenessViolationError) as info:
+            conn.execute("INSERT INTO T VALUES (1, 99)")
+        assert "duplicate value" in str(info.value)
+        # Autocommit statement failure publishes nothing.
+        assert select_all(conn) == [(1, 10), (2, 20)]
+
+    def test_update_into_duplicate_rejected(self, db):
+        conn = repro.connect(db)
+        with pytest.raises(UniquenessViolationError):
+            conn.execute("UPDATE T SET A = 1 WHERE A = 2")
+        assert select_all(conn) == [(1, 10), (2, 20)]
+
+    def test_key_self_assignment_validates_post_state(self, db):
+        # Delete-then-reinsert ordering: writing a row's key back to
+        # itself must validate against the post-statement state (the
+        # old version is gone), not collide with it.
+        conn = repro.connect(db)
+        assert conn.execute("UPDATE T SET A = 1 WHERE A = 1").rowcount == 1
+        assert select_all(conn) == [(1, 10), (2, 20)]
+
+    def test_missing_host_variable(self, db):
+        from repro.errors import MissingHostVariableError
+
+        conn = repro.connect(db)
+        with pytest.raises(MissingHostVariableError):
+            conn.execute("INSERT INTO T VALUES (:A, :B)", {"A": 3})

@@ -1,0 +1,119 @@
+"""DML and transactions over the wire: the remote Connection behaves
+like the local one.
+
+Session-scoped ``BEGIN``/``COMMIT``/``ROLLBACK`` run on the server (the
+worker pins the session's snapshot there); the client mirrors only the
+in-transaction flag.  A commit-time conflict is a 409 envelope that the
+retrying client treats as terminal — retrying a lost race cannot win it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.engine.database import Database
+from repro.errors import RemoteQueryError, exit_code_for
+from repro.net.server import QueryServer
+
+
+@pytest.fixture()
+def write_server():
+    db = Database.from_script(
+        """
+CREATE TABLE T (A INT NOT NULL, B INT, PRIMARY KEY (A));
+INSERT INTO T VALUES (1, 10), (2, 20);
+"""
+    )
+    with QueryServer(db, workers=2) as srv:
+        yield srv
+
+
+def connect(server):
+    return repro.connect(server.url, fresh_session=True)
+
+
+class TestRemoteDml:
+    def test_insert_rowcount_rides_the_envelope(self, write_server):
+        with connect(write_server) as conn:
+            cursor = conn.execute("INSERT INTO T VALUES (3, 30), (4, 40)")
+            assert cursor.rowcount == 2
+            assert cursor.fetchall() == []
+            # Reads keep rowcount == len(rows) over the wire too.
+            assert conn.execute("SELECT A FROM T").rowcount == 4
+
+    def test_remote_transaction_rollback(self, write_server):
+        with connect(write_server) as conn:
+            conn.begin()
+            assert conn.in_transaction
+            conn.execute("DELETE FROM T")
+            assert conn.execute("SELECT A FROM T").rowcount == 0
+            conn.rollback()
+            assert not conn.in_transaction
+            assert conn.execute("SELECT A FROM T").rowcount == 2
+
+    def test_remote_autocommit_off_commits_on_clean_exit(self, write_server):
+        with connect(write_server) as conn:
+            conn.autocommit = False
+            conn.execute("INSERT INTO T VALUES (5, 50)")
+            assert conn.in_transaction
+            # __exit__ commits the implicit transaction.
+        with connect(write_server) as check:
+            rows = check.execute("SELECT A FROM T ORDER BY A").fetchall()
+        assert rows == [(1,), (2,), (5,)]
+
+    def test_remote_exception_rolls_back(self, write_server):
+        with pytest.raises(RuntimeError):
+            with connect(write_server) as conn:
+                conn.begin()
+                conn.execute("DELETE FROM T")
+                raise RuntimeError("boom")
+        with connect(write_server) as check:
+            assert check.execute("SELECT A FROM T").rowcount == 2
+
+    def test_writes_visible_across_sessions_only_after_commit(
+        self, write_server
+    ):
+        with connect(write_server) as one, connect(write_server) as two:
+            one.begin()
+            one.execute("INSERT INTO T VALUES (9, 90)")
+            assert two.execute("SELECT A FROM T").rowcount == 2
+            one.commit()
+            assert two.execute("SELECT A FROM T").rowcount == 3
+
+
+class TestConflictEnvelopes:
+    def test_duplicate_key_is_409_and_not_retried(self, write_server):
+        with connect(write_server) as conn:
+            with pytest.raises(RemoteQueryError) as info:
+                conn.execute("INSERT INTO T VALUES (1, 0)")
+            assert info.value.error_type == "UniquenessViolationError"
+            assert info.value.status == 409
+            # Terminal: the retry loop never touched it.
+            assert conn._backend.retries == 0
+            assert exit_code_for(info.value) == 13
+
+    def test_write_write_conflict_is_409(self, write_server):
+        with connect(write_server) as one, connect(write_server) as two:
+            one.begin()
+            two.begin()
+            one.execute("UPDATE T SET B = 1 WHERE A = 1")
+            two.execute("UPDATE T SET B = 2 WHERE A = 1")
+            one.commit()
+            with pytest.raises(RemoteQueryError) as info:
+                two.commit()
+            assert info.value.error_type == "WriteConflictError"
+            assert info.value.status == 409
+            assert exit_code_for(info.value) == 13
+            # The server rolled the session back; the client mirrors it
+            # and the connection is immediately usable again.
+            assert not two.in_transaction
+            two.execute("UPDATE T SET B = 2 WHERE A = 1")
+
+    def test_nested_begin_is_typed_not_500(self, write_server):
+        with connect(write_server) as conn:
+            conn.begin()
+            with pytest.raises(RemoteQueryError) as info:
+                conn.execute("BEGIN")
+            assert info.value.error_type == "TransactionError"
+            conn.rollback()

@@ -50,8 +50,13 @@ def test_execute_planned_skips_cache_when_fingerprint_fails(
 ):
     expected = execute_planned(SQL, tiny_db)
 
+    # Break the schema fingerprint both key shapes build on: the
+    # table-scoped key reads it directly, and the whole-database
+    # fallback folds it into Database.fingerprint().
+    from repro.catalog.schema import Catalog
+
     monkeypatch.setattr(
-        Database,
+        Catalog,
         "fingerprint",
         lambda self: (_ for _ in ()).throw(RuntimeError("broken")),
     )

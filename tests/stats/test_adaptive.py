@@ -99,8 +99,13 @@ class TestFoldAnalysis:
             db, analyzed.plan, analyzed.analysis, corrections=store
         )
         assert folded > 0
+        # Corrections key on the table-scoped fingerprint so writes to
+        # other tables cannot orphan them.
+        from repro.stats.adaptive import plan_tables, scoped_db_fingerprint
+
         observed = store.lookup(
-            db.fingerprint(), plan_fingerprint(analyzed.plan)
+            scoped_db_fingerprint(db, plan_tables(analyzed.plan)),
+            plan_fingerprint(analyzed.plan),
         )
         assert observed == float(len(analyzed.result))
 

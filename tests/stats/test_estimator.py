@@ -107,7 +107,14 @@ class TestCorrections:
     def test_correction_overrides_model(self, db):
         plan = plan_for(db, "SELECT SNO FROM SUPPLIER WHERE SCITY = 'London'")
         store = CorrectionStore()
-        store.fold(db.fingerprint(), plan_fingerprint(plan), 3.0)
+        # The model reads corrections under the table-scoped key.
+        from repro.stats.adaptive import plan_tables, scoped_db_fingerprint
+
+        store.fold(
+            scoped_db_fingerprint(db, plan_tables(plan)),
+            plan_fingerprint(plan),
+            3.0,
+        )
         corrected = model_for(db, corrections=store).estimate(plan)
         assert corrected.rows == pytest.approx(3.0)
         uncorrected = model_for(db).estimate(plan)
